@@ -1,0 +1,70 @@
+"""Ablation — the interrupt-bottleneck hypothesis of Sec. 4.3.
+
+The paper *hypothesizes* that dual-processor TCP collapses because one CPU
+services all NIC interrupts.  Our simulator makes the hypothesis testable:
+switch the SMP interrupt penalties off and see whether the dual-processor
+collapse disappears.
+"""
+
+import dataclasses
+
+from conftest import emit
+
+from repro.cluster import ClusterSpec, NodeSpec, tcp_gigabit_ethernet
+from repro.core import format_table
+from repro.parallel import MDRunConfig, run_parallel_md
+from repro.workloads import myoglobin_system, myoglobin_workload
+
+
+def _measure():
+    mg = myoglobin_workload()
+    system = myoglobin_system("pme")
+    cfg = MDRunConfig(n_steps=10)
+    tcp = tcp_gigabit_ethernet()
+    no_irq_penalty = dataclasses.replace(
+        tcp,
+        smp_efficiency_penalty=1.0,
+        smp_irq_multiplier=1.0,
+        smp_overhead_multiplier=1.0,
+    )
+    rows = []
+    for p in (2, 4, 8):
+        with_penalty = run_parallel_md(
+            system,
+            mg.positions,
+            ClusterSpec(n_ranks=p, network=tcp, node=NodeSpec(cpus_per_node=2), seed=31),
+            config=cfg,
+        )
+        without = run_parallel_md(
+            system,
+            mg.positions,
+            ClusterSpec(
+                n_ranks=p, network=no_irq_penalty, node=NodeSpec(cpus_per_node=2), seed=31
+            ),
+            config=cfg,
+        )
+        rows.append(
+            [
+                p,
+                with_penalty.total_breakdown().total,
+                without.total_breakdown().total,
+            ]
+        )
+    return rows
+
+
+def test_interrupt_bottleneck_ablation(benchmark, report_dir):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    table = format_table(
+        ["p (dual nodes)", "with IRQ bottleneck (s)", "without (s)"], rows
+    )
+    emit(
+        report_dir,
+        "ablation_interrupts",
+        "== Ablation: dual-CPU TCP with/without the interrupt bottleneck ==\n" + table,
+    )
+
+    # with the bottleneck the time grows from 4 -> 8 ranks; without it the
+    # dual-processor cluster scales again
+    assert rows[2][1] > rows[1][1]
+    assert rows[2][2] < rows[2][1]

@@ -1,0 +1,63 @@
+"""Ablation — what exactly kills CMPI: the neighbour-ring synchronization.
+
+DESIGN.md calls out the CMPI sync pattern (p-1 one-byte rounds per global
+operation) as the reproduced pathology.  This ablation measures the sync
+pattern in isolation at increasing rank counts on TCP/IP vs Myrinet,
+separating the protocol cost from the data-volume cost.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.cluster import ClusterSpec, myrinet_gm, tcp_gigabit_ethernet
+from repro.cmpi import CMPIMiddleware
+from repro.core import format_table
+from repro.mpi import MPIMiddleware, MPIWorld, collectives
+from repro.sim import Simulator
+
+
+def _sync_cost(network, p, middleware, rounds=20, seed=11):
+    sim = Simulator()
+    world = MPIWorld(sim, ClusterSpec(n_ranks=p, network=network, seed=seed))
+
+    def prog(ep):
+        for _ in range(rounds):
+            if middleware == "cmpi":
+                yield from CMPIMiddleware().sync(ep)
+            else:
+                yield from collectives.barrier(ep)
+
+    for r in range(p):
+        sim.spawn(prog(world.endpoints[r]), name=f"r{r}")
+    sim.run()
+    return max(ep.timeline.total_seconds() for ep in world.endpoints) / rounds
+
+
+def _measure():
+    rows = []
+    for p in (2, 4, 8, 16):
+        rows.append(
+            [
+                p,
+                1e3 * _sync_cost(tcp_gigabit_ethernet(), p, "mpi"),
+                1e3 * _sync_cost(tcp_gigabit_ethernet(), p, "cmpi"),
+                1e3 * _sync_cost(myrinet_gm(), p, "mpi"),
+                1e3 * _sync_cost(myrinet_gm(), p, "cmpi"),
+            ]
+        )
+    return rows
+
+
+def test_middleware_sync_ablation(benchmark, report_dir):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    table = format_table(
+        ["p", "MPI barrier tcp (ms)", "CMPI sync tcp (ms)", "MPI barrier myri (ms)", "CMPI sync myri (ms)"],
+        rows,
+    )
+    emit(report_dir, "ablation_middleware_sync", "== Ablation: synchronization primitives ==\n" + table)
+
+    tcp_mpi = np.array([r[1] for r in rows])
+    tcp_cmpi = np.array([r[2] for r in rows])
+    # MPI barrier grows ~log p, CMPI sync ~linearly: the gap must widen
+    assert tcp_cmpi[-1] / tcp_mpi[-1] > tcp_cmpi[0] / tcp_mpi[0]
+    assert tcp_cmpi[-1] > 3 * tcp_mpi[-1]

@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures.
+
+All figure benchmarks share one :class:`CharacterizationRunner` over the
+paper's 3552-atom workload, so each design point is simulated exactly once
+per benchmark session (several figures slice the same design).  Every
+benchmark writes the regenerated rows/series to ``benchmarks/reports/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import default_runner
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def figure_runner():
+    return default_runner(n_steps=10)
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    REPORT_DIR.mkdir(exist_ok=True)
+    return REPORT_DIR
+
+
+def emit(report_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print the regenerated table and persist it next to the benchmarks."""
+    print(f"\n{text}\n")
+    (report_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Characterize your own parallel code on the simulated cluster.
+
+The workload-characterization harness is not CHARMM-specific: any SPMD
+program written as a generator over the simulated MPI endpoint can be
+measured on every platform of the factor space.  This example
+characterizes a 1-D halo-exchange stencil (a classic 'easy parallelism'
+code) and contrasts its breakdown with CHARMM's.
+
+Run:  python examples/characterize_custom_code.py        (~10 seconds)
+"""
+
+import numpy as np
+
+from repro.cluster import ClusterSpec, NETWORKS
+from repro.core import format_table
+from repro.mpi import MPIWorld
+from repro.sim import Simulator
+
+CELLS_PER_RANK = 200_000
+STEPS = 20
+FLOP_TIME = 4e-9  # seconds per cell update on the reference CPU
+
+
+def stencil_rank(ep, n_steps: int):
+    """Jacobi sweep over a local strip with halo exchange to neighbours."""
+    local = np.full(CELLS_PER_RANK + 2, float(ep.rank))
+    left = (ep.rank - 1) % ep.size
+    right = (ep.rank + 1) % ep.size
+    for step in range(n_steps):
+        if ep.size > 1:
+            # exchange one-cell halos with both neighbours (split phase)
+            r1 = yield from ep.irecv(left, tag=2 * step)
+            r2 = yield from ep.irecv(right, tag=2 * step + 1)
+            s1 = yield from ep.isend(right, local[-2:-1], tag=2 * step)
+            s2 = yield from ep.isend(left, local[1:2], tag=2 * step + 1)
+            local[0:1] = yield from r1.wait()
+            local[-1:] = yield from r2.wait()
+            yield from s1.wait()
+            yield from s2.wait()
+        # interior update: real arithmetic, charged through the cost model
+        local[1:-1] = 0.5 * local[1:-1] + 0.25 * (local[:-2] + local[2:])
+        yield from ep.compute(CELLS_PER_RANK * FLOP_TIME)
+    return float(local[1:-1].mean())
+
+
+def characterize(network_name: str, p: int) -> dict:
+    sim = Simulator()
+    spec = ClusterSpec(n_ranks=p, network=NETWORKS[network_name](), seed=5)
+    world = MPIWorld(sim, spec)
+    procs = [
+        sim.spawn(stencil_rank(world.endpoints[r], STEPS), name=f"r{r}")
+        for r in range(p)
+    ]
+    sim.run()
+    totals = [ep.timeline.grand_total() for ep in world.endpoints]
+    wall = max(t.total for t in totals)
+    return {
+        "wall": wall,
+        "comp": sum(t.comp for t in totals) / p,
+        "comm": sum(t.comm for t in totals) / p,
+        "sync": sum(t.sync for t in totals) / p,
+        "result": procs[0].result,
+    }
+
+
+def main() -> None:
+    print("Characterizing a halo-exchange stencil on the simulated cluster...\n")
+    rows = []
+    serial = characterize("tcp-gige", 1)["wall"]
+    for network in ("tcp-gige", "score-gige", "myrinet"):
+        for p in (2, 4, 8, 16):
+            m = characterize(network, p)
+            overhead = (m["comm"] + m["sync"]) / (m["comp"] + m["comm"] + m["sync"])
+            rows.append(
+                [
+                    network,
+                    p,
+                    m["wall"],
+                    serial / m["wall"],  # weak-scaling efficiency
+                    100 * overhead,
+                ]
+            )
+    print(
+        format_table(
+            ["network", "p", "wall (s)", "efficiency", "overhead %"], rows, precision=3
+        )
+    )
+    print(
+        "\nA surface-to-volume code like this one scales almost perfectly even on"
+        "\nTCP/IP — unlike CHARMM's PME, whose all-to-all transposes need the whole"
+        "\nbisection. 'Easy parallelism' is a property of the communication pattern."
+    )
+
+
+if __name__ == "__main__":
+    main()

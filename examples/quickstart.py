@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: build a solvated peptide, evaluate energies, run MD.
+
+Exercises the serial MD engine end to end:
+
+1. build a 4-residue alpha-helical peptide in a shell of waters;
+2. evaluate the potential energy with PME electrostatics and show the
+   classic/PME split the paper characterizes;
+3. run 100 fs of NVE dynamics and watch total-energy conservation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.md import (
+    CutoffScheme,
+    MDSystem,
+    VelocityVerlet,
+    default_forcefield,
+    kinetic_energy,
+)
+from repro.workloads import build_peptide_in_water
+
+
+def main() -> None:
+    print("Building a 4-residue peptide with 30 waters...")
+    topology, positions, box = build_peptide_in_water(n_residues=4, n_waters=30)
+    print(f"  atoms: {topology.n_atoms}, box: {box.lengths} A")
+
+    system = MDSystem(
+        topology,
+        default_forcefield(),
+        box,
+        CutoffScheme(r_cut=8.0, skin=1.5),
+        electrostatics="pme",
+        pme_grid=(24, 24, 24),
+    )
+    print(f"  Ewald alpha: {system.ewald_alpha:.4f} 1/A")
+
+    breakdown, forces = system.energy_forces(positions)
+    print("\nPotential energy (kcal/mol):")
+    for name, value in breakdown.as_dict().items():
+        print(f"  {name:16s} {value:12.3f}")
+    print(f"  {'classic total':16s} {breakdown.classic_total:12.3f}")
+    print(f"  {'PME total':16s} {breakdown.pme_total:12.3f}")
+    print(f"  {'grand total':16s} {breakdown.total:12.3f}")
+    print(f"  max |force|: {abs(forces).max():.2f} kcal/mol/A")
+
+    print("\nRunning 200 x 0.5 fs of NVE dynamics at 200 K...")
+    integrator = VelocityVerlet(system, dt=0.0005)
+    state = integrator.initialize(positions, temperature=200.0, seed=42)
+    e0 = state.potential.total + kinetic_energy(system.masses, state.velocities)
+    for block in range(4):
+        state = integrator.run(state, 50)
+        e = state.potential.total + kinetic_energy(system.masses, state.velocities)
+        print(
+            f"  step {state.step:4d}: PE = {state.potential.total:10.3f}  "
+            f"total = {e:10.3f}  drift = {e - e0:+8.4f} kcal/mol"
+        )
+    print("Done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""repro — reproduction of Taufer et al., *Performance Characterization of
+a Molecular Dynamics Code on PC Clusters* (IPPS 2002).
+
+Subpackages
+-----------
+``repro.md``          CHARMM-style MD engine (bonded, cutoff non-bonded, Verlet)
+``repro.pme``         smooth particle-mesh Ewald + exact Ewald reference
+``repro.workloads``   synthetic myoglobin benchmark and smaller systems
+``repro.sim``         discrete-event simulation kernel
+``repro.cluster``     PC-cluster platform models (networks, nodes, NIC/IRQ)
+``repro.mpi``         simulated MPI (real payloads, virtual time)
+``repro.cmpi``        CHARMM's portable middleware layer
+``repro.parallel``    SPMD rank programs, distributed FFT/PME, cost model
+``repro.instrument``  comp/comm/sync timelines, communication-rate stats
+``repro.core``        the characterization method (factors, designs, runner)
+``repro.experiments`` drivers reproducing every figure of the paper
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

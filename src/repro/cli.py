@@ -1,0 +1,158 @@
+"""Command-line interface: regenerate paper figures and run custom points.
+
+Usage::
+
+    python -m repro figures                      # list available figures
+    python -m repro figures figure3 figure7      # regenerate specific ones
+    python -m repro figures --all --steps 4      # everything, shorter runs
+    python -m repro run --network myrinet --middleware mpi --ranks 8
+    python -m repro workload                     # describe the benchmark system
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Performance Characterization of a Molecular "
+            "Dynamics Code on PC Clusters' (IPPS 2002)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figs = sub.add_parser("figures", help="regenerate paper figures")
+    figs.add_argument("names", nargs="*", help="figure ids (default: list them)")
+    figs.add_argument("--all", action="store_true", help="run every figure")
+    figs.add_argument(
+        "--steps", type=int, default=10, help="MD steps per run (paper: 10)"
+    )
+
+    run = sub.add_parser("run", help="run one platform point")
+    run.add_argument(
+        "--network",
+        default="tcp-gige",
+        help="tcp-gige | score-gige | myrinet | tcp-fast-ethernet | wide-area-grid",
+    )
+    run.add_argument("--middleware", default="mpi", help="mpi | cmpi")
+    run.add_argument("--ranks", type=int, default=4)
+    run.add_argument("--cpus-per-node", type=int, default=1, choices=(1, 2))
+    run.add_argument("--steps", type=int, default=10)
+    run.add_argument("--seed", type=int, default=2002)
+
+    sub.add_parser("workload", help="describe the 3552-atom benchmark system")
+
+    return parser
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from .experiments import ALL_FIGURES, default_runner
+
+    if not args.names and not args.all:
+        print("Available figures:")
+        for name, driver in ALL_FIGURES.items():
+            print(f"  {name:15s} {driver.__doc__.strip().splitlines()[0]}")
+        return 0
+
+    names = list(ALL_FIGURES) if args.all else args.names
+    unknown = [n for n in names if n not in ALL_FIGURES]
+    if unknown:
+        print(f"unknown figures: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    runner = default_runner(n_steps=args.steps)
+    for name in names:
+        result = ALL_FIGURES[name](runner)
+        print(result.report)
+        print()
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .core import PlatformConfig
+    from .core.report import breakdown_table, time_series_table
+    from .core.responses import ResponseRecord
+    from .core.design import DesignPoint
+    from .parallel import MDRunConfig, run_parallel_md
+    from .workloads import myoglobin_system, myoglobin_workload
+
+    try:
+        config = PlatformConfig(
+            network=args.network,
+            middleware=args.middleware,
+            cpus_per_node=args.cpus_per_node,
+        )
+        spec = config.cluster_spec(args.ranks, seed=args.seed)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(f"Simulating {spec.describe()}, {args.steps} MD steps...")
+    mg = myoglobin_workload()
+    result = run_parallel_md(
+        myoglobin_system("pme"),
+        mg.positions,
+        spec,
+        middleware=args.middleware,
+        config=MDRunConfig(n_steps=args.steps),
+    )
+    point = DesignPoint(config=config, n_ranks=args.ranks)
+    record = ResponseRecord.from_run(point, result)
+    print(time_series_table([record]))
+    print()
+    print(breakdown_table([record], "classic"))
+    print()
+    print(breakdown_table([record], "pme"))
+    stats = result.comm_stats()
+    if stats.n_transfers:
+        print(
+            f"\ncommunication speed per node: mean {stats.mean:.1f} MB/s "
+            f"[{stats.minimum:.1f}, {stats.maximum:.1f}] over {stats.n_transfers} transfers"
+        )
+    return 0
+
+
+def _cmd_workload(_args: argparse.Namespace) -> int:
+    from .workloads import myoglobin_workload
+
+    mg = myoglobin_workload()
+    topo = mg.topology
+    by_segment: dict[str, int] = {}
+    for atom in topo.atoms:
+        by_segment[atom.segment] = by_segment.get(atom.segment, 0) + 1
+    print("The benchmark system (paper Sec. 2.2, rebuilt synthetically):")
+    print(f"  atoms:       {topo.n_atoms}")
+    print(f"  charge:      {topo.total_charge():+.3f} e")
+    print(f"  box:         {mg.box.lx} x {mg.box.ly} x {mg.box.lz} A")
+    print(f"  PME mesh:    {mg.pme_grid[0]} x {mg.pme_grid[1]} x {mg.pme_grid[2]}")
+    print(
+        f"  bonded:      {len(topo.bonds)} bonds, {len(topo.angles)} angles, "
+        f"{len(topo.dihedrals)} dihedrals, {len(topo.impropers)} impropers"
+    )
+    print("  segments:")
+    for segment, count in sorted(by_segment.items()):
+        print(f"    {segment:8s} {count:5d} atoms")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "figures":
+        return _cmd_figures(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "workload":
+        return _cmd_workload(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,30 @@
+"""PC-cluster platform models: nodes, networks, transfer timing."""
+
+from .machine import ClusterSpec, NodeSpec
+from .network import (
+    NETWORKS,
+    IntranodeParams,
+    NetworkParams,
+    fast_ethernet_tcp,
+    myrinet_gm,
+    score_gigabit_ethernet,
+    tcp_gigabit_ethernet,
+    wide_area_grid,
+)
+from .state import ClusterState, TransferPlan, TransferRecord
+
+__all__ = [
+    "ClusterSpec",
+    "ClusterState",
+    "fast_ethernet_tcp",
+    "IntranodeParams",
+    "myrinet_gm",
+    "NetworkParams",
+    "NETWORKS",
+    "NodeSpec",
+    "score_gigabit_ethernet",
+    "tcp_gigabit_ethernet",
+    "TransferPlan",
+    "TransferRecord",
+    "wide_area_grid",
+]

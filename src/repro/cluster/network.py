@@ -1,0 +1,245 @@
+"""Network models: LogGP-style parameters plus 2001-era pathologies.
+
+Each of the paper's interconnect levels is a :class:`NetworkParams` preset:
+
+* ``tcp_gigabit_ethernet`` — MPICH over the kernel TCP/IP stack.  High
+  per-message and per-packet overheads, interrupt-driven receive
+  processing, and strong sensitivity of the achieved bandwidth to
+  concurrent traffic (the TCP flow-control interaction the paper blames
+  for the large throughput variability from four processors on).
+* ``score_gigabit_ethernet`` — SCore's PM protocol directly on raw
+  Ethernet: same wire, far lower overheads, stable bandwidth, no
+  interrupt bottleneck (user-level polling), shared-memory intra-node.
+* ``myrinet_gm`` — MPICH-GM with the LANai coprocessor: lowest overheads,
+  highest bandwidth, large packets, shared-memory intra-node.
+* ``fast_ethernet_tcp`` — the prior-work 100 Mbit/s comparison level.
+
+All times are in seconds, sizes in bytes.  The absolute values are
+calibrated to the paper's Figure 7 (per-node communication speeds) and
+period microbenchmarks; the *relationships* between the levels are what
+the experiments exercise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "IntranodeParams",
+    "NetworkParams",
+    "NETWORKS",
+    "tcp_gigabit_ethernet",
+    "score_gigabit_ethernet",
+    "myrinet_gm",
+    "fast_ethernet_tcp",
+]
+
+
+@dataclass(frozen=True)
+class IntranodeParams:
+    """The path between two ranks on the same node.
+
+    TCP stacks of the period routed intra-node MPI through loopback (full
+    protocol cost, interrupt handling); SCore and Myrinet's MPICH used a
+    shared-memory device.
+    """
+
+    latency: float
+    bandwidth: float
+    uses_interrupts: bool
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """One interconnect + driver-software configuration."""
+
+    name: str
+    #: one-way wire+stack latency per message (s)
+    latency: float
+    #: peak payload bandwidth (B/s)
+    bandwidth: float
+    #: per-message CPU cost to initiate a send (s)
+    send_overhead: float
+    #: per-message CPU cost to post/match a receive (s)
+    recv_overhead: float
+    #: host CPU time per byte sent/received (copies, checksums) (s/B)
+    cpu_byte_cost: float
+    #: wire packet payload size (B)
+    packet_size: int
+    #: extra wire/host time per packet (s)
+    packet_overhead: float
+    #: messages larger than this use a rendezvous handshake (B)
+    eager_threshold: int
+    #: mean fraction of peak bandwidth a lone transfer achieves
+    base_efficiency: float
+    #: exponential decay of efficiency per concurrent transfer
+    congestion_sensitivity: float
+    #: lognormal sigma of the per-transfer efficiency at baseline
+    variability: float
+    #: extra sigma per concurrent transfer
+    congestion_variability: float
+    #: receive path goes through kernel interrupts (serialized per node)
+    uses_interrupts: bool
+    #: interrupt service time per packet (s)
+    irq_cost: float
+    intranode: IntranodeParams
+    #: with two busy CPUs per node: achieved-bandwidth multiplier (<1 hurts),
+    #: interrupt-cost multiplier and per-message-overhead multiplier.  Models
+    #: the single-interrupt-CPU bottleneck + kernel-lock contention the paper
+    #: blames for the dual-processor collapse on TCP (Sec. 4.3); 1.0 for
+    #: user-level stacks (SCore) and coprocessor NICs (Myrinet).
+    smp_efficiency_penalty: float = 1.0
+    smp_irq_multiplier: float = 1.0
+    smp_overhead_multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0 or self.packet_size <= 0:
+            raise ValueError("bandwidth and packet_size must be positive")
+        if not 0 < self.base_efficiency <= 1:
+            raise ValueError("base_efficiency must be in (0, 1]")
+
+    def packets(self, nbytes: int) -> int:
+        """Number of wire packets for a payload."""
+        return max(1, math.ceil(nbytes / self.packet_size))
+
+    def host_cost(self, nbytes: int) -> float:
+        """Per-message host CPU cost for a payload of ``nbytes``."""
+        return self.cpu_byte_cost * nbytes
+
+
+def tcp_gigabit_ethernet() -> NetworkParams:
+    """MPICH + TCP/IP over Gigabit Ethernet (the paper's focal point)."""
+    return NetworkParams(
+        name="tcp-gige",
+        latency=65e-6,
+        bandwidth=45e6,  # period GigE NICs on 32-bit PCI rarely beat this
+        send_overhead=28e-6,
+        recv_overhead=28e-6,
+        cpu_byte_cost=4.0e-9,  # ~250 MB/s stack copies on a 1 GHz PIII
+        packet_size=1460,
+        packet_overhead=2.0e-6,
+        eager_threshold=64 * 1024,
+        base_efficiency=0.62,
+        congestion_sensitivity=0.09,
+        variability=0.10,
+        congestion_variability=0.08,
+        uses_interrupts=True,
+        irq_cost=5.0e-6,
+        intranode=IntranodeParams(latency=30e-6, bandwidth=90e6, uses_interrupts=True),
+        smp_efficiency_penalty=0.5,
+        smp_irq_multiplier=6.0,
+        smp_overhead_multiplier=2.0,
+    )
+
+
+def score_gigabit_ethernet() -> NetworkParams:
+    """SCore (PM) over the same Gigabit Ethernet wire."""
+    return NetworkParams(
+        name="score-gige",
+        latency=18e-6,
+        bandwidth=75e6,
+        send_overhead=8e-6,
+        recv_overhead=8e-6,
+        cpu_byte_cost=1.5e-9,
+        packet_size=4096,
+        packet_overhead=0.8e-6,
+        eager_threshold=64 * 1024,
+        base_efficiency=0.92,
+        congestion_sensitivity=0.02,
+        variability=0.02,
+        congestion_variability=0.01,
+        uses_interrupts=False,
+        irq_cost=0.0,
+        intranode=IntranodeParams(latency=4e-6, bandwidth=180e6, uses_interrupts=False),
+    )
+
+
+def myrinet_gm() -> NetworkParams:
+    """MPICH-GM over Myrinet (LANai coprocessor offload)."""
+    return NetworkParams(
+        name="myrinet",
+        latency=11e-6,
+        bandwidth=140e6,
+        send_overhead=5e-6,
+        recv_overhead=5e-6,
+        cpu_byte_cost=0.6e-9,  # DMA; host barely touches the data
+        packet_size=16384,
+        packet_overhead=0.3e-6,
+        eager_threshold=32 * 1024,
+        base_efficiency=0.94,
+        congestion_sensitivity=0.01,
+        variability=0.015,
+        congestion_variability=0.005,
+        uses_interrupts=False,
+        irq_cost=0.0,
+        intranode=IntranodeParams(latency=4e-6, bandwidth=180e6, uses_interrupts=False),
+    )
+
+
+def fast_ethernet_tcp() -> NetworkParams:
+    """MPICH + TCP/IP over Fast (100 Mbit/s) Ethernet (prior-work level)."""
+    gige = tcp_gigabit_ethernet()
+    return NetworkParams(
+        name="tcp-fast-ethernet",
+        latency=75e-6,
+        bandwidth=11.5e6,
+        send_overhead=gige.send_overhead,
+        recv_overhead=gige.recv_overhead,
+        cpu_byte_cost=gige.cpu_byte_cost,
+        packet_size=1460,
+        packet_overhead=2.0e-6,
+        eager_threshold=gige.eager_threshold,
+        base_efficiency=0.90,  # the slow wire, not the stack, is the bottleneck
+        congestion_sensitivity=0.10,
+        variability=0.06,
+        congestion_variability=0.10,
+        uses_interrupts=True,
+        irq_cost=gige.irq_cost,
+        intranode=gige.intranode,
+        smp_efficiency_penalty=gige.smp_efficiency_penalty,
+        smp_irq_multiplier=gige.smp_irq_multiplier,
+        smp_overhead_multiplier=gige.smp_overhead_multiplier,
+    )
+
+
+def wide_area_grid() -> NetworkParams:
+    """A wide-area (grid-computing) path, ca. 2001 Internet.
+
+    The paper's closing remark motivates estimating CHARMM on 'widely
+    distributed computing on the global computational grid'; this level
+    lets the harness produce that estimate: tens of milliseconds of
+    latency, ~1.5 MB/s of heavily shared bandwidth, large variability.
+    """
+    gige = tcp_gigabit_ethernet()
+    return NetworkParams(
+        name="wide-area-grid",
+        latency=15e-3,
+        bandwidth=1.5e6,
+        send_overhead=gige.send_overhead,
+        recv_overhead=gige.recv_overhead,
+        cpu_byte_cost=gige.cpu_byte_cost,
+        packet_size=1460,
+        packet_overhead=2.0e-6,
+        eager_threshold=gige.eager_threshold,
+        base_efficiency=0.55,
+        congestion_sensitivity=0.12,
+        variability=0.35,
+        congestion_variability=0.10,
+        uses_interrupts=True,
+        irq_cost=gige.irq_cost,
+        intranode=gige.intranode,
+        smp_efficiency_penalty=gige.smp_efficiency_penalty,
+        smp_irq_multiplier=gige.smp_irq_multiplier,
+        smp_overhead_multiplier=gige.smp_overhead_multiplier,
+    )
+
+
+#: Registry keyed by the level names used in the experimental design.
+NETWORKS = {
+    "tcp-gige": tcp_gigabit_ethernet,
+    "score-gige": score_gigabit_ethernet,
+    "myrinet": myrinet_gm,
+    "tcp-fast-ethernet": fast_ethernet_tcp,
+    "wide-area-grid": wide_area_grid,
+}

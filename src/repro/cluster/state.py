@@ -1,0 +1,173 @@
+"""Runtime network state: NIC occupancy, interrupt queues, congestion.
+
+:func:`ClusterState.plan_transfer` is the single point where a message's
+wire timing is decided.  It models:
+
+* **NIC serialization** — a node's link carries one transfer at a time;
+  overlapping transfers queue (``nic_free``).
+* **Interrupt bottleneck** — on interrupt-driven stacks (TCP/IP) receive
+  processing serializes on one CPU per node (``irq_free``); with two
+  ranks per node both streams share it, which is the paper's explanation
+  for the dual-processor collapse on TCP (Sec. 4.3).
+* **Congestion-dependent efficiency** — each transfer samples a
+  lognormal efficiency whose mean and spread degrade with the number of
+  transfers in flight, reproducing the throughput variability of Figure 7
+  that "starts abruptly with four processors".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .machine import ClusterSpec
+from .network import IntranodeParams, NetworkParams
+
+__all__ = ["TransferPlan", "TransferRecord", "ClusterState"]
+
+#: No transfer drops below 6% of peak — even a collapsed TCP stream makes
+#: some progress between retransmit timeouts.
+_EFFICIENCY_FLOOR = 0.06
+
+
+@dataclass(frozen=True)
+class TransferPlan:
+    """Resolved timing of one message transfer."""
+
+    start: float  # instant the data begins to move
+    end: float  # instant the payload is fully delivered
+    nbytes: int
+    efficiency: float  # sampled fraction of peak bandwidth
+    intranode: bool
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def rate(self) -> float:
+        """Achieved payload rate in bytes/second."""
+        return self.nbytes / self.duration if self.duration > 0 else float("inf")
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One logged transfer (feeds the Figure 7 statistics)."""
+
+    start: float
+    end: float
+    src_node: int
+    dst_node: int
+    nbytes: int
+
+    @property
+    def rate(self) -> float:
+        return self.nbytes / (self.end - self.start) if self.end > self.start else 0.0
+
+
+@dataclass
+class _ActiveTransfers:
+    """Interval bookkeeping for the congestion estimate.
+
+    The congestion proxy is the *offered load*: how many transfers are
+    still pending (queued on a NIC or on the wire) when a new one is
+    requested.  Queued flows matter — TCP incast collapses under offered
+    load even though the NIC serializes the actual wire occupancy.
+    """
+
+    intervals: list[tuple[float, float]] = field(default_factory=list)
+    grace: float = 1.0  # seconds of history kept for late queries
+
+    def count_pending(self, t: float) -> int:
+        if len(self.intervals) > 4096:
+            cutoff = t - self.grace
+            self.intervals = [(s, e) for (s, e) in self.intervals if e > cutoff]
+        return sum(1 for (_s, e) in self.intervals if e > t)
+
+    def add(self, start: float, end: float) -> None:
+        self.intervals.append((start, end))
+
+
+class ClusterState:
+    """Mutable per-run network state for one simulated cluster."""
+
+    def __init__(self, spec: ClusterSpec) -> None:
+        self.spec = spec
+        self.net: NetworkParams = spec.network
+        self.nic_free = np.zeros(spec.n_nodes, dtype=np.float64)
+        self.irq_free = np.zeros(spec.n_nodes, dtype=np.float64)
+        self.rng = np.random.default_rng(spec.seed)
+        self._active = _ActiveTransfers()
+        self.transfers: list[TransferRecord] = []
+        # dual-CPU nodes on interrupt-driven stacks hit the SMP pathologies
+        self._smp = spec.node.cpus_per_node == 2 and spec.network.uses_interrupts
+        self._irq_cost = spec.network.irq_cost * (
+            spec.network.smp_irq_multiplier if self._smp else 1.0
+        )
+
+    # ------------------------------------------------------------------
+    def sample_efficiency(self, at_time: float) -> float:
+        """Fraction of peak bandwidth for a transfer requested at ``at_time``."""
+        net = self.net
+        k = self._active.count_pending(at_time)  # queued + in-flight transfers
+        mean = net.base_efficiency * float(np.exp(-net.congestion_sensitivity * k))
+        sigma = min(net.variability + net.congestion_variability * k, 1.0)
+        if sigma <= 0:
+            return float(np.clip(mean, _EFFICIENCY_FLOOR, 1.0))
+        draw = mean * float(self.rng.lognormal(mean=-0.5 * sigma * sigma, sigma=sigma))
+        return float(np.clip(draw, _EFFICIENCY_FLOOR, 1.0))
+
+    # ------------------------------------------------------------------
+    def plan_transfer(
+        self, src_node: int, dst_node: int, nbytes: int, ready_time: float
+    ) -> TransferPlan:
+        """Decide when a payload moves and when it is fully delivered.
+
+        ``ready_time`` is the earliest instant the transfer may begin
+        (sender data available, and for rendezvous messages the handshake
+        completion).
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        net = self.net
+        if src_node == dst_node:
+            return self._plan_intranode(dst_node, nbytes, ready_time, net.intranode)
+
+        start = float(max(ready_time, self.nic_free[src_node], self.nic_free[dst_node]))
+        eff = self.sample_efficiency(ready_time)
+        if self._smp:
+            eff *= net.smp_efficiency_penalty
+        occupancy = nbytes / (net.bandwidth * eff)
+        wire = net.latency + occupancy + net.packets(nbytes) * net.packet_overhead
+        self.nic_free[src_node] = start + occupancy
+        self.nic_free[dst_node] = start + occupancy
+        end = start + wire
+
+        if net.uses_interrupts:
+            irq_time = net.packets(nbytes) * self._irq_cost
+            irq_start = float(max(end - irq_time, self.irq_free[dst_node]))
+            end = irq_start + irq_time
+            self.irq_free[dst_node] = end
+
+        self._active.add(start, end)
+        self.transfers.append(
+            TransferRecord(start=start, end=end, src_node=src_node, dst_node=dst_node, nbytes=nbytes)
+        )
+        return TransferPlan(start=start, end=end, nbytes=nbytes, efficiency=eff, intranode=False)
+
+    # ------------------------------------------------------------------
+    def _plan_intranode(
+        self, node: int, nbytes: int, ready_time: float, path: IntranodeParams
+    ) -> TransferPlan:
+        start = float(ready_time)
+        duration = path.latency + nbytes / path.bandwidth
+        end = start + duration
+        if path.uses_interrupts:
+            # loopback still raises softirqs; serialize on the node's
+            # interrupt CPU like a real receive
+            irq_time = self.net.packets(nbytes) * self._irq_cost
+            irq_start = float(max(end - irq_time, self.irq_free[node]))
+            end = irq_start + irq_time
+            self.irq_free[node] = end
+        return TransferPlan(start=start, end=end, nbytes=nbytes, efficiency=1.0, intranode=True)

@@ -1,0 +1,5 @@
+"""CMPI: CHARMM's portable middleware layer (split ops + neighbour sync)."""
+
+from .middleware import CMPIMiddleware
+
+__all__ = ["CMPIMiddleware"]

@@ -1,0 +1,71 @@
+"""Experimental designs over the platform factor space.
+
+The paper gathers the full factorial (all 12 platform points) but reports
+a *fractional factorial design centred on the focal point*: vary one
+factor at a time, moving along the axes of Figure 1 (Sec. 3.1).  Both
+designs are provided, plus processor-count sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .factors import FOCAL_POINT, FactorSpace, PlatformConfig
+
+__all__ = ["DesignPoint", "full_factorial", "one_factor_at_a_time", "PROCESSOR_LEVELS"]
+
+#: The processor counts of every chart in the paper.
+PROCESSOR_LEVELS: tuple[int, ...] = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One run to execute: a platform config at one processor count."""
+
+    config: PlatformConfig
+    n_ranks: int
+    replicate: int = 0
+
+    def label(self) -> str:
+        return f"{self.config.label()} p={self.n_ranks}"
+
+
+def full_factorial(
+    space: FactorSpace | None = None,
+    processor_levels: tuple[int, ...] = PROCESSOR_LEVELS,
+    replicates: int = 1,
+) -> list[DesignPoint]:
+    """Every platform point at every processor count."""
+    space = space or FactorSpace()
+    if replicates < 1:
+        raise ValueError("replicates must be >= 1")
+    return [
+        DesignPoint(config=cfg, n_ranks=p, replicate=r)
+        for cfg in space.points()
+        for p in processor_levels
+        for r in range(replicates)
+    ]
+
+
+def one_factor_at_a_time(
+    space: FactorSpace | None = None,
+    focal: PlatformConfig = FOCAL_POINT,
+    processor_levels: tuple[int, ...] = PROCESSOR_LEVELS,
+) -> list[DesignPoint]:
+    """The paper's fractional design: move along one axis at a time.
+
+    Includes the focal point itself once, then each off-focal level of
+    each factor, each at every processor count.
+    """
+    space = space or FactorSpace()
+    configs: list[PlatformConfig] = [focal]
+    for factor in space.factors:
+        focal_level = getattr(focal, factor.name)
+        for level in factor.levels:
+            if level != focal_level:
+                configs.append(focal.with_level(factor.name, level))
+    return [
+        DesignPoint(config=cfg, n_ranks=p)
+        for cfg in configs
+        for p in processor_levels
+    ]

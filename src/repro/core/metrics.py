@@ -1,0 +1,89 @@
+"""Parallel-performance metrics derived from response records.
+
+Speedup, parallel efficiency, the Karp-Flatt experimentally determined
+serial fraction, and a crossover finder — the quantities one reads off
+scaling charts like the paper's Figures 3/5 when deciding how many
+processors to give a single calculation (the question the paper poses in
+its conclusion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .responses import ResponseRecord
+
+__all__ = [
+    "ScalingMetrics",
+    "scaling_metrics",
+    "karp_flatt",
+    "recommended_processors",
+]
+
+
+@dataclass(frozen=True)
+class ScalingMetrics:
+    """Scaling numbers for one processor count relative to serial."""
+
+    n_ranks: int
+    time: float
+    speedup: float
+    efficiency: float
+    serial_fraction: float | None  # Karp-Flatt; None at p=1
+
+
+def karp_flatt(speedup: float, p: int) -> float:
+    """Experimentally determined serial fraction ``e``.
+
+    ``e = (1/S - 1/p) / (1 - 1/p)``.  Rising ``e`` with ``p`` signals
+    overhead growth (not just Amdahl saturation).
+    """
+    if p < 2:
+        raise ValueError("Karp-Flatt needs p >= 2")
+    if speedup <= 0:
+        raise ValueError("speedup must be positive")
+    return (1.0 / speedup - 1.0 / p) / (1.0 - 1.0 / p)
+
+
+def scaling_metrics(records: Sequence[ResponseRecord]) -> list[ScalingMetrics]:
+    """Per-record scaling metrics relative to the p=1 entry.
+
+    ``records`` must contain exactly one record with ``n_ranks == 1`` and
+    be all from the same platform configuration.
+    """
+    serial = [r for r in records if r.n_ranks == 1]
+    if len(serial) != 1:
+        raise ValueError("need exactly one serial (p=1) record")
+    t1 = serial[0].total_time
+    out = []
+    for r in sorted(records, key=lambda r: r.n_ranks):
+        s = t1 / r.total_time if r.total_time > 0 else float("inf")
+        out.append(
+            ScalingMetrics(
+                n_ranks=r.n_ranks,
+                time=r.total_time,
+                speedup=s,
+                efficiency=s / r.n_ranks,
+                serial_fraction=None if r.n_ranks == 1 else karp_flatt(s, r.n_ranks),
+            )
+        )
+    return out
+
+
+def recommended_processors(
+    records: Sequence[ResponseRecord], min_efficiency: float = 0.5
+) -> int:
+    """Largest processor count whose parallel efficiency stays acceptable.
+
+    The paper's practical question: 'which number of processors can be
+    assigned to a single calculation ... until we reach the limits of
+    scalability'.
+    """
+    if not 0 < min_efficiency <= 1:
+        raise ValueError("min_efficiency must be in (0, 1]")
+    best = 1
+    for m in scaling_metrics(records):
+        if m.efficiency >= min_efficiency and m.n_ranks > best:
+            best = m.n_ranks
+    return best

@@ -1,0 +1,97 @@
+"""The characterization runner: execute design points, collect responses.
+
+This is the paper's measurement harness: for each design point it runs
+the 10-step MD energy calculation on the simulated platform and records
+the response variables.  Results are memoized per runner instance so the
+figure drivers can share runs (several figures slice the same design).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..md.system import MDSystem
+from ..parallel.costmodel import PIII_1GHZ, MachineCostModel
+from ..parallel.pmd import MDRunConfig
+from ..parallel.result import ParallelRunResult
+from ..parallel.run import run_parallel_md
+from .design import DesignPoint
+from .factors import PlatformConfig
+from .responses import ResponseRecord
+
+__all__ = ["CharacterizationRunner"]
+
+
+@dataclass
+class CharacterizationRunner:
+    """Runs design points over one workload.
+
+    Parameters
+    ----------
+    system:
+        The MD system under study (the paper's myoglobin benchmark, or
+        any other workload).
+    positions:
+        Initial coordinates.
+    config:
+        MD run parameters; the paper measures 10 steps.
+    cost:
+        Machine cost model.
+    base_seed:
+        Per-point seeds are derived deterministically from this.
+    """
+
+    system: MDSystem
+    positions: np.ndarray
+    config: MDRunConfig = field(default_factory=MDRunConfig)
+    cost: MachineCostModel = PIII_1GHZ
+    base_seed: int = 2002
+
+    _cache: dict[tuple, ParallelRunResult] = field(default_factory=dict, init=False)
+
+    # ------------------------------------------------------------------
+    def _point_seed(self, point: DesignPoint) -> int:
+        """Deterministic, distinct seed per design point and replicate."""
+        key = (
+            point.config.network,
+            point.config.middleware,
+            point.config.cpus_per_node,
+            point.n_ranks,
+            point.replicate,
+        )
+        return (self.base_seed + hash(key)) % (2**31 - 1)
+
+    def run_point(self, point: DesignPoint) -> ParallelRunResult:
+        """Execute (or recall) one design point."""
+        key = (
+            point.config.network,
+            point.config.middleware,
+            point.config.cpus_per_node,
+            point.n_ranks,
+            point.replicate,
+        )
+        if key not in self._cache:
+            spec = point.config.cluster_spec(point.n_ranks, seed=self._point_seed(point))
+            self._cache[key] = run_parallel_md(
+                self.system,
+                self.positions,
+                spec,
+                middleware=point.config.middleware,
+                config=self.config,
+                cost=self.cost,
+            )
+        return self._cache[key]
+
+    # ------------------------------------------------------------------
+    def measure(self, points: list[DesignPoint]) -> list[ResponseRecord]:
+        """Run a whole design; returns one response row per point."""
+        return [ResponseRecord.from_run(p, self.run_point(p)) for p in points]
+
+    def sweep(
+        self, config: PlatformConfig, processor_levels: tuple[int, ...] = (1, 2, 4, 8)
+    ) -> list[ResponseRecord]:
+        """Processor-count sweep at a fixed platform configuration."""
+        points = [DesignPoint(config=config, n_ranks=p) for p in processor_levels]
+        return self.measure(points)

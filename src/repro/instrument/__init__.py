@@ -1,0 +1,13 @@
+"""Instrumentation: per-rank timelines and communication-rate statistics."""
+
+from .commstats import MIN_DATA_BYTES, CommSpeedStats, communication_speeds
+from .timeline import Category, PhaseTotals, Timeline
+
+__all__ = [
+    "Category",
+    "CommSpeedStats",
+    "communication_speeds",
+    "MIN_DATA_BYTES",
+    "PhaseTotals",
+    "Timeline",
+]

@@ -1,0 +1,59 @@
+"""Communication-rate statistics (the paper's Figure 7 metric).
+
+Figure 7 plots, per network and processor count, the *average and
+variability of the communication speed per node* in MByte/s: how fast the
+data actually moved when a node was transferring, with min/max whiskers
+exposing the TCP flow-control instability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.state import TransferRecord
+
+__all__ = ["CommSpeedStats", "communication_speeds"]
+
+#: Transfers smaller than this are latency-dominated and excluded from the
+#: rate statistics, mirroring how the paper measures data-transfer speed.
+MIN_DATA_BYTES = 8 * 1024
+
+
+@dataclass(frozen=True)
+class CommSpeedStats:
+    """Per-node communication speed summary in MByte/s."""
+
+    mean: float
+    minimum: float
+    maximum: float
+    n_transfers: int
+
+    @property
+    def spread(self) -> float:
+        return self.maximum - self.minimum
+
+
+def communication_speeds(
+    transfers: list[TransferRecord], min_bytes: int = MIN_DATA_BYTES
+) -> CommSpeedStats:
+    """Summarize achieved per-transfer rates across all nodes.
+
+    Only inter-node data transfers at least ``min_bytes`` long count; the
+    mean weights every transfer equally (each is one observation of what a
+    node achieved), matching the paper's per-node speed plot.
+    """
+    rates = np.array(
+        [t.rate for t in transfers if t.nbytes >= min_bytes and t.end > t.start],
+        dtype=np.float64,
+    )
+    if len(rates) == 0:
+        return CommSpeedStats(mean=0.0, minimum=0.0, maximum=0.0, n_transfers=0)
+    mb = rates / 1e6
+    return CommSpeedStats(
+        mean=float(mb.mean()),
+        minimum=float(mb.min()),
+        maximum=float(mb.max()),
+        n_transfers=len(mb),
+    )

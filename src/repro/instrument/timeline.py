@@ -1,0 +1,126 @@
+"""Per-rank time accounting: computation / communication / synchronization.
+
+The paper's response variables (Sec. 3.2): wall-clock time per energy
+component, split into *computation*, time spent moving data
+(*communication*) and time spent in control transfer and waiting
+(*synchronization*).  Every virtual second a rank spends is attributed to
+exactly one ``(phase, category)`` cell of its :class:`Timeline`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["Category", "PhaseTotals", "Timeline"]
+
+
+class Category:
+    """Time categories (string enum)."""
+
+    COMP = "comp"
+    COMM = "comm"
+    SYNC = "sync"
+
+    ALL = (COMP, COMM, SYNC)
+
+
+@dataclass
+class PhaseTotals:
+    """Seconds per category inside one phase."""
+
+    comp: float = 0.0
+    comm: float = 0.0
+    sync: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.comp + self.comm + self.sync
+
+    def add(self, category: str, dt: float) -> None:
+        if dt < 0:
+            raise ValueError(f"negative time increment {dt}")
+        if category == Category.COMP:
+            self.comp += dt
+        elif category == Category.COMM:
+            self.comm += dt
+        elif category == Category.SYNC:
+            self.sync += dt
+        else:
+            raise ValueError(f"unknown category {category!r}")
+
+    def __add__(self, other: "PhaseTotals") -> "PhaseTotals":
+        return PhaseTotals(
+            comp=self.comp + other.comp,
+            comm=self.comm + other.comm,
+            sync=self.sync + other.sync,
+        )
+
+    def fractions(self) -> dict[str, float]:
+        """Category shares of the phase total (all zero for an empty phase)."""
+        t = self.total
+        if t <= 0:
+            return {c: 0.0 for c in Category.ALL}
+        return {"comp": self.comp / t, "comm": self.comm / t, "sync": self.sync / t}
+
+
+@dataclass
+class Timeline:
+    """Accumulates attributed time for one rank.
+
+    The *current phase* is a dynamic label (``"classic"``, ``"pme"``, ...)
+    set with the :meth:`phase` context manager; all ``add`` calls attribute
+    to it.
+    """
+
+    phases: dict[str, PhaseTotals] = field(default_factory=dict)
+    _current: str = "default"
+    _forced: str | None = None
+
+    @property
+    def current_phase(self) -> str:
+        return self._current
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        previous = self._current
+        self._current = name
+        try:
+            yield
+        finally:
+            self._current = previous
+
+    @contextmanager
+    def as_category(self, category: str) -> Iterator[None]:
+        """Force every ``add`` in the block into ``category``.
+
+        Used for barriers and middleware synchronization: the paper books
+        the whole cost of control-transfer operations as *synchronization*
+        even though they move (one-byte) messages.
+        """
+        if category not in Category.ALL:
+            raise ValueError(f"unknown category {category!r}")
+        previous = self._forced
+        self._forced = category
+        try:
+            yield
+        finally:
+            self._forced = previous
+
+    def add(self, category: str, dt: float) -> None:
+        effective = self._forced if self._forced is not None else category
+        self.phases.setdefault(self._current, PhaseTotals()).add(effective, dt)
+
+    # ------------------------------------------------------------------
+    def phase_totals(self, name: str) -> PhaseTotals:
+        return self.phases.get(name, PhaseTotals())
+
+    def grand_total(self) -> PhaseTotals:
+        out = PhaseTotals()
+        for totals in self.phases.values():
+            out = out + totals
+        return out
+
+    def total_seconds(self) -> float:
+        return self.grand_total().total

@@ -1,0 +1,82 @@
+"""CHARMM-style molecular dynamics engine (the paper's application substrate).
+
+Public surface:
+
+* :class:`~repro.md.topology.Topology` and friends — molecular structure.
+* :func:`~repro.md.forcefield.default_forcefield` — parameter tables.
+* :class:`~repro.md.box.PeriodicBox`, :class:`~repro.md.cutoff.CutoffScheme`.
+* :class:`~repro.md.system.MDSystem` — energy/force evaluators with the
+  classic/PME split the paper characterizes.
+* :class:`~repro.md.integrator.VelocityVerlet` — dynamics.
+"""
+
+from .bonded import BondedTables, bonded_energy_forces
+from .box import PeriodicBox
+from .constraints import (
+    ConstrainedVerlet,
+    ConstraintSet,
+    hydrogen_bond_constraints,
+    rigid_water_constraints,
+)
+from .cutoff import CutoffScheme, shift_function, switch_function
+from .energy import EnergyBreakdown
+from .forcefield import ForceField, default_forcefield
+from .integrator import MDState, VelocityVerlet, kinetic_energy, maxwell_boltzmann_velocities
+from .io import read_pdb_coordinates, read_xyz, write_pdb, write_xyz
+from .neighborlist import NeighborList, brute_force_pairs
+from .nonbonded import NonbondedKernel, PairEnergies
+from .observables import (
+    center_of_mass,
+    dipole_moment,
+    mean_squared_displacement,
+    radius_of_gyration,
+    rmsd,
+    temperature,
+)
+from .system import ElectrostaticsModel, MDSystem
+from .thermostats import BerendsenThermostat, VelocityRescale
+from .topology import Angle, Atom, Bond, Dihedral, Improper, Topology
+
+__all__ = [
+    "Angle",
+    "Atom",
+    "BerendsenThermostat",
+    "Bond",
+    "center_of_mass",
+    "ConstrainedVerlet",
+    "ConstraintSet",
+    "dipole_moment",
+    "hydrogen_bond_constraints",
+    "rigid_water_constraints",
+    "mean_squared_displacement",
+    "radius_of_gyration",
+    "read_pdb_coordinates",
+    "read_xyz",
+    "rmsd",
+    "temperature",
+    "VelocityRescale",
+    "write_pdb",
+    "write_xyz",
+    "BondedTables",
+    "bonded_energy_forces",
+    "brute_force_pairs",
+    "CutoffScheme",
+    "Dihedral",
+    "ElectrostaticsModel",
+    "EnergyBreakdown",
+    "ForceField",
+    "default_forcefield",
+    "Improper",
+    "kinetic_energy",
+    "maxwell_boltzmann_velocities",
+    "MDState",
+    "MDSystem",
+    "NeighborList",
+    "NonbondedKernel",
+    "PairEnergies",
+    "PeriodicBox",
+    "shift_function",
+    "switch_function",
+    "Topology",
+    "VelocityVerlet",
+]

@@ -1,0 +1,283 @@
+"""Holonomic distance constraints: SHAKE / RATTLE.
+
+CHARMM production runs constrain X-H bonds (and keep waters rigid) so the
+timestep can reach 2 fs.  This module provides:
+
+* :class:`ConstraintSet` — iterative SHAKE position projection and the
+  RATTLE velocity projection;
+* :func:`hydrogen_bond_constraints` — every bond involving a hydrogen, at
+  its force-field equilibrium length;
+* :func:`rigid_water_constraints` — three distance constraints per water
+  (O-H, O-H, H-H), making TIP3-like waters fully rigid;
+* :class:`ConstrainedVerlet` — velocity Verlet with both projections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .box import PeriodicBox
+from .energy import EnergyBreakdown
+from .forcefield import ForceField
+from .integrator import MDState
+from .system import MDSystem
+from .topology import Topology
+from .units import ACCEL_CONVERT
+
+__all__ = [
+    "ConstraintSet",
+    "ConstrainedVerlet",
+    "hydrogen_bond_constraints",
+    "rigid_water_constraints",
+]
+
+
+@dataclass
+class ConstraintSet:
+    """A set of pairwise distance constraints ``|r_i - r_j| = d``.
+
+    Parameters
+    ----------
+    pairs:
+        Integer array of shape (n_constraints, 2).
+    distances:
+        Target distances (A), shape (n_constraints,).
+    tolerance:
+        Convergence criterion on the *relative* squared-distance error.
+    max_iterations:
+        SHAKE/RATTLE Gauss-Seidel sweep limit; exceeded -> RuntimeError.
+    """
+
+    pairs: np.ndarray
+    distances: np.ndarray
+    tolerance: float = 1e-10
+    max_iterations: int = 500
+
+    def __post_init__(self) -> None:
+        self.pairs = np.asarray(self.pairs, dtype=np.int64).reshape(-1, 2)
+        self.distances = np.asarray(self.distances, dtype=np.float64).reshape(-1)
+        if len(self.pairs) != len(self.distances):
+            raise ValueError("pairs/distances length mismatch")
+        if np.any(self.distances <= 0):
+            raise ValueError("constraint distances must be positive")
+        if len(self.pairs) and np.any(self.pairs[:, 0] == self.pairs[:, 1]):
+            raise ValueError("constraint cannot join an atom to itself")
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def n_constraints(self) -> int:
+        return len(self.pairs)
+
+    # ------------------------------------------------------------------
+    def project_positions(
+        self,
+        old_positions: np.ndarray,
+        new_positions: np.ndarray,
+        masses: np.ndarray,
+        box: PeriodicBox | None = None,
+    ) -> np.ndarray:
+        """SHAKE: adjust ``new_positions`` so every constraint holds.
+
+        ``old_positions`` must satisfy the constraints (the corrections
+        act along the old bond vectors).  Returns the corrected positions.
+        """
+        if len(self.pairs) == 0:
+            return new_positions.copy()
+        pos = new_positions.copy()
+        inv_m = 1.0 / masses
+        i = self.pairs[:, 0]
+        j = self.pairs[:, 1]
+        d2 = self.distances**2
+
+        def wrap(v: np.ndarray) -> np.ndarray:
+            return box.min_image(v) if box is not None else v
+
+        r_old = wrap(old_positions[i] - old_positions[j])
+        for _sweep in range(self.max_iterations):
+            r_new = wrap(pos[i] - pos[j])
+            diff = np.einsum("ij,ij->i", r_new, r_new) - d2
+            if np.all(np.abs(diff) < self.tolerance * d2):
+                return pos
+            # Gauss-Seidel: apply each violated constraint in sequence
+            for c in np.nonzero(np.abs(diff) >= self.tolerance * d2)[0]:
+                a, b = i[c], j[c]
+                s = wrap(pos[a] - pos[b])
+                denom = 2.0 * (inv_m[a] + inv_m[b]) * float(s @ r_old[c])
+                if abs(denom) < 1e-14:
+                    raise RuntimeError(
+                        f"SHAKE constraint {c} degenerate (perpendicular update)"
+                    )
+                g = (float(s @ s) - d2[c]) / denom
+                pos[a] -= g * inv_m[a] * r_old[c]
+                pos[b] += g * inv_m[b] * r_old[c]
+        raise RuntimeError(f"SHAKE did not converge in {self.max_iterations} sweeps")
+
+    # ------------------------------------------------------------------
+    def project_velocities(
+        self,
+        positions: np.ndarray,
+        velocities: np.ndarray,
+        masses: np.ndarray,
+        box: PeriodicBox | None = None,
+    ) -> np.ndarray:
+        """RATTLE: remove velocity components along the constraints."""
+        if len(self.pairs) == 0:
+            return velocities.copy()
+        vel = velocities.copy()
+        inv_m = 1.0 / masses
+        i = self.pairs[:, 0]
+        j = self.pairs[:, 1]
+        d2 = self.distances**2
+
+        def wrap(v: np.ndarray) -> np.ndarray:
+            return box.min_image(v) if box is not None else v
+
+        r = wrap(positions[i] - positions[j])
+        for _sweep in range(self.max_iterations):
+            v_rel = vel[i] - vel[j]
+            rv = np.einsum("ij,ij->i", r, v_rel)
+            # velocity tolerance: A/ps along the bond, scaled by d
+            if np.all(np.abs(rv) < self.tolerance * d2 / 1e-3):
+                return vel
+            for c in np.nonzero(np.abs(rv) >= self.tolerance * d2 / 1e-3)[0]:
+                a, b = i[c], j[c]
+                k = rv[c] / (d2[c] * (inv_m[a] + inv_m[b]))
+                vel[a] -= k * inv_m[a] * r[c]
+                vel[b] += k * inv_m[b] * r[c]
+        raise RuntimeError(f"RATTLE did not converge in {self.max_iterations} sweeps")
+
+
+# ----------------------------------------------------------------------
+def hydrogen_bond_constraints(
+    topology: Topology, forcefield: ForceField
+) -> ConstraintSet:
+    """Constrain every bond that involves a hydrogen at its r0."""
+    pairs = []
+    dists = []
+    types = topology.type_names
+    for b in topology.bonds:
+        mi = topology.atoms[b.i].mass
+        mj = topology.atoms[b.j].mass
+        if min(mi, mj) < 3.5:  # a hydrogen
+            pairs.append((b.i, b.j))
+            dists.append(forcefield.bond_params(types[b.i], types[b.j]).r0)
+    return ConstraintSet(np.array(pairs or np.empty((0, 2))), np.array(dists))
+
+
+def rigid_water_constraints(topology: Topology, forcefield: ForceField) -> ConstraintSet:
+    """Three constraints per TIP3-like water: O-H1, O-H2 and H1-H2."""
+    import math
+
+    r_oh = forcefield.bond_params("OT", "HT").r0
+    theta = forcefield.angle_params("HT", "OT", "HT").theta0
+    r_hh = 2.0 * r_oh * math.sin(theta / 2.0)
+
+    pairs = []
+    dists = []
+    by_residue: dict[tuple[str, int], list[int]] = {}
+    for idx, atom in enumerate(topology.atoms):
+        if atom.residue == "TIP3":
+            by_residue.setdefault((atom.segment, atom.residue_index), []).append(idx)
+    for atoms in by_residue.values():
+        if len(atoms) != 3:
+            raise ValueError(f"malformed water residue: atoms {atoms}")
+        o, h1, h2 = atoms  # builder order: OH2, H1, H2
+        pairs += [(o, h1), (o, h2), (h1, h2)]
+        dists += [r_oh, r_oh, r_hh]
+    return ConstraintSet(np.array(pairs or np.empty((0, 2))), np.array(dists))
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class ConstrainedVerlet:
+    """Velocity Verlet with SHAKE/RATTLE projections.
+
+    The constrained degrees of freedom are removed from the dynamics, so
+    a 3-constraint rigid water loses exactly its three fastest modes and
+    the timestep can grow accordingly.
+    """
+
+    system: MDSystem
+    constraints: ConstraintSet
+    dt: float = 0.002
+    n_force_evals: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.dt <= 0:
+            raise ValueError("dt must be positive")
+
+    def initialize(
+        self,
+        positions: np.ndarray,
+        velocities: np.ndarray | None = None,
+        temperature: float = 300.0,
+        seed: int = 2002,
+    ) -> MDState:
+        """Build the initial state; velocities are RATTLE-projected."""
+        from .integrator import maxwell_boltzmann_velocities
+
+        positions = np.asarray(positions, dtype=np.float64)
+        if velocities is None:
+            rng = np.random.default_rng(seed)
+            velocities = maxwell_boltzmann_velocities(
+                self.system.masses, temperature, rng
+            )
+        velocities = self.constraints.project_velocities(
+            positions, np.asarray(velocities, dtype=np.float64), self.system.masses,
+            self.system.box,
+        )
+        potential, forces = self.system.energy_forces(positions)
+        self.n_force_evals += 1
+        return MDState(
+            positions=positions.copy(),
+            velocities=velocities,
+            forces=forces,
+            potential=potential,
+        )
+
+    def step(self, state: MDState) -> MDState:
+        """One constrained velocity-Verlet step (SHAKE + RATTLE)."""
+        masses = self.system.masses[:, None]
+        box = self.system.box
+        accel = state.forces / masses * ACCEL_CONVERT
+
+        half_v = state.velocities + 0.5 * self.dt * accel
+        trial = state.positions + self.dt * half_v
+        new_pos = self.constraints.project_positions(
+            state.positions, trial, self.system.masses, box
+        )
+        # the projection is part of the position update: fold it back into
+        # the half-step velocity
+        half_v = (new_pos - state.positions) / self.dt
+
+        potential, new_forces = self.system.energy_forces(new_pos)
+        self.n_force_evals += 1
+        new_v = half_v + 0.5 * self.dt * (new_forces / masses * ACCEL_CONVERT)
+        new_v = self.constraints.project_velocities(
+            new_pos, new_v, self.system.masses, box
+        )
+
+        return MDState(
+            positions=new_pos,
+            velocities=new_v,
+            forces=new_forces,
+            potential=potential,
+            step=state.step + 1,
+        )
+
+    def run(self, state: MDState, n_steps: int) -> MDState:
+        """Advance ``n_steps`` constrained timesteps."""
+        if n_steps < 0:
+            raise ValueError("n_steps must be non-negative")
+        for _ in range(n_steps):
+            state = self.step(state)
+        return state
+
+    @property
+    def n_dof(self) -> int:
+        """Kinetic degrees of freedom (3N - 3 - constraints)."""
+        return 3 * self.system.n_atoms - 3 - self.constraints.n_constraints

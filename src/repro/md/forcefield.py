@@ -1,0 +1,270 @@
+"""Force-field parameter tables.
+
+A deliberately small, self-contained parameter set in the spirit of the
+CHARMM all-atom force field: harmonic bonds and angles, cosine dihedrals,
+harmonic impropers and 12-6 Lennard-Jones non-bonded parameters with
+Lorentz-Berthelot combination.
+
+The numerical values are CHARMM-like (same orders of magnitude and
+functional forms) but trimmed to the atom types the synthetic workloads in
+:mod:`repro.workloads` emit.  The engine validates at system-build time that
+every type referenced by a topology has parameters, so extending the tables
+is a pure data change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+__all__ = [
+    "LJParams",
+    "BondParams",
+    "AngleParams",
+    "DihedralParams",
+    "ImproperParams",
+    "ForceField",
+    "default_forcefield",
+]
+
+
+@dataclass(frozen=True)
+class LJParams:
+    """Lennard-Jones well depth (kcal/mol) and Rmin/2 (A), CHARMM convention."""
+
+    epsilon: float
+    rmin_half: float
+
+    def __post_init__(self) -> None:
+        if self.epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        if self.rmin_half <= 0:
+            raise ValueError("rmin_half must be positive")
+
+
+@dataclass(frozen=True)
+class BondParams:
+    """Harmonic bond: ``E = kb * (r - r0)**2`` (CHARMM convention, no 1/2)."""
+
+    kb: float
+    r0: float
+
+
+@dataclass(frozen=True)
+class AngleParams:
+    """Harmonic angle: ``E = ktheta * (theta - theta0)**2``, theta0 in radians."""
+
+    ktheta: float
+    theta0: float
+
+
+@dataclass(frozen=True)
+class DihedralParams:
+    """Cosine dihedral: ``E = kchi * (1 + cos(n*chi - delta))``, delta in radians."""
+
+    kchi: float
+    n: int
+    delta: float
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("multiplicity n must be >= 1")
+
+
+@dataclass(frozen=True)
+class ImproperParams:
+    """Harmonic improper: ``E = kpsi * (psi - psi0)**2``, psi0 in radians."""
+
+    kpsi: float
+    psi0: float
+
+
+def _key2(a: str, b: str) -> tuple[str, str]:
+    return (a, b) if a <= b else (b, a)
+
+
+def _key3(a: str, b: str, c: str) -> tuple[str, str, str]:
+    return (a, b, c) if a <= c else (c, b, a)
+
+
+def _key4(a: str, b: str, c: str, d: str) -> tuple[str, str, str, str]:
+    return (a, b, c, d) if (b, a) <= (c, d) else (d, c, b, a)
+
+
+@dataclass
+class ForceField:
+    """Parameter lookup tables keyed by atom type names.
+
+    Bond/angle/dihedral/improper keys are canonicalized so that the reversed
+    type sequence maps to the same parameters.  Dihedral and improper lookups
+    fall back to a wildcard entry keyed ``("X", b, c, "X")`` when the exact
+    quadruple is absent, mirroring CHARMM's ``X`` wildcards.
+    """
+
+    lj: dict[str, LJParams] = field(default_factory=dict)
+    bonds: dict[tuple[str, str], BondParams] = field(default_factory=dict)
+    angles: dict[tuple[str, str, str], AngleParams] = field(default_factory=dict)
+    dihedrals: dict[tuple[str, str, str, str], DihedralParams] = field(default_factory=dict)
+    impropers: dict[tuple[str, str, str, str], ImproperParams] = field(default_factory=dict)
+
+    # -- registration ---------------------------------------------------
+    def add_lj(self, type_name: str, epsilon: float, rmin_half: float) -> None:
+        self.lj[type_name] = LJParams(epsilon, rmin_half)
+
+    def add_bond(self, a: str, b: str, kb: float, r0: float) -> None:
+        self.bonds[_key2(a, b)] = BondParams(kb, r0)
+
+    def add_angle(self, a: str, b: str, c: str, ktheta: float, theta0: float) -> None:
+        self.angles[_key3(a, b, c)] = AngleParams(ktheta, theta0)
+
+    def add_dihedral(
+        self, a: str, b: str, c: str, d: str, kchi: float, n: int, delta: float
+    ) -> None:
+        self.dihedrals[_key4(a, b, c, d)] = DihedralParams(kchi, n, delta)
+
+    def add_improper(
+        self, a: str, b: str, c: str, d: str, kpsi: float, psi0: float
+    ) -> None:
+        self.impropers[_key4(a, b, c, d)] = ImproperParams(kpsi, psi0)
+
+    # -- lookup ----------------------------------------------------------
+    def lj_params(self, type_name: str) -> LJParams:
+        try:
+            return self.lj[type_name]
+        except KeyError:
+            raise KeyError(f"no Lennard-Jones parameters for atom type {type_name!r}") from None
+
+    def bond_params(self, a: str, b: str) -> BondParams:
+        try:
+            return self.bonds[_key2(a, b)]
+        except KeyError:
+            raise KeyError(f"no bond parameters for types ({a!r}, {b!r})") from None
+
+    def angle_params(self, a: str, b: str, c: str) -> AngleParams:
+        try:
+            return self.angles[_key3(a, b, c)]
+        except KeyError:
+            raise KeyError(f"no angle parameters for types ({a!r}, {b!r}, {c!r})") from None
+
+    def dihedral_params(self, a: str, b: str, c: str, d: str) -> DihedralParams:
+        key = _key4(a, b, c, d)
+        if key in self.dihedrals:
+            return self.dihedrals[key]
+        wild = _key4("X", b, c, "X")
+        if wild in self.dihedrals:
+            return self.dihedrals[wild]
+        raise KeyError(f"no dihedral parameters for types ({a!r}, {b!r}, {c!r}, {d!r})")
+
+    def improper_params(self, a: str, b: str, c: str, d: str) -> ImproperParams:
+        key = _key4(a, b, c, d)
+        if key in self.impropers:
+            return self.impropers[key]
+        wild = _key4("X", b, c, "X")
+        if wild in self.impropers:
+            return self.impropers[wild]
+        raise KeyError(f"no improper parameters for types ({a!r}, {b!r}, {c!r}, {d!r})")
+
+    # -- vectorized extraction -------------------------------------------
+    def lj_tables(self, type_names: list[str]) -> tuple[np.ndarray, np.ndarray]:
+        """Per-atom (epsilon, rmin_half) arrays for the given atom types."""
+        eps = np.empty(len(type_names), dtype=np.float64)
+        rmh = np.empty(len(type_names), dtype=np.float64)
+        for i, t in enumerate(type_names):
+            p = self.lj_params(t)
+            eps[i] = p.epsilon
+            rmh[i] = p.rmin_half
+        return eps, rmh
+
+
+def default_forcefield() -> ForceField:
+    """The parameter set used by the built-in workloads.
+
+    Atom types
+    ----------
+    ``NH1``  backbone amide nitrogen          ``H``    polar hydrogen
+    ``CT1``  alpha carbon (CH1)               ``HB``   aliphatic hydrogen
+    ``CT2``  aliphatic CH2 carbon             ``HA``   nonpolar hydrogen
+    ``CT3``  aliphatic CH3 carbon             ``C``    carbonyl carbon
+    ``O``    carbonyl oxygen                  ``OT``   water oxygen (TIP3-like)
+    ``HT``   water hydrogen                   ``CM``   carbon monoxide C
+    ``OM``   carbon monoxide O                ``SUL``  sulfate S
+    ``OSL``  sulfate O
+    """
+    ff = ForceField()
+
+    # Lennard-Jones (epsilon kcal/mol, Rmin/2 A) — CHARMM22-like magnitudes.
+    ff.add_lj("NH1", 0.20, 1.85)
+    ff.add_lj("H", 0.046, 0.2245)
+    ff.add_lj("CT1", 0.02, 2.275)
+    ff.add_lj("CT2", 0.055, 2.175)
+    ff.add_lj("CT3", 0.08, 2.06)
+    ff.add_lj("HB", 0.022, 1.32)
+    ff.add_lj("HA", 0.022, 1.32)
+    ff.add_lj("C", 0.11, 2.0)
+    ff.add_lj("O", 0.12, 1.7)
+    ff.add_lj("OT", 0.1521, 1.7682)
+    ff.add_lj("HT", 0.046, 0.2245)
+    ff.add_lj("CM", 0.11, 2.1)
+    ff.add_lj("OM", 0.12, 1.7)
+    ff.add_lj("SUL", 0.47, 2.2)
+    ff.add_lj("OSL", 0.12, 1.7)
+
+    # Bonds (kb kcal/mol/A^2, r0 A)
+    ff.add_bond("NH1", "H", 440.0, 0.997)
+    ff.add_bond("NH1", "CT1", 320.0, 1.434)
+    ff.add_bond("CT1", "C", 250.0, 1.490)
+    ff.add_bond("C", "O", 620.0, 1.230)
+    ff.add_bond("C", "NH1", 370.0, 1.345)
+    ff.add_bond("CT1", "HB", 330.0, 1.080)
+    ff.add_bond("CT1", "CT2", 222.5, 1.538)
+    ff.add_bond("CT2", "HA", 309.0, 1.111)
+    ff.add_bond("CT2", "CT2", 222.5, 1.530)
+    ff.add_bond("CT2", "CT3", 222.5, 1.528)
+    ff.add_bond("CT3", "HA", 322.0, 1.111)
+    ff.add_bond("OT", "HT", 450.0, 0.9572)
+    ff.add_bond("CM", "OM", 1115.0, 1.128)
+    ff.add_bond("SUL", "OSL", 540.0, 1.448)
+
+    # Angles (ktheta kcal/mol/rad^2, theta0 rad)
+    rad = np.pi / 180.0
+    ff.add_angle("H", "NH1", "CT1", 35.0, 117.0 * rad)
+    ff.add_angle("NH1", "CT1", "C", 50.0, 107.0 * rad)
+    ff.add_angle("CT1", "C", "O", 80.0, 121.0 * rad)
+    ff.add_angle("CT1", "C", "NH1", 80.0, 116.5 * rad)
+    ff.add_angle("C", "NH1", "CT1", 50.0, 120.0 * rad)
+    ff.add_angle("C", "NH1", "H", 34.0, 123.0 * rad)
+    ff.add_angle("O", "C", "NH1", 80.0, 122.5 * rad)
+    ff.add_angle("NH1", "CT1", "HB", 48.0, 108.0 * rad)
+    ff.add_angle("HB", "CT1", "C", 50.0, 109.5 * rad)
+    ff.add_angle("NH1", "CT1", "CT2", 70.0, 113.5 * rad)
+    ff.add_angle("CT2", "CT1", "C", 52.0, 108.0 * rad)
+    ff.add_angle("HB", "CT1", "CT2", 35.0, 111.0 * rad)
+    ff.add_angle("CT1", "CT2", "HA", 33.4, 110.1 * rad)
+    ff.add_angle("CT1", "CT2", "CT2", 58.35, 113.5 * rad)
+    ff.add_angle("CT1", "CT2", "CT3", 58.35, 113.5 * rad)
+    ff.add_angle("HA", "CT2", "HA", 35.5, 109.0 * rad)
+    ff.add_angle("CT2", "CT2", "HA", 26.5, 110.1 * rad)
+    ff.add_angle("CT2", "CT2", "CT3", 58.0, 115.0 * rad)
+    ff.add_angle("CT2", "CT3", "HA", 34.6, 110.1 * rad)
+    ff.add_angle("CT3", "CT2", "HA", 34.6, 110.1 * rad)
+    ff.add_angle("HA", "CT3", "HA", 35.5, 108.4 * rad)
+    ff.add_angle("CT2", "CT2", "CT2", 58.35, 113.6 * rad)
+    ff.add_angle("HT", "OT", "HT", 55.0, 104.52 * rad)
+    ff.add_angle("H", "NH1", "H", 35.0, 120.0 * rad)  # N-terminus
+    ff.add_angle("O", "C", "O", 100.0, 118.0 * rad)  # C-terminus carboxylate
+    ff.add_angle("OSL", "SUL", "OSL", 85.0, 109.47 * rad)
+
+    # Dihedrals (kchi kcal/mol, n, delta rad) — wildcard backbone terms.
+    ff.add_dihedral("X", "CT1", "C", "X", 0.0, 1, 0.0)
+    ff.add_dihedral("X", "C", "NH1", "X", 2.5, 2, 180.0 * rad)
+    ff.add_dihedral("X", "NH1", "CT1", "X", 0.0, 1, 0.0)
+    ff.add_dihedral("X", "CT1", "CT2", "X", 0.20, 3, 0.0)
+    ff.add_dihedral("X", "CT2", "CT2", "X", 0.19, 3, 0.0)
+    ff.add_dihedral("X", "CT2", "CT3", "X", 0.16, 3, 0.0)
+
+    # Impropers — keep the peptide carbonyl planar.
+    ff.add_improper("O", "CT1", "NH1", "C", 120.0, 0.0)
+
+    return ff

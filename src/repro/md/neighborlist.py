@@ -1,0 +1,217 @@
+"""Cell-list based Verlet neighbour list.
+
+Builds the pair list that both the classic cutoff kernel and the PME
+direct-space kernel iterate over.  The build is fully vectorized: atoms are
+binned into cells at least ``list_cutoff`` wide, candidate pairs are drawn
+from each cell and its half-shell of neighbouring cells, and a single
+minimum-image distance filter produces the final list.
+
+The list carries a ``skin`` margin so it stays valid while no atom has moved
+more than ``skin / 2`` since the build (:meth:`NeighborList.needs_rebuild`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .box import PeriodicBox
+from .cutoff import CutoffScheme
+
+__all__ = ["NeighborList", "brute_force_pairs"]
+
+
+def brute_force_pairs(
+    positions: np.ndarray, box: PeriodicBox, cutoff: float
+) -> np.ndarray:
+    """All pairs (i < j) within ``cutoff`` by direct O(N^2) search.
+
+    Reference implementation used by the tests to validate the cell list;
+    chunked over rows to bound memory.
+    """
+    n = len(positions)
+    cutoff2 = cutoff * cutoff
+    chunks: list[np.ndarray] = []
+    chunk_rows = max(1, 2_000_000 // max(n, 1))
+    for start in range(0, n, chunk_rows):
+        stop = min(start + chunk_rows, n)
+        dr = positions[start:stop, None, :] - positions[None, :, :]
+        dr = box.min_image(dr)
+        d2 = np.einsum("ijk,ijk->ij", dr, dr)
+        ii, jj = np.nonzero(d2 <= cutoff2)
+        ii = ii + start
+        keep = ii < jj
+        chunks.append(np.stack([ii[keep], jj[keep]], axis=1))
+    if not chunks:
+        return np.empty((0, 2), dtype=np.int64)
+    pairs = np.concatenate(chunks, axis=0)
+    order = np.lexsort((pairs[:, 1], pairs[:, 0]))
+    return pairs[order].astype(np.int64)
+
+
+def _cell_grid(box: PeriodicBox, cutoff: float) -> tuple[np.ndarray, np.ndarray]:
+    """Number of cells per dimension and the cell edge lengths."""
+    n_cells = np.maximum(1, np.floor(box.lengths / cutoff).astype(np.int64))
+    return n_cells, box.lengths / n_cells
+
+
+def _neighbour_cell_pairs(n_cells: np.ndarray) -> np.ndarray:
+    """Unique unordered pairs of (linear) cell indices that can host a pair.
+
+    Includes the self pair (c, c).  With very small grids (fewer than three
+    cells along an axis) different offsets alias to the same neighbour, so
+    the result is deduplicated.
+    """
+    nx, ny, nz = (int(v) for v in n_cells)
+    coords = np.array(
+        [(x, y, z) for x in range(nx) for y in range(ny) for z in range(nz)],
+        dtype=np.int64,
+    )
+    lin = coords[:, 0] * ny * nz + coords[:, 1] * nz + coords[:, 2]
+
+    offsets = np.array(
+        [(dx, dy, dz) for dx in (-1, 0, 1) for dy in (-1, 0, 1) for dz in (-1, 0, 1)],
+        dtype=np.int64,
+    )
+    pairs: set[tuple[int, int]] = set()
+    for off in offsets:
+        nb = (coords + off) % np.array([nx, ny, nz])
+        nb_lin = nb[:, 0] * ny * nz + nb[:, 1] * nz + nb[:, 2]
+        for a, b in zip(lin, nb_lin):
+            pairs.add((min(int(a), int(b)), max(int(a), int(b))))
+    return np.array(sorted(pairs), dtype=np.int64)
+
+
+def _encode(pairs: np.ndarray, n_atoms: int) -> np.ndarray:
+    """Encode (i, j) pairs as i * n_atoms + j for fast membership tests."""
+    return pairs[:, 0] * np.int64(n_atoms) + pairs[:, 1]
+
+
+@dataclass
+class NeighborList:
+    """A rebuildable Verlet pair list with exclusions applied at build time.
+
+    Parameters
+    ----------
+    box:
+        The periodic box (fixed for the lifetime of the list).
+    scheme:
+        Cutoff parameters; pairs are collected out to
+        ``scheme.list_cutoff = r_cut + skin``.
+    exclusions:
+        Array of shape (n_excl, 2) with ``i < j`` rows to omit from the
+        list (bonded exclusions).
+    """
+
+    box: PeriodicBox
+    scheme: CutoffScheme
+    exclusions: np.ndarray = field(default_factory=lambda: np.empty((0, 2), dtype=np.int64))
+
+    pairs: np.ndarray = field(init=False, default_factory=lambda: np.empty((0, 2), dtype=np.int64))
+    _ref_positions: np.ndarray | None = field(init=False, default=None)
+    _excl_codes: np.ndarray | None = field(init=False, default=None)
+    n_builds: int = field(init=False, default=0)
+    #: candidate pairs examined by the last build (cost-model input)
+    last_candidates: int = field(init=False, default=0)
+    #: True when the most recent ``ensure`` call rebuilt the list
+    last_ensure_rebuilt: bool = field(init=False, default=False)
+
+    def __post_init__(self) -> None:
+        self.box.check_cutoff(self.scheme.r_cut)
+        if self.exclusions.size and np.any(self.exclusions[:, 0] >= self.exclusions[:, 1]):
+            raise ValueError("exclusion rows must satisfy i < j")
+
+    # ------------------------------------------------------------------
+    def build(self, positions: np.ndarray) -> np.ndarray:
+        """(Re)build the pair list for the given positions.
+
+        Returns the new ``pairs`` array of shape (n_pairs, 2), ``i < j``.
+        """
+        positions = np.asarray(positions, dtype=np.float64)
+        n = len(positions)
+        if self._excl_codes is None:
+            if self.exclusions.size:
+                self._excl_codes = np.sort(_encode(self.exclusions, n))
+            else:
+                self._excl_codes = np.empty(0, dtype=np.int64)
+
+        cutoff = self.scheme.list_cutoff
+        wrapped = self.box.wrap(positions)
+        n_cells, cell_len = _cell_grid(self.box, cutoff)
+        ny, nz = int(n_cells[1]), int(n_cells[2])
+
+        cell_xyz = np.minimum(
+            (wrapped / cell_len).astype(np.int64), n_cells - 1
+        )
+        cell_of_atom = cell_xyz[:, 0] * ny * nz + cell_xyz[:, 1] * nz + cell_xyz[:, 2]
+
+        order = np.argsort(cell_of_atom, kind="stable")
+        sorted_cells = cell_of_atom[order]
+        total_cells = int(np.prod(n_cells))
+        # start offset of each cell in the sorted atom order
+        starts = np.searchsorted(sorted_cells, np.arange(total_cells + 1))
+
+        cand_i: list[np.ndarray] = []
+        cand_j: list[np.ndarray] = []
+        for ca, cb in _neighbour_cell_pairs(n_cells):
+            atoms_a = order[starts[ca] : starts[ca + 1]]
+            if ca == cb:
+                m = len(atoms_a)
+                if m < 2:
+                    continue
+                iu, ju = np.triu_indices(m, k=1)
+                cand_i.append(atoms_a[iu])
+                cand_j.append(atoms_a[ju])
+            else:
+                atoms_b = order[starts[cb] : starts[cb + 1]]
+                if len(atoms_a) == 0 or len(atoms_b) == 0:
+                    continue
+                cand_i.append(np.repeat(atoms_a, len(atoms_b)))
+                cand_j.append(np.tile(atoms_b, len(atoms_a)))
+
+        if not cand_i:
+            self.last_candidates = 0
+            self.pairs = np.empty((0, 2), dtype=np.int64)
+        else:
+            ii = np.concatenate(cand_i)
+            jj = np.concatenate(cand_j)
+            self.last_candidates = len(ii)
+            lo = np.minimum(ii, jj)
+            hi = np.maximum(ii, jj)
+            dr = self.box.min_image(positions[lo] - positions[hi])
+            d2 = np.einsum("ij,ij->i", dr, dr)
+            keep = d2 <= cutoff * cutoff
+            lo, hi = lo[keep], hi[keep]
+            if self._excl_codes.size:
+                codes = lo * np.int64(n) + hi
+                keep2 = ~np.isin(codes, self._excl_codes, assume_unique=False)
+                lo, hi = lo[keep2], hi[keep2]
+            pair_order = np.lexsort((hi, lo))
+            self.pairs = np.stack([lo[pair_order], hi[pair_order]], axis=1)
+
+        self._ref_positions = positions.copy()
+        self.n_builds += 1
+        return self.pairs
+
+    # ------------------------------------------------------------------
+    def needs_rebuild(self, positions: np.ndarray) -> bool:
+        """True if any atom moved more than ``skin / 2`` since the build."""
+        if self._ref_positions is None:
+            return True
+        if self.scheme.skin == 0.0:
+            return True
+        dr = self.box.min_image(np.asarray(positions) - self._ref_positions)
+        max_disp2 = float(np.max(np.einsum("ij,ij->i", dr, dr))) if len(dr) else 0.0
+        return max_disp2 > (0.5 * self.scheme.skin) ** 2
+
+    def ensure(self, positions: np.ndarray) -> np.ndarray:
+        """Rebuild if required; return the current pair list."""
+        self.last_ensure_rebuilt = self.needs_rebuild(positions)
+        if self.last_ensure_rebuilt:
+            self.build(positions)
+        return self.pairs
+
+    @property
+    def n_pairs(self) -> int:
+        return len(self.pairs)

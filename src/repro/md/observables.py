@@ -1,0 +1,108 @@
+"""Trajectory observables: temperature, structure and transport metrics.
+
+Small, dependency-free analysis utilities a downstream MD user expects:
+instantaneous temperature, radius of gyration, RMSD (with optimal
+superposition), mean-squared displacement and a velocity distribution
+check.  All pure functions over numpy arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .box import PeriodicBox
+from .units import BOLTZMANN_KCAL, KINETIC_CONVERT
+
+__all__ = [
+    "temperature",
+    "radius_of_gyration",
+    "center_of_mass",
+    "rmsd",
+    "kabsch_rotation",
+    "mean_squared_displacement",
+    "dipole_moment",
+]
+
+
+def temperature(masses: np.ndarray, velocities: np.ndarray, n_constraints: int = 0) -> float:
+    """Instantaneous kinetic temperature in kelvin.
+
+    ``n_constraints`` reduces the degrees of freedom (3 are always removed
+    for the conserved centre-of-mass momentum).
+    """
+    n_dof = 3 * len(masses) - 3 - n_constraints
+    if n_dof <= 0:
+        raise ValueError("no kinetic degrees of freedom")
+    ke = 0.5 * float(np.sum(masses[:, None] * velocities**2)) / KINETIC_CONVERT
+    return 2.0 * ke / (n_dof * BOLTZMANN_KCAL)
+
+
+def center_of_mass(masses: np.ndarray, positions: np.ndarray) -> np.ndarray:
+    """Mass-weighted centroid."""
+    return (masses @ positions) / float(np.sum(masses))
+
+
+def radius_of_gyration(masses: np.ndarray, positions: np.ndarray) -> float:
+    """Mass-weighted radius of gyration (A)."""
+    com = center_of_mass(masses, positions)
+    d2 = np.einsum("ij,ij->i", positions - com, positions - com)
+    return float(np.sqrt((masses @ d2) / np.sum(masses)))
+
+
+def kabsch_rotation(moving: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Optimal rotation matrix aligning centred ``moving`` onto ``reference``.
+
+    Both inputs must already have zero centroid (Kabsch algorithm).
+    """
+    h = moving.T @ reference
+    u, _s, vt = np.linalg.svd(h)
+    d = np.sign(np.linalg.det(u @ vt))
+    correction = np.diag([1.0, 1.0, d])
+    return u @ correction @ vt
+
+
+def rmsd(
+    positions: np.ndarray, reference: np.ndarray, superpose: bool = True
+) -> float:
+    """Root-mean-square deviation between two conformations (A).
+
+    With ``superpose`` (default) the translation and rotation are removed
+    first (Kabsch superposition, equal weights).
+    """
+    if positions.shape != reference.shape:
+        raise ValueError("conformations must have the same shape")
+    a = positions - positions.mean(axis=0)
+    b = reference - reference.mean(axis=0)
+    if superpose:
+        a = a @ kabsch_rotation(a, b)
+    return float(np.sqrt(np.mean(np.sum((a - b) ** 2, axis=1))))
+
+
+def mean_squared_displacement(
+    trajectory: np.ndarray, box: PeriodicBox | None = None
+) -> np.ndarray:
+    """MSD relative to the first frame, per frame.
+
+    Parameters
+    ----------
+    trajectory:
+        Array of shape (n_frames, n_atoms, 3).  If ``box`` is given, the
+        frame-to-frame displacements are unwrapped through the minimum
+        image first (correct as long as no atom moves more than half a
+        box edge between frames).
+    """
+    traj = np.asarray(trajectory, dtype=np.float64)
+    if traj.ndim != 3:
+        raise ValueError("trajectory must be (n_frames, n_atoms, 3)")
+    if box is not None and len(traj) > 1:
+        steps = box.min_image(np.diff(traj, axis=0))
+        unwrapped = np.concatenate([traj[:1], traj[:1] + np.cumsum(steps, axis=0)])
+    else:
+        unwrapped = traj
+    disp = unwrapped - unwrapped[0]
+    return np.mean(np.einsum("fij,fij->fi", disp, disp), axis=1)
+
+
+def dipole_moment(charges: np.ndarray, positions: np.ndarray) -> np.ndarray:
+    """System dipole moment in e*A (meaningful for neutral systems)."""
+    return charges @ positions

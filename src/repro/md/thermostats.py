@@ -1,0 +1,86 @@
+"""Thermostats: velocity rescaling and Berendsen weak coupling.
+
+Used by the examples to equilibrate the synthetic systems before NVE
+measurement runs.  Both act on velocities in place-free style (they
+return the new velocities).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .observables import temperature
+
+__all__ = ["VelocityRescale", "BerendsenThermostat"]
+
+
+@dataclass(frozen=True)
+class VelocityRescale:
+    """Hard isokinetic rescaling to the target temperature.
+
+    Simple and aggressive: multiply all velocities by
+    ``sqrt(T_target / T_now)`` every time it is applied.
+
+    ``n_constraints`` must match the holonomic constraints acting on the
+    system, or the measured temperature (and hence the reached
+    temperature) is biased by the ratio of apparent to true degrees of
+    freedom.
+    """
+
+    target: float
+    n_constraints: int = 0
+
+    def __post_init__(self) -> None:
+        if self.target <= 0:
+            raise ValueError("target temperature must be positive")
+        if self.n_constraints < 0:
+            raise ValueError("n_constraints must be non-negative")
+
+    def apply(self, masses: np.ndarray, velocities: np.ndarray) -> np.ndarray:
+        """Return velocities rescaled exactly onto the target temperature."""
+        t_now = temperature(masses, velocities, n_constraints=self.n_constraints)
+        if t_now <= 0:
+            return velocities
+        return velocities * np.sqrt(self.target / t_now)
+
+
+@dataclass(frozen=True)
+class BerendsenThermostat:
+    """Berendsen weak coupling: exponential relaxation towards the target.
+
+    ``lambda^2 = 1 + (dt / tau) * (T_target / T_now - 1)``
+
+    Parameters
+    ----------
+    target:
+        Bath temperature (K).
+    tau:
+        Coupling time constant (ps); larger = gentler.
+    """
+
+    target: float
+    tau: float = 0.1
+    n_constraints: int = 0
+
+    def __post_init__(self) -> None:
+        if self.target <= 0:
+            raise ValueError("target temperature must be positive")
+        if self.tau <= 0:
+            raise ValueError("tau must be positive")
+        if self.n_constraints < 0:
+            raise ValueError("n_constraints must be non-negative")
+
+    def apply(
+        self, masses: np.ndarray, velocities: np.ndarray, dt: float
+    ) -> np.ndarray:
+        """Return velocities after one weak-coupling relaxation step."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        t_now = temperature(masses, velocities, n_constraints=self.n_constraints)
+        if t_now <= 0:
+            return velocities
+        lam2 = 1.0 + (dt / self.tau) * (self.target / t_now - 1.0)
+        lam2 = max(lam2, 0.0)
+        return velocities * np.sqrt(lam2)

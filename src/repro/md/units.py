@@ -1,0 +1,82 @@
+"""Physical units and constants for the MD engine.
+
+The engine works in the AKMA-like unit system used by CHARMM:
+
+========  =======================
+quantity  unit
+========  =======================
+length    angstrom (A)
+energy    kcal/mol
+mass      atomic mass unit (amu)
+charge    elementary charge (e)
+time      picosecond (ps)
+========  =======================
+
+Newton's second law in these units needs a conversion factor because
+``kcal/mol / (A * amu)`` is not ``A/ps^2``; the factor is
+:data:`ACCEL_CONVERT`.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Coulomb constant in kcal*A/(mol*e^2).  CHARMM's ``CCELEC`` value.
+COULOMB_CONSTANT: float = 332.0716
+
+#: Boltzmann constant in kcal/(mol*K).
+BOLTZMANN_KCAL: float = 0.001987204259
+
+#: Conversion from (kcal/mol/A)/amu to A/ps^2.
+#:
+#: 1 kcal/mol = 4184 J/mol; dividing by Avogadro's number, an amu and an
+#: angstrom and rescaling seconds to picoseconds gives exactly
+#: ``4184 * 1e-4 = 418.4``.
+ACCEL_CONVERT: float = 418.4
+
+#: Convenient alias used by the integrator: kinetic energy prefactor so that
+#: ``0.5 * m * v**2 / KINETIC_CONVERT`` is in kcal/mol when ``v`` is in A/ps.
+KINETIC_CONVERT: float = ACCEL_CONVERT
+
+#: Degrees-to-radians multiplier.
+DEG2RAD: float = math.pi / 180.0
+
+
+def kinetic_energy_to_kcal(mass_amu: float, speed_a_per_ps: float) -> float:
+    """Kinetic energy of a particle in kcal/mol.
+
+    Parameters
+    ----------
+    mass_amu:
+        Particle mass in amu.
+    speed_a_per_ps:
+        Speed in angstrom per picosecond.
+    """
+    return 0.5 * mass_amu * speed_a_per_ps**2 / KINETIC_CONVERT
+
+
+def temperature_from_kinetic(kinetic_kcal: float, n_dof: int) -> float:
+    """Instantaneous temperature (K) from total kinetic energy.
+
+    Parameters
+    ----------
+    kinetic_kcal:
+        Total kinetic energy in kcal/mol.
+    n_dof:
+        Number of kinetic degrees of freedom (3N minus constraints).
+    """
+    if n_dof <= 0:
+        raise ValueError(f"n_dof must be positive, got {n_dof}")
+    return 2.0 * kinetic_kcal / (n_dof * BOLTZMANN_KCAL)
+
+
+def thermal_speed(mass_amu: float, temperature_k: float) -> float:
+    """RMS speed (A/ps) of a particle of ``mass_amu`` at ``temperature_k``.
+
+    Used to draw Maxwell-Boltzmann initial velocities.
+    """
+    if mass_amu <= 0.0:
+        raise ValueError(f"mass must be positive, got {mass_amu}")
+    if temperature_k < 0.0:
+        raise ValueError(f"temperature must be non-negative, got {temperature_k}")
+    return math.sqrt(3.0 * BOLTZMANN_KCAL * temperature_k * KINETIC_CONVERT / mass_amu)

@@ -1,0 +1,193 @@
+"""Collective algorithms over simulated point-to-point messages.
+
+The algorithms mirror MPICH's choices for the message sizes and process
+counts of the paper's runs:
+
+* barrier       — dissemination (log2 p rounds of one-byte exchanges)
+* allreduce     — recursive doubling (power-of-two), reduce+bcast otherwise
+* allgatherv    — ring (p-1 steps, one block per step)
+* alltoallv     — pairwise exchange (XOR partners for powers of two)
+* bcast/reduce  — binomial tree
+
+Every function is a generator taking the calling rank's endpoint first;
+all ranks of the communicator must call the same operations in the same
+order (SPMD), which is also how the per-operation tags stay consistent.
+
+Barrier time is booked entirely as **synchronization** (the paper's
+definition of control-transfer cost); data-moving collectives book their
+time through the normal send/recv attribution (transfer -> comm,
+waiting -> sync).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..instrument.timeline import Category
+from .endpoint import EMPTY_PAYLOAD, RankEndpoint
+
+__all__ = [
+    "barrier",
+    "allreduce",
+    "allgatherv",
+    "alltoallv",
+    "bcast",
+    "reduce",
+]
+
+
+def _is_power_of_two(p: int) -> bool:
+    return p > 0 and (p & (p - 1)) == 0
+
+
+def barrier(ep: RankEndpoint):
+    """Dissemination barrier; cost booked as synchronization."""
+    p = ep.size
+    if p == 1:
+        return
+    tag = ep.next_collective_tag()
+    with ep.timeline.as_category(Category.SYNC):
+        k = 1
+        round_no = 0
+        while k < p:
+            dest = (ep.rank + k) % p
+            src = (ep.rank - k) % p
+            yield from ep.sendrecv(dest, EMPTY_PAYLOAD, src, tag + round_no)
+            k <<= 1
+            round_no += 1
+
+
+def allreduce(
+    ep: RankEndpoint, array: np.ndarray, op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add
+):
+    """Combine ``array`` across all ranks; returns the reduced array."""
+    p = ep.size
+    data = np.asarray(array).copy()
+    if p == 1:
+        return data
+    tag = ep.next_collective_tag()
+    if _is_power_of_two(p):
+        k = 1
+        round_no = 0
+        while k < p:
+            partner = ep.rank ^ k
+            other = yield from ep.sendrecv(partner, data, partner, tag + round_no)
+            data = op(data, other)
+            k <<= 1
+            round_no += 1
+        return data
+    # general case: binomial reduce to 0, then binomial bcast
+    reduced = yield from reduce(ep, data, root=0, op=op)
+    result = yield from bcast(ep, reduced if ep.rank == 0 else None, root=0)
+    return result
+
+
+def allgatherv(ep: RankEndpoint, block: np.ndarray):
+    """Gather per-rank blocks everywhere (ring algorithm).
+
+    Returns a list of ``size`` arrays indexed by source rank; blocks may
+    have different lengths (the 'v' variant CHARMM needs for its uneven
+    atom blocks).
+    """
+    p = ep.size
+    blocks: list[np.ndarray | None] = [None] * p
+    blocks[ep.rank] = np.asarray(block).copy()
+    if p == 1:
+        return blocks
+    tag = ep.next_collective_tag()
+    right = (ep.rank + 1) % p
+    left = (ep.rank - 1) % p
+    for step in range(p - 1):
+        send_idx = (ep.rank - step) % p
+        recv_idx = (ep.rank - step - 1) % p
+        incoming = yield from ep.sendrecv(right, blocks[send_idx], left, tag + step)
+        blocks[recv_idx] = incoming
+    return blocks
+
+
+def alltoallv(ep: RankEndpoint, send_blocks: list):
+    """Personalized all-to-all: block ``i`` goes to rank ``i``.
+
+    Returns the received blocks indexed by source rank.  This is the
+    communication pattern of the distributed 3-D FFT transpose.
+    """
+    p = ep.size
+    if len(send_blocks) != p:
+        raise ValueError(f"need {p} send blocks, got {len(send_blocks)}")
+    recv_blocks: list = [None] * p
+    recv_blocks[ep.rank] = send_blocks[ep.rank]
+    if p == 1:
+        return recv_blocks
+    tag = ep.next_collective_tag()
+    if _is_power_of_two(p):
+        # XOR partners: each step is a symmetric pairwise exchange
+        for step in range(1, p):
+            partner = ep.rank ^ step
+            incoming = yield from ep.sendrecv(
+                partner, send_blocks[partner], partner, tag + step
+            )
+            recv_blocks[partner] = incoming
+    else:
+        # ring schedule: send k ahead, receive from k behind
+        for step in range(1, p):
+            dest = (ep.rank + step) % p
+            src = (ep.rank - step) % p
+            incoming = yield from ep.sendrecv(dest, send_blocks[dest], src, tag + step)
+            recv_blocks[src] = incoming
+    return recv_blocks
+
+
+def bcast(ep: RankEndpoint, array, root: int = 0):
+    """Binomial-tree broadcast; returns the array on every rank."""
+    p = ep.size
+    if p == 1:
+        return array
+    tag = ep.next_collective_tag()
+    vrank = (ep.rank - root) % p
+    data = array
+    mask = 1
+    # find the level at which this rank receives
+    while mask < p:
+        if vrank & mask:
+            src = (ep.rank - mask) % p
+            data = yield from ep.recv(src, tag)
+            break
+        mask <<= 1
+    # forward to children below that level
+    mask >>= 1
+    while mask > 0:
+        if vrank + mask < p and (vrank & (mask - 1)) == 0 and not (vrank & mask):
+            dest = (ep.rank + mask) % p
+            yield from ep.send(dest, data, tag)
+        mask >>= 1
+    return data
+
+
+def reduce(
+    ep: RankEndpoint,
+    array: np.ndarray,
+    root: int = 0,
+    op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add,
+):
+    """Binomial-tree reduction to ``root``; other ranks return None."""
+    p = ep.size
+    data = np.asarray(array).copy()
+    if p == 1:
+        return data
+    tag = ep.next_collective_tag()
+    vrank = (ep.rank - root) % p
+    mask = 1
+    while mask < p:
+        if vrank & mask:
+            dest = (ep.rank - mask) % p
+            yield from ep.send(dest, data, tag)
+            return None
+        partner = vrank | mask
+        if partner < p:
+            src = (ep.rank + mask) % p
+            other = yield from ep.recv(src, tag)
+            data = op(data, other)
+        mask <<= 1
+    return data

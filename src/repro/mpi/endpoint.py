@@ -1,0 +1,191 @@
+"""The per-rank MPI interface handed to rank programs.
+
+All operations are generators; rank programs invoke them with
+``yield from``.  Real payloads (numpy arrays) move between ranks, so the
+parallel physics is bit-for-bit checkable against the serial engine —
+only *time* is simulated.
+
+Time attribution (the paper's definitions, Sec. 3.2):
+
+* per-message host overheads and the data-transfer interval -> **comm**
+* waiting for a partner / for data to arrive -> **sync**
+* :meth:`RankEndpoint.compute` -> **comp**
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..instrument.timeline import Category, Timeline
+from ..sim.engine import Await, Future, Sleep
+from .message import Message, RecvPost, copy_payload, payload_nbytes
+
+__all__ = ["RankEndpoint", "SendRequest", "RecvRequest", "EMPTY_PAYLOAD"]
+
+#: The one-byte 'empty message' the paper's CMPI middleware exchanges.
+EMPTY_PAYLOAD = b"\x00"
+
+#: Tags below this value are free for rank programs; collectives allocate
+#: from a per-operation sequence above it.
+COLLECTIVE_TAG_BASE = 1 << 20
+
+
+@dataclass
+class SendRequest:
+    """Handle for a split-phase send."""
+
+    endpoint: "RankEndpoint"
+    message: Message
+    issued_at: float
+
+    def wait(self):
+        """Block until the send completes (no-op for eager messages)."""
+        if self.message.fut_sender is None:
+            return
+        t0 = self.endpoint.now
+        plan = yield Await(self.message.fut_sender)
+        t1 = self.endpoint.now
+        sync_wait = max(0.0, min(plan.start, t1) - t0)
+        self.endpoint.timeline.add(Category.SYNC, sync_wait)
+        self.endpoint.timeline.add(Category.COMM, max(0.0, (t1 - t0) - sync_wait))
+
+
+@dataclass
+class RecvRequest:
+    """Handle for a split-phase receive."""
+
+    endpoint: "RankEndpoint"
+    post: RecvPost
+
+    def wait(self):
+        """Block until the payload is delivered; returns it."""
+        ep = self.endpoint
+        t0 = ep.now
+        msg: Message = yield Await(self.post.fut)
+        t1 = ep.now
+        plan = msg.plan
+        assert plan is not None, "delivered message must carry a transfer plan"
+        sync_wait = max(0.0, min(plan.start, t1) - t0)
+        ep.timeline.add(Category.SYNC, sync_wait)
+        ep.timeline.add(Category.COMM, max(0.0, (t1 - t0) - sync_wait))
+        # receive-side host processing of the payload (copies, checksums)
+        copy_cost = ep.net.host_cost(msg.nbytes) * ep._overhead_scale
+        if copy_cost > 0:
+            ep.timeline.add(Category.COMM, copy_cost)
+            yield Sleep(copy_cost)
+        return msg.payload
+
+
+class RankEndpoint:
+    """One rank's window onto the simulated machine."""
+
+    def __init__(self, world, rank: int) -> None:
+        self.world = world
+        self.rank = rank
+        self.timeline = Timeline()
+        self._tag_seq = COLLECTIVE_TAG_BASE
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self.world.size
+
+    @property
+    def now(self) -> float:
+        return self.world.sim.now
+
+    @property
+    def net(self):
+        return self.world.spec.network
+
+    @property
+    def node(self) -> int:
+        return self.world.spec.node_of(self.rank)
+
+    def next_collective_tag(self) -> int:
+        """Fresh tag for one collective operation.
+
+        Rank programs are SPMD, so every rank draws the same sequence and
+        tags agree across the job.
+        """
+        self._tag_seq += 16
+        return self._tag_seq
+
+    # ------------------------------------------------------------------
+    def compute(self, seconds: float):
+        """Charge ``seconds`` of computation to the current phase."""
+        if seconds < 0:
+            raise ValueError("compute time must be non-negative")
+        scaled = seconds * self.world.spec.compute_scale
+        self.timeline.add(Category.COMP, scaled)
+        yield Sleep(scaled)
+
+    @property
+    def _overhead_scale(self) -> float:
+        """Per-message host-overhead multiplier (SMP stack contention)."""
+        spec = self.world.spec
+        if spec.node.cpus_per_node == 2 and self.net.uses_interrupts:
+            return self.net.smp_overhead_multiplier
+        return 1.0
+
+    # ------------------------------------------------------------------
+    def isend(self, dest: int, payload, tag: int = 0):
+        """Split-phase send; returns a :class:`SendRequest`.
+
+        The per-message host cost is charged here (initiating the send is
+        CPU work), matching MPI_Isend semantics.
+        """
+        if not 0 <= dest < self.size:
+            raise ValueError(f"bad destination rank {dest}")
+        if dest == self.rank:
+            raise ValueError("self-sends are not supported")
+        nbytes = payload_nbytes(payload)
+        overhead = (self.net.send_overhead + self.net.host_cost(nbytes)) * self._overhead_scale
+        self.timeline.add(Category.COMM, overhead)
+        yield Sleep(overhead)
+
+        rendezvous = nbytes > self.net.eager_threshold
+        msg = Message(
+            src=self.rank,
+            dst=dest,
+            tag=tag,
+            payload=copy_payload(payload),
+            nbytes=nbytes,
+            sender_ready=self.now,
+            rendezvous=rendezvous,
+            fut_sender=Future() if rendezvous else None,
+        )
+        self.world.post_message(msg)
+        return SendRequest(endpoint=self, message=msg, issued_at=self.now)
+
+    def irecv(self, source: int, tag: int = 0):
+        """Split-phase receive; returns a :class:`RecvRequest`."""
+        if not 0 <= source < self.size:
+            raise ValueError(f"bad source rank {source}")
+        if source == self.rank:
+            raise ValueError("self-receives are not supported")
+        overhead = self.net.recv_overhead * self._overhead_scale
+        self.timeline.add(Category.COMM, overhead)
+        yield Sleep(overhead)
+        post = RecvPost(src=source, dst=self.rank, tag=tag, post_time=self.now)
+        self.world.post_recv(post)
+        return RecvRequest(endpoint=self, post=post)
+
+    def send(self, dest: int, payload, tag: int = 0):
+        """Blocking send (point-to-point blocking routine of raw MPI)."""
+        req = yield from self.isend(dest, payload, tag)
+        yield from req.wait()
+
+    def recv(self, source: int, tag: int = 0):
+        """Blocking receive; returns the payload."""
+        req = yield from self.irecv(source, tag)
+        payload = yield from req.wait()
+        return payload
+
+    def sendrecv(self, dest: int, payload, source: int, tag: int = 0):
+        """Simultaneous exchange (deadlock-free via split phases)."""
+        rreq = yield from self.irecv(source, tag)
+        sreq = yield from self.isend(dest, payload, tag)
+        incoming = yield from rreq.wait()
+        yield from sreq.wait()
+        return incoming

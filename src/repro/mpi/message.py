@@ -1,0 +1,65 @@
+"""Message and receive-post records for the simulated MPI layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster.state import TransferPlan
+from ..sim.engine import Future
+
+__all__ = ["Message", "RecvPost", "payload_nbytes", "copy_payload"]
+
+Payload = "np.ndarray | bytes"
+
+
+def payload_nbytes(payload) -> int:
+    """Size in bytes of an ndarray or bytes payload."""
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    raise TypeError(f"unsupported payload type {type(payload).__name__}")
+
+
+def copy_payload(payload):
+    """Snapshot the payload at send time (MPI buffer semantics)."""
+    if isinstance(payload, np.ndarray):
+        return payload.copy()
+    return bytes(payload)
+
+
+@dataclass
+class Message:
+    """An in-flight message."""
+
+    src: int
+    dst: int
+    tag: int
+    payload: object
+    nbytes: int
+    sender_ready: float  # sim time the payload left the sender's hands
+    rendezvous: bool
+    plan: TransferPlan | None = None
+    #: resolved at transfer completion for rendezvous sends
+    fut_sender: Future | None = None
+
+    @property
+    def key(self) -> tuple[int, int, int]:
+        return (self.src, self.dst, self.tag)
+
+
+@dataclass
+class RecvPost:
+    """A posted receive waiting for its matching message."""
+
+    src: int
+    dst: int
+    tag: int
+    post_time: float
+    fut: Future = field(default_factory=Future)  # resolves with the Message
+
+    @property
+    def key(self) -> tuple[int, int, int]:
+        return (self.src, self.dst, self.tag)

@@ -1,0 +1,63 @@
+"""Middleware abstraction: how the application invokes global operations.
+
+The paper's second factor (Sec. 4.2): CHARMM ships two communication
+styles — raw **MPI** (blocking point-to-point, MPI barriers, the standard
+collective algorithms) and **CMPI**, a portability layer built on split
+non-blocking calls whose synchronization is p-1 rounds of one-byte
+neighbour exchanges.  Rank programs call through this interface so the
+experiment runner can swap the middleware without touching the physics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from . import collectives
+from .endpoint import RankEndpoint
+
+__all__ = ["Middleware", "MPIMiddleware"]
+
+
+class Middleware:
+    """Interface: every method is a generator to be driven with yield-from."""
+
+    name = "abstract"
+
+    def barrier(self, ep: RankEndpoint):
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def allreduce(self, ep: RankEndpoint, array: np.ndarray, op: Callable = np.add):
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def allgatherv(self, ep: RankEndpoint, block: np.ndarray):
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def alltoallv(self, ep: RankEndpoint, send_blocks: list):
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+class MPIMiddleware(Middleware):
+    """Raw MPI calls: standard algorithms, MPI barriers."""
+
+    name = "mpi"
+
+    def barrier(self, ep: RankEndpoint):
+        yield from collectives.barrier(ep)
+
+    def allreduce(self, ep: RankEndpoint, array: np.ndarray, op: Callable = np.add):
+        result = yield from collectives.allreduce(ep, array, op)
+        return result
+
+    def allgatherv(self, ep: RankEndpoint, block: np.ndarray):
+        result = yield from collectives.allgatherv(ep, block)
+        return result
+
+    def alltoallv(self, ep: RankEndpoint, send_blocks: list):
+        result = yield from collectives.alltoallv(ep, send_blocks)
+        return result

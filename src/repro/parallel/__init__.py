@@ -1,0 +1,44 @@
+"""Parallel CHARMM: SPMD rank programs over the simulated cluster."""
+
+from .calibrate import WorkloadCounts, calibrate, measure_counts
+from .costmodel import PIII_1GHZ, MachineCostModel, fft_units
+from .decomposition import AtomDecomposition, SlabDecomposition, slice_bonded_tables
+from .pclassic import ParallelClassic
+from .pfft import DistributedFFT
+from .pmd import (
+    MDRunConfig,
+    RankOutcome,
+    energy_to_vector,
+    rank_program,
+    serial_reference_run,
+    vector_to_energy,
+)
+from .ppme import ParallelPME, ParallelPMEResult
+from .result import ParallelRunResult
+from .run import make_middleware, rank_system_clone, run_parallel_md
+
+__all__ = [
+    "AtomDecomposition",
+    "calibrate",
+    "measure_counts",
+    "WorkloadCounts",
+    "DistributedFFT",
+    "energy_to_vector",
+    "fft_units",
+    "MachineCostModel",
+    "make_middleware",
+    "MDRunConfig",
+    "ParallelClassic",
+    "ParallelPME",
+    "ParallelPMEResult",
+    "ParallelRunResult",
+    "PIII_1GHZ",
+    "rank_program",
+    "rank_system_clone",
+    "RankOutcome",
+    "run_parallel_md",
+    "serial_reference_run",
+    "SlabDecomposition",
+    "slice_bonded_tables",
+    "vector_to_energy",
+]

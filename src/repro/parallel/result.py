@@ -1,0 +1,97 @@
+"""Result container for one simulated parallel MD run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster.machine import ClusterSpec
+from ..cluster.state import TransferRecord
+from ..instrument.commstats import CommSpeedStats, communication_speeds
+from ..instrument.timeline import PhaseTotals, Timeline
+from ..md.energy import EnergyBreakdown
+from .pmd import MDRunConfig
+
+__all__ = ["ParallelRunResult"]
+
+
+@dataclass
+class ParallelRunResult:
+    """Everything one run of the simulated cluster produced.
+
+    Time conventions (matching how the paper reports):
+
+    * :meth:`wall_time` — the job's wall clock: the maximum over ranks of
+      their total attributed time.
+    * :meth:`component` — per-phase breakdown averaged over ranks (the
+      stacked-bar charts of Figures 3-9 show per-calculation times; the
+      average is the standard way to aggregate per-rank timelines).
+    """
+
+    spec: ClusterSpec
+    config: MDRunConfig
+    energies: list[EnergyBreakdown]
+    timelines: list[Timeline]
+    transfers: list[TransferRecord]
+    final_positions: np.ndarray
+    middleware: str = "mpi"
+    extra: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_ranks(self) -> int:
+        return self.spec.n_ranks
+
+    def wall_time(self) -> float:
+        return max(tl.total_seconds() for tl in self.timelines)
+
+    def component(self, phase: str) -> PhaseTotals:
+        """Mean per-rank breakdown of one phase (seconds)."""
+        totals = [tl.phase_totals(phase) for tl in self.timelines]
+        n = len(totals)
+        return PhaseTotals(
+            comp=sum(t.comp for t in totals) / n,
+            comm=sum(t.comm for t in totals) / n,
+            sync=sum(t.sync for t in totals) / n,
+        )
+
+    def component_time(self, phase: str) -> float:
+        return self.component(phase).total
+
+    def total_breakdown(self) -> PhaseTotals:
+        """Mean per-rank breakdown of the whole energy calculation."""
+        out = PhaseTotals()
+        phases = {p for tl in self.timelines for p in tl.phases}
+        for phase in phases:
+            out = out + self.component(phase)
+        return out
+
+    def comm_stats(self) -> CommSpeedStats:
+        """Figure 7 statistics: per-node communication speeds (MB/s)."""
+        return communication_speeds(self.transfers)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """Flat record for tables and reports."""
+        classic = self.component("classic")
+        pme = self.component("pme")
+        stats = self.comm_stats()
+        return {
+            "platform": self.spec.describe(),
+            "middleware": self.middleware,
+            "n_ranks": self.n_ranks,
+            "wall_time": self.wall_time(),
+            "classic_time": classic.total,
+            "pme_time": pme.total,
+            "classic_comp": classic.comp,
+            "classic_comm": classic.comm,
+            "classic_sync": classic.sync,
+            "pme_comp": pme.comp,
+            "pme_comm": pme.comm,
+            "pme_sync": pme.sync,
+            "comm_mean_mbs": stats.mean,
+            "comm_min_mbs": stats.minimum,
+            "comm_max_mbs": stats.maximum,
+            "final_energy": self.energies[-1].total if self.energies else float("nan"),
+        }

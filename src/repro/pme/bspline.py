@@ -1,0 +1,98 @@
+"""Cardinal B-splines for smooth particle-mesh Ewald.
+
+Implements the centred cardinal B-spline ``M_n`` of Essmann et al. (1995),
+its derivative, the per-atom interpolation weights, and the Euler
+exponential-spline moduli ``|b(m)|^2`` that enter the PME influence
+function.
+
+``M_n`` satisfies the recursion::
+
+    M_2(u) = 1 - |u - 1|            for 0 <= u <= 2, else 0
+    M_n(u) = u/(n-1) M_{n-1}(u) + (n-u)/(n-1) M_{n-1}(u-1)
+    M_n'(u) = M_{n-1}(u) - M_{n-1}(u-1)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mn_values", "bspline_weights", "bspline_moduli"]
+
+
+def mn_values(u: np.ndarray, order: int) -> np.ndarray:
+    """Evaluate ``M_order`` at arbitrary points (vectorized).
+
+    Uses dynamic programming over the shifted evaluations
+    ``M_2(u - s), s = 0..order-2`` so the cost is O(order^2) array ops.
+    """
+    if order < 2:
+        raise ValueError("B-spline order must be >= 2")
+    u = np.asarray(u, dtype=np.float64)
+    # vals[s] holds M_k(u - s) for the current order k
+    vals = [np.clip(1.0 - np.abs((u - s) - 1.0), 0.0, None) for s in range(order - 1)]
+    for k in range(3, order + 1):
+        nxt = []
+        for s in range(order + 1 - k):
+            us = u - s
+            nxt.append((us * vals[s] + (k - us) * vals[s + 1]) / (k - 1))
+        vals = nxt
+    return vals[0]
+
+
+def bspline_weights(frac: np.ndarray, order: int) -> tuple[np.ndarray, np.ndarray]:
+    """Interpolation weights and derivatives for scaled fractional offsets.
+
+    For an atom whose scaled coordinate along one axis is ``u`` with
+    ``frac = u - floor(u)``, the ``order`` grid points it touches are
+    ``floor(u) - order + 1 + t`` for ``t = 0..order-1``, with weights
+    ``M_order(frac + order - 1 - t)``.
+
+    Parameters
+    ----------
+    frac:
+        Array of fractional parts in ``[0, 1)``; any shape.
+    order:
+        Interpolation order (4 is the CHARMM default).
+
+    Returns
+    -------
+    (w, dw):
+        Arrays of shape ``frac.shape + (order,)``; ``dw`` is the derivative
+        of the weight with respect to ``u`` (per scaled-coordinate unit).
+    """
+    frac = np.asarray(frac, dtype=np.float64)
+    t = np.arange(order, dtype=np.float64)
+    points = frac[..., None] + (order - 1.0) - t  # in (0, order)
+    w = mn_values(points, order)
+    m_lower = mn_values(points, order - 1) if order > 2 else None
+    if order == 2:
+        # M_2'(u) = sign(1 - u) on (0, 2)
+        dw = np.where(points < 1.0, 1.0, -1.0)
+        dw = np.where((points <= 0.0) | (points >= 2.0), 0.0, dw)
+    else:
+        dw = m_lower - mn_values(points - 1.0, order - 1)
+    return w, dw
+
+
+def bspline_moduli(grid_size: int, order: int) -> np.ndarray:
+    """Squared Euler-spline moduli ``|b(m)|^2`` for one FFT axis.
+
+    ``b(m) = exp(2 pi i (n-1) m / K) / sum_{k=0}^{n-2} M_n(k+1) e^{2 pi i m k / K}``
+
+    The numerator has unit modulus, so only the denominator matters.
+    For even ``order`` the denominator never vanishes; odd orders would
+    require special handling at ``m = K/2`` and are rejected.
+    """
+    if order % 2 != 0:
+        raise ValueError("only even B-spline orders are supported (PME standard)")
+    if grid_size < order:
+        raise ValueError(f"grid size {grid_size} smaller than spline order {order}")
+    k = np.arange(order - 1, dtype=np.float64)
+    mn = mn_values(k + 1.0, order)  # M_n(1) .. M_n(n-1)
+    m = np.arange(grid_size)[:, None]
+    phases = np.exp(2j * np.pi * m * k[None, :] / grid_size)
+    denom = phases @ mn.astype(np.complex128)
+    mod2 = np.abs(denom) ** 2
+    if np.any(mod2 < 1e-10):
+        raise FloatingPointError("vanishing Euler spline denominator")
+    return 1.0 / mod2

@@ -1,0 +1,102 @@
+"""Ewald summation building blocks shared by PME and the reference sum.
+
+The total electrostatic energy of a periodic system of point charges is
+split as::
+
+    E = E_direct + E_reciprocal + E_self + E_exclusion
+
+* ``E_direct``     — short-range ``q_i q_j erfc(alpha r)/r`` over included
+  pairs within the cutoff (computed by
+  :class:`repro.md.nonbonded.NonbondedKernel` with ``elec_mode="ewald"``).
+* ``E_reciprocal`` — smooth long-range part, by PME or by the explicit
+  k-space sum in :mod:`repro.pme.reference`.
+* ``E_self``       — removes each Gaussian's interaction with itself.
+* ``E_exclusion``  — removes the reciprocal-space interaction between
+  bonded (excluded) pairs: ``-q_i q_j erf(alpha r)/r`` with forces.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.special import erf, erfc
+
+from ..md.box import PeriodicBox
+from ..md.units import COULOMB_CONSTANT
+
+__all__ = [
+    "choose_alpha",
+    "self_energy",
+    "exclusion_correction",
+]
+
+_TWO_OVER_SQRT_PI = 2.0 / math.sqrt(math.pi)
+
+
+def choose_alpha(r_cut: float, tolerance: float = 1e-5) -> float:
+    """Ewald splitting parameter so that ``erfc(alpha r_cut) = tolerance``.
+
+    Solved by bisection; matches the common ``alpha ~ 3.1 / r_cut`` rule
+    for the default tolerance.
+    """
+    if r_cut <= 0:
+        raise ValueError("r_cut must be positive")
+    if not 0 < tolerance < 1:
+        raise ValueError("tolerance must be in (0, 1)")
+    lo, hi = 0.0, 20.0 / r_cut
+    for _ in range(100):
+        mid = 0.5 * (lo + hi)
+        if erfc(mid * r_cut) > tolerance:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def self_energy(charges: np.ndarray, alpha: float) -> float:
+    """Gaussian self-interaction term ``-C alpha/sqrt(pi) sum q_i^2``."""
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    return float(-COULOMB_CONSTANT * alpha / math.sqrt(math.pi) * np.sum(charges**2))
+
+
+def exclusion_correction(
+    positions: np.ndarray,
+    charges: np.ndarray,
+    exclusions: np.ndarray,
+    box: PeriodicBox,
+    alpha: float,
+) -> tuple[float, np.ndarray]:
+    """Remove reciprocal-space coupling between excluded pairs.
+
+    Each excluded pair (i, j) contributes ``-C q_i q_j erf(alpha r)/r`` and
+    the matching forces.
+
+    Returns
+    -------
+    (energy, forces):
+        Energy in kcal/mol and an (n_atoms, 3) force array.
+    """
+    forces = np.zeros_like(positions)
+    if len(exclusions) == 0:
+        return 0.0, forces
+    i = exclusions[:, 0]
+    j = exclusions[:, 1]
+    dr = box.min_image(positions[i] - positions[j])
+    r2 = np.einsum("ij,ij->i", dr, dr)
+    r = np.sqrt(r2)
+    if np.any(r < 1e-10):
+        raise FloatingPointError("coincident atoms in an excluded pair")
+    inv_r = 1.0 / r
+    qq = COULOMB_CONSTANT * charges[i] * charges[j]
+
+    erf_ar = erf(alpha * r)
+    energy = float(np.sum(-qq * erf_ar * inv_r))
+    # d/dr of (-qq erf(ar)/r):  qq [erf(ar)/r^2 - 2a/sqrt(pi) exp(-a^2 r^2)/r]
+    de_dr = qq * inv_r * (erf_ar * inv_r - _TWO_OVER_SQRT_PI * alpha * np.exp(-(alpha * r) ** 2))
+    fvec = (-de_dr * inv_r)[:, None] * dr
+    for dim in range(3):
+        forces[:, dim] += np.bincount(i, weights=fvec[:, dim], minlength=len(positions))
+        forces[:, dim] -= np.bincount(j, weights=fvec[:, dim], minlength=len(positions))
+    return energy, forces

@@ -1,0 +1,183 @@
+"""Charge spreading onto the PME mesh and force interpolation off it.
+
+Both directions support restriction to a contiguous (wrapping) range of
+x-planes.  That is exactly what the slab-parallel PME needs: with
+replicated coordinates every rank can spread the *portion of the mesh it
+owns* with no communication, and after the inverse FFT it can compute the
+*partial* forces contributed by its planes — partial forces are summed by
+the same force reduction that the classic energy part already performs
+(the B-spline stencil is separable in x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..md.box import PeriodicBox
+from .bspline import bspline_weights
+
+__all__ = ["ChargeMesh", "SpreadWorkload"]
+
+
+@dataclass(frozen=True)
+class SpreadWorkload:
+    """Operation counts from one spread/interpolate call (for cost models)."""
+
+    n_atoms: int
+    stencil_points: int  # n_atoms * order**3 before slab masking
+    scattered_points: int  # points actually accumulated (after masking)
+
+
+class ChargeMesh:
+    """B-spline charge assignment for an orthorhombic box.
+
+    Parameters
+    ----------
+    box:
+        Periodic box.
+    grid_shape:
+        Mesh dimensions ``(Kx, Ky, Kz)``; the paper's system uses
+        ``(80, 36, 48)``.
+    order:
+        B-spline interpolation order (even; 4 by default).
+    """
+
+    def __init__(self, box: PeriodicBox, grid_shape: tuple[int, int, int], order: int = 4):
+        if len(grid_shape) != 3 or min(grid_shape) < order:
+            raise ValueError(f"bad grid shape {grid_shape} for order {order}")
+        self.box = box
+        self.grid_shape = tuple(int(k) for k in grid_shape)
+        self.order = order
+        self._k = np.array(self.grid_shape, dtype=np.float64)
+        self.last_workload: SpreadWorkload | None = None
+
+    # ------------------------------------------------------------------
+    def _stencil(
+        self, positions: np.ndarray
+    ) -> tuple[list[np.ndarray], list[np.ndarray], list[np.ndarray]]:
+        """Per-axis grid indices, weights and weight derivatives.
+
+        Returns three lists (one entry per axis) of arrays shaped
+        ``(n_atoms, order)``; derivative weights are per scaled-coordinate
+        unit (multiply by ``K/L`` for a spatial derivative).
+        """
+        scaled = self.box.wrap(positions) / self.box.lengths * self._k
+        k0 = np.floor(scaled).astype(np.int64)
+        frac = scaled - k0
+        idx, w, dw = [], [], []
+        offsets = np.arange(self.order, dtype=np.int64)
+        for d in range(3):
+            wd, dwd = bspline_weights(frac[:, d], self.order)
+            idx.append((k0[:, d, None] - self.order + 1 + offsets[None, :]) % self.grid_shape[d])
+            w.append(wd)
+            dw.append(dwd)
+        return idx, w, dw
+
+    # ------------------------------------------------------------------
+    def spread(
+        self,
+        positions: np.ndarray,
+        charges: np.ndarray,
+        x_range: tuple[int, int] | None = None,
+    ) -> np.ndarray:
+        """Spread charges onto the mesh (or onto an x-slab of it).
+
+        Parameters
+        ----------
+        positions, charges:
+            All atom coordinates and charges (replicated-data convention).
+        x_range:
+            ``(start, count)`` of owned x-planes, wrapping modulo ``Kx``;
+            ``None`` spreads the full mesh.
+
+        Returns
+        -------
+        Real float64 array of shape ``(count, Ky, Kz)`` (full mesh when
+        ``x_range`` is None).
+        """
+        kx, ky, kz = self.grid_shape
+        start, count = (0, kx) if x_range is None else x_range
+        if not 0 < count <= kx:
+            raise ValueError(f"invalid slab count {count}")
+
+        idx, w, _ = self._stencil(positions)
+        o = self.order
+        n = len(positions)
+
+        lix = (idx[0] - start) % kx  # local x-plane index, (n, o)
+        mask_x = lix < count
+
+        # combined weights (n, o, o, o) and linear local indices
+        wgt = (
+            charges[:, None, None, None]
+            * w[0][:, :, None, None]
+            * w[1][:, None, :, None]
+            * w[2][:, None, None, :]
+        )
+        lin = (
+            (lix[:, :, None, None] * ky + idx[1][:, None, :, None]) * kz
+            + idx[2][:, None, None, :]
+        )
+        mask = np.broadcast_to(mask_x[:, :, None, None], lin.shape)
+        flat_idx = lin[mask]
+        flat_wgt = wgt[mask]
+        grid = np.bincount(flat_idx, weights=flat_wgt, minlength=count * ky * kz)
+        self.last_workload = SpreadWorkload(
+            n_atoms=n, stencil_points=n * o**3, scattered_points=len(flat_idx)
+        )
+        return grid.reshape(count, ky, kz)
+
+    # ------------------------------------------------------------------
+    def interpolate_forces(
+        self,
+        positions: np.ndarray,
+        charges: np.ndarray,
+        phi: np.ndarray,
+        x_range: tuple[int, int] | None = None,
+    ) -> np.ndarray:
+        """Forces from the convolved potential mesh ``phi``.
+
+        ``phi`` must be ``K * ifftn(psi * S).real`` (see
+        :class:`repro.pme.pme.PME`), restricted to ``x_range`` planes when
+        given.  When restricted, the result contains only the *partial*
+        forces from those planes; summing the slabs over all ranks yields
+        the full reciprocal force.
+        """
+        kx, ky, kz = self.grid_shape
+        start, count = (0, kx) if x_range is None else x_range
+        if phi.shape != (count, ky, kz):
+            raise ValueError(f"phi shape {phi.shape} != expected {(count, ky, kz)}")
+
+        idx, w, dw = self._stencil(positions)
+        lix = (idx[0] - start) % kx
+        owned = lix < count
+        mask_x = owned[:, :, None, None]
+        lix_safe = np.where(owned, lix, 0)
+        self.last_workload = SpreadWorkload(
+            n_atoms=len(positions),
+            stencil_points=len(positions) * self.order**3,
+            scattered_points=int(np.count_nonzero(owned)) * self.order**2,
+        )
+
+        # phi values at every stencil point, masked to owned planes
+        vals = phi[
+            lix_safe[:, :, None, None],
+            idx[1][:, None, :, None],
+            idx[2][:, None, None, :],
+        ]
+        vals = np.where(mask_x, vals, 0.0)
+
+        scale = self._k / self.box.lengths  # d(scaled)/d(position) per axis
+        q = charges[:, None, None, None]
+
+        dwx = dw[0][:, :, None, None] * w[1][:, None, :, None] * w[2][:, None, None, :]
+        dwy = w[0][:, :, None, None] * dw[1][:, None, :, None] * w[2][:, None, None, :]
+        dwz = w[0][:, :, None, None] * w[1][:, None, :, None] * dw[2][:, None, None, :]
+
+        forces = np.empty((len(positions), 3), dtype=np.float64)
+        forces[:, 0] = -scale[0] * np.sum(q * dwx * vals, axis=(1, 2, 3))
+        forces[:, 1] = -scale[1] * np.sum(q * dwy * vals, axis=(1, 2, 3))
+        forces[:, 2] = -scale[2] * np.sum(q * dwz * vals, axis=(1, 2, 3))
+        return forces

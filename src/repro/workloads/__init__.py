@@ -1,0 +1,39 @@
+"""Workload builders: the paper's benchmark system and smaller test systems."""
+
+from .builder import ChainBuilder, place_atom
+from .cache import myoglobin_system, myoglobin_workload
+from .myoglobin import PME_GRID, TARGET_ATOMS, MyoglobinSystem, build_myoglobin
+from .protein import SegmentSpec, build_helical_segment, residue_size
+from .small import build_peptide_in_water, build_water_box
+from .solvent import (
+    co_coords,
+    co_topology,
+    lattice_points,
+    sulfate_coords,
+    sulfate_topology,
+    water_coords,
+    water_topology,
+)
+
+__all__ = [
+    "build_helical_segment",
+    "build_myoglobin",
+    "build_peptide_in_water",
+    "build_water_box",
+    "ChainBuilder",
+    "co_coords",
+    "co_topology",
+    "lattice_points",
+    "MyoglobinSystem",
+    "myoglobin_system",
+    "myoglobin_workload",
+    "place_atom",
+    "PME_GRID",
+    "residue_size",
+    "SegmentSpec",
+    "sulfate_coords",
+    "sulfate_topology",
+    "TARGET_ATOMS",
+    "water_coords",
+    "water_topology",
+]

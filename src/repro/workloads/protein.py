@@ -1,0 +1,307 @@
+"""Synthetic alpha-helical protein segments.
+
+Residues are built from internal coordinates pulled straight from the
+force-field equilibrium values (bond lengths and angles) with ideal
+alpha-helix backbone torsions (phi = -57, psi = -47, omega = 180 degrees),
+so the generated structure carries essentially zero bonded strain.
+
+A residue is::
+
+    backbone  N, H, CA, HB, C, O                    (6 atoms)
+    sidechain k CH2 groups + terminal CH3           (3k + 4 atoms)
+
+plus termini: one extra N-terminal H (two for an NH3+ terminus) and a
+second carboxylate oxygen.  Charges follow CHARMM22-like neutral groups;
+designated 'basic' residues carry +0.25 on the terminal CH3 carbon, which
+is how the synthetic myoglobin acquires its +2 net charge.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..md.forcefield import ForceField
+from ..md.topology import Atom, Bond, Improper, Topology, derive_angles, derive_dihedrals
+from .builder import ChainBuilder
+
+__all__ = ["SegmentSpec", "build_helical_segment", "residue_size"]
+
+# Ideal alpha-helix backbone torsions (radians).
+PHI = math.radians(-57.0)
+PSI = math.radians(-47.0)
+OMEGA = math.radians(180.0)
+
+#: CHARMM22-like neutral-group charges.
+BACKBONE_CHARGES = {
+    "N": -0.47,
+    "H": 0.31,
+    "CA": 0.07,
+    "HB": 0.09,
+    "C": 0.51,
+    "O": -0.51,
+}
+CH2_CHARGES = {"C": -0.18, "H": 0.09}
+CH3_CHARGES = {"C": -0.27, "H": 0.09}
+TERMINAL_H_CHARGE = 0.25  # balanced by -0.25 on the terminal N
+TERMINAL_O_CHARGE = -0.25  # balanced by +0.25 on the terminal C
+BASIC_SIDECHAIN_EXTRA = 0.25  # net charge added to a 'basic' residue
+
+MASSES = {"N": 14.007, "C": 12.011, "O": 15.999, "H": 1.008}
+
+
+def residue_size(sidechain_k: int) -> int:
+    """Atom count of a residue with ``k`` CH2 groups (excluding termini)."""
+    if sidechain_k < 1:
+        raise ValueError("sidechain_k must be >= 1")
+    return 6 + 3 * sidechain_k + 4
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """Recipe for one helical segment.
+
+    Attributes
+    ----------
+    sidechain_ks:
+        CH2 count per residue (k >= 1; the terminal CH3 is implicit).
+    basic_residues:
+        Residue indices carrying the +0.25 'basic' sidechain charge.
+    nh3_terminus:
+        Give the N-terminus three hydrogens instead of two.
+    segment_name:
+        Segment identifier stored on the atoms.
+    """
+
+    sidechain_ks: tuple[int, ...]
+    basic_residues: frozenset[int] = field(default_factory=frozenset)
+    nh3_terminus: bool = False
+    segment_name: str = "PROT"
+
+    @property
+    def n_residues(self) -> int:
+        return len(self.sidechain_ks)
+
+    @property
+    def n_atoms(self) -> int:
+        extras = 1 + 1 + (1 if self.nh3_terminus else 0)  # extra H, OT2, third H
+        return sum(residue_size(k) for k in self.sidechain_ks) + extras
+
+
+def build_helical_segment(
+    spec: SegmentSpec, forcefield: ForceField
+) -> tuple[Topology, np.ndarray]:
+    """Build one segment; returns its topology and coordinates.
+
+    The helix is generated in an arbitrary frame; callers orient and place
+    it (see :mod:`repro.workloads.myoglobin`).
+    """
+    if spec.n_residues < 2:
+        raise ValueError("a segment needs at least 2 residues")
+
+    ff = forcefield
+    deg = math.degrees  # noqa: F841  (kept for debugging)
+
+    # equilibrium geometry straight from the parameter tables
+    b_nca = ff.bond_params("NH1", "CT1").r0
+    b_cac = ff.bond_params("CT1", "C").r0
+    b_cn = ff.bond_params("C", "NH1").r0
+    b_co = ff.bond_params("C", "O").r0
+    b_nh = ff.bond_params("NH1", "H").r0
+    b_cahb = ff.bond_params("CT1", "HB").r0
+    b_cacb = ff.bond_params("CT1", "CT2").r0
+    b_cc = ff.bond_params("CT2", "CT2").r0
+    b_cct3 = ff.bond_params("CT2", "CT3").r0
+    b_ch2h = ff.bond_params("CT2", "HA").r0
+    b_ch3h = ff.bond_params("CT3", "HA").r0
+
+    a_ncac = ff.angle_params("NH1", "CT1", "C").theta0
+    a_cacn = ff.angle_params("CT1", "C", "NH1").theta0
+    a_caco = ff.angle_params("CT1", "C", "O").theta0
+    a_cnca = ff.angle_params("C", "NH1", "CT1").theta0
+    a_cnh = ff.angle_params("C", "NH1", "H").theta0
+    a_hnca = ff.angle_params("H", "NH1", "CT1").theta0
+    a_ncahb = ff.angle_params("NH1", "CT1", "HB").theta0
+    a_ncacb = ff.angle_params("NH1", "CT1", "CT2").theta0
+    a_cacbcg = ff.angle_params("CT1", "CT2", "CT2").theta0
+    a_cacbh = ff.angle_params("CT1", "CT2", "HA").theta0
+    a_ccc = ff.angle_params("CT2", "CT2", "CT2").theta0
+    a_cch = ff.angle_params("CT2", "CT2", "HA").theta0
+    a_cct3 = ff.angle_params("CT2", "CT2", "CT3").theta0
+    a_ct3h = ff.angle_params("CT2", "CT3", "HA").theta0
+
+    cb = ChainBuilder()
+    atoms: list[Atom] = []
+    bonds: list[Bond] = []
+    impropers: list[Improper] = []
+
+    def add_atom(aid: int, name: str, type_name: str, charge: float, element: str, res: int) -> int:
+        assert aid == len(atoms)
+        atoms.append(
+            Atom(
+                name=name,
+                type_name=type_name,
+                charge=charge,
+                mass=MASSES[element],
+                residue="RES",
+                residue_index=res,
+                segment=spec.segment_name,
+            )
+        )
+        return aid
+
+    third = 2.0 * math.pi / 3.0  # 120 degrees
+
+    c_prev = -1
+    # backbone atoms of residue r+1, pre-placed while finishing residue r
+    pending: tuple[int, int, int, int] | None = None
+    n_res = spec.n_residues
+    for r, k in enumerate(spec.sidechain_ks):
+        bb = BACKBONE_CHARGES
+        is_basic = r in spec.basic_residues
+
+        # ---- backbone N, H, CA, C -----------------------------------
+        if r == 0:
+            n_id = cb.add_xyz((0.0, 0.0, 0.0))
+            n_charge = bb["N"] - TERMINAL_H_CHARGE * (2 if spec.nh3_terminus else 1)
+            add_atom(n_id, "N", "NH1", n_charge, "N", r)
+            ca_id = cb.add_xyz((b_nca, 0.0, 0.0))
+            add_atom(ca_id, "CA", "CT1", bb["CA"], "C", r)
+            c_xyz = np.array(
+                [b_nca - b_cac * math.cos(a_ncac), b_cac * math.sin(a_ncac), 0.0]
+            )
+            c_id = cb.add_xyz(c_xyz)
+            # residue 0 is never terminal (n_residues >= 2), so no charge fixup
+            add_atom(c_id, "C", "C", bb["C"], "C", r)
+            # N-terminal hydrogens, placed around the CA-N axis
+            h_torsions = [math.radians(60.0), math.radians(-60.0)]
+            if spec.nh3_terminus:
+                h_torsions.append(math.radians(180.0))
+            for ht in h_torsions:
+                h_id = cb.add_internal(c_id, ca_id, n_id, b_nh, a_hnca, ht)
+                # placeholder charge; the fixup pass below assigns the
+                # backbone charge to the first H and +0.25 to the extras
+                add_atom(h_id, "HT", "H", bb["H"], "H", r)
+                bonds.append(Bond(n_id, h_id))
+        else:
+            # N_r, H_r, CA_r, C_r were pre-placed while finishing r-1
+            assert pending is not None
+            n_id, h_id, ca_id, c_id = pending
+            add_atom(n_id, "N", "NH1", bb["N"], "N", r)
+            add_atom(h_id, "HN", "H", bb["H"], "H", r)
+            add_atom(ca_id, "CA", "CT1", bb["CA"], "C", r)
+            c_charge = bb["C"] + (-TERMINAL_O_CHARGE if r == n_res - 1 else 0.0)
+            add_atom(c_id, "C", "C", c_charge, "C", r)
+            bonds.append(Bond(n_id, h_id))
+            bonds.append(Bond(c_prev, n_id))
+        bonds.append(Bond(n_id, ca_id))
+        bonds.append(Bond(ca_id, c_id))
+
+        # ---- HB and sidechain ----------------------------------------
+        hb_id = cb.add_internal(c_id, n_id, ca_id, b_cahb, a_ncahb, +third)
+        add_atom(hb_id, "HB", "HB", bb["HB"], "H", r)
+        bonds.append(Bond(ca_id, hb_id))
+
+        cbeta_id = cb.add_internal(c_id, n_id, ca_id, b_cacb, a_ncacb, -third)
+        add_atom(cbeta_id, "CB", "CT2", CH2_CHARGES["C"], "C", r)
+        bonds.append(Bond(ca_id, cbeta_id))
+
+        # CH2 chain: carbons first (all-anti), then hydrogens
+        chain = [n_id, ca_id, cbeta_id]  # frame atoms leading into the chain
+        for unit in range(1, k):
+            bond_len = b_cc
+            angle = a_cacbcg if unit == 1 else a_ccc
+            c_next = cb.add_internal(
+                chain[-3], chain[-2], chain[-1], bond_len, angle, math.pi
+            )
+            add_atom(c_next, f"C{unit}", "CT2", CH2_CHARGES["C"], "C", r)
+            bonds.append(Bond(chain[-1], c_next))
+            chain.append(c_next)
+        # terminal CH3 carbon
+        angle = a_cct3 if k > 1 else a_cacbcg
+        ct3_id = cb.add_internal(chain[-3], chain[-2], chain[-1], b_cct3, angle, math.pi)
+        ct3_charge = CH3_CHARGES["C"] + (BASIC_SIDECHAIN_EXTRA if is_basic else 0.0)
+        add_atom(ct3_id, "CT", "CT3", ct3_charge, "C", r)
+        bonds.append(Bond(chain[-1], ct3_id))
+        chain.append(ct3_id)
+
+        # hydrogens on every CH2 (two each, +-60 from the anti continuation)
+        for pos in range(2, len(chain) - 1):  # chain[2] = CB .. last CH2
+            a_ref, b_ref, c_ref = chain[pos - 2], chain[pos - 1], chain[pos]
+            h_angle = a_cacbh if pos == 2 else a_cch
+            for sign in (+1.0, -1.0):
+                h_id2 = cb.add_internal(
+                    a_ref, b_ref, c_ref, b_ch2h, h_angle, sign * (third / 2.0)
+                )
+                add_atom(h_id2, "HC", "HA", CH2_CHARGES["H"], "H", r)
+                bonds.append(Bond(c_ref, h_id2))
+        # hydrogens on the CH3 (three, staggered)
+        a_ref, b_ref, c_ref = chain[-3], chain[-2], chain[-1]
+        for tors in (math.radians(60.0), math.radians(180.0), math.radians(-60.0)):
+            h_id3 = cb.add_internal(a_ref, b_ref, c_ref, b_ch3h, a_ct3h, tors)
+            add_atom(h_id3, "HM", "HA", CH3_CHARGES["H"], "H", r)
+            bonds.append(Bond(c_ref, h_id3))
+
+        # ---- carbonyl O, peptide continuation -------------------------
+        if r < n_res - 1:
+            o_id = cb.add_internal(n_id, ca_id, c_id, b_co, a_caco, PSI + math.pi)
+            add_atom(o_id, "O", "O", bb["O"], "O", r)
+            bonds.append(Bond(c_id, o_id))
+            n_next = cb.add_internal(n_id, ca_id, c_id, b_cn, a_cacn, PSI)
+            h_next = cb.add_internal(ca_id, c_id, n_next, b_nh, a_cnh, 0.0)
+            ca_next = cb.add_internal(ca_id, c_id, n_next, b_nca, a_cnca, OMEGA)
+            c_next2 = cb.add_internal(c_id, n_next, ca_next, b_cac, a_ncac, PHI)
+            impropers.append(Improper(o_id, ca_id, n_next, c_id))
+            pending = (n_next, h_next, ca_next, c_next2)
+        else:
+            o_id = cb.add_internal(n_id, ca_id, c_id, b_co, a_caco, PSI + math.pi)
+            add_atom(o_id, "O", "O", bb["O"], "O", r)
+            bonds.append(Bond(c_id, o_id))
+            ot2_id = cb.add_internal(n_id, ca_id, c_id, b_co, a_caco, PSI)
+            add_atom(ot2_id, "OT2", "O", TERMINAL_O_CHARGE, "O", r)
+            bonds.append(Bond(c_id, ot2_id))
+
+        c_prev = c_id
+
+    # ---- terminal-H charge fixup -------------------------------------
+    # The N-terminal hydrogens were appended with the standard backbone H
+    # charge; the *extra* ones must carry TERMINAL_H_CHARGE instead so the
+    # segment stays neutral (the terminal N already absorbed -0.25 each).
+    n_extra = 2 if spec.nh3_terminus else 1
+    fixed = 0
+    for i, a in enumerate(atoms):
+        if a.residue_index == 0 and a.name == "HT":
+            if fixed > 0:  # first HT keeps the backbone charge
+                atoms[i] = Atom(
+                    name=a.name,
+                    type_name=a.type_name,
+                    charge=TERMINAL_H_CHARGE,
+                    mass=a.mass,
+                    residue=a.residue,
+                    residue_index=a.residue_index,
+                    segment=a.segment,
+                )
+            else:
+                atoms[i] = Atom(
+                    name=a.name,
+                    type_name=a.type_name,
+                    charge=BACKBONE_CHARGES["H"],
+                    mass=a.mass,
+                    residue=a.residue,
+                    residue_index=a.residue_index,
+                    segment=a.segment,
+                )
+            fixed += 1
+    if fixed != 1 + n_extra:
+        raise AssertionError(f"expected {1 + n_extra} N-terminal hydrogens, fixed {fixed}")
+
+    topo = Topology(
+        atoms=atoms,
+        bonds=bonds,
+        angles=derive_angles(bonds, len(atoms)),
+        dihedrals=derive_dihedrals(bonds, len(atoms)),
+        impropers=impropers,
+    )
+    return topo, cb.coords()

@@ -1,0 +1,71 @@
+"""Small systems for tests, examples and quick experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..md.box import PeriodicBox
+from ..md.forcefield import ForceField, default_forcefield
+from ..md.topology import Topology
+from .protein import SegmentSpec, build_helical_segment
+from .solvent import lattice_points, water_coords, water_topology
+
+__all__ = ["build_water_box", "build_peptide_in_water"]
+
+
+def build_water_box(
+    n_side: int = 4,
+    spacing: float = 3.1,
+    forcefield: ForceField | None = None,
+) -> tuple[Topology, np.ndarray, PeriodicBox]:
+    """A cubic box of ``n_side**3`` waters on a lattice.
+
+    Returns ``(topology, positions, box)``.
+    """
+    if n_side < 1:
+        raise ValueError("n_side must be >= 1")
+    ff = forcefield or default_forcefield()
+    edge = n_side * spacing
+    box = PeriodicBox(edge, edge, edge)
+    sites = lattice_points(box.lengths, spacing)
+    topos = []
+    parts = []
+    for w, site in enumerate(sites):
+        topos.append(water_topology(residue_index=w))
+        parts.append(water_coords(ff, site, orientation_seed=w))
+    return Topology.concat(topos), np.vstack(parts), box
+
+
+def build_peptide_in_water(
+    n_residues: int = 4,
+    n_waters: int = 24,
+    forcefield: ForceField | None = None,
+) -> tuple[Topology, np.ndarray, PeriodicBox]:
+    """A short helical peptide solvated by a shell of waters.
+
+    A miniature of the myoglobin workload for fast tests; returns
+    ``(topology, positions, box)``.
+    """
+    ff = forcefield or default_forcefield()
+    spec = SegmentSpec(sidechain_ks=(2,) * n_residues, segment_name="PEP")
+    topo, xyz = build_helical_segment(spec, ff)
+
+    extent = float(np.max(np.ptp(xyz, axis=0)))
+    edge = max(26.0, extent + 14.0)
+    box = PeriodicBox(edge, edge, edge)
+    xyz = xyz - xyz.mean(axis=0) + 0.5 * box.lengths
+
+    sites = lattice_points(box.lengths, spacing=3.1, margin=1.8)
+    d2 = np.array(
+        [np.min(np.einsum("ij,ij->i", xyz - s, xyz - s)) for s in sites]
+    )
+    open_sites = sites[d2 >= 2.6**2]
+    if len(open_sites) < n_waters:
+        raise RuntimeError("box too small for the requested water count")
+    order = np.argsort(d2[d2 >= 2.6**2], kind="stable")
+    parts = [xyz]
+    topos = [topo]
+    for w in range(n_waters):
+        topos.append(water_topology(residue_index=w))
+        parts.append(water_coords(ff, open_sites[order[w]], orientation_seed=w))
+    return Topology.concat(topos), np.vstack(parts), box

@@ -1,0 +1,133 @@
+"""Water, carbon monoxide and sulfate building blocks.
+
+Provides single-molecule topologies plus deterministic placement helpers
+(lattice positions, orientation variation) used to assemble the benchmark
+system of the paper: myoglobin + CO + 337 waters + one sulfate ion.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..md.forcefield import ForceField
+from ..md.topology import Angle, Atom, Bond, Topology
+
+__all__ = [
+    "water_topology",
+    "water_coords",
+    "co_topology",
+    "co_coords",
+    "sulfate_topology",
+    "sulfate_coords",
+    "lattice_points",
+]
+
+# TIP3P-like charges
+WATER_O_CHARGE = -0.834
+WATER_H_CHARGE = 0.417
+# CO is almost apolar; tiny dipole
+CO_C_CHARGE = 0.021
+CO_O_CHARGE = -0.021
+# sulfate: net -2
+SULFATE_S_CHARGE = 2.0
+SULFATE_O_CHARGE = -1.0
+
+
+def water_topology(segment: str = "SOLV", residue_index: int = 0) -> Topology:
+    """One TIP3P-like water (O, H1, H2) with an explicit H-O-H angle."""
+    atoms = [
+        Atom("OH2", "OT", WATER_O_CHARGE, 15.999, "TIP3", residue_index, segment),
+        Atom("H1", "HT", WATER_H_CHARGE, 1.008, "TIP3", residue_index, segment),
+        Atom("H2", "HT", WATER_H_CHARGE, 1.008, "TIP3", residue_index, segment),
+    ]
+    bonds = [Bond(0, 1), Bond(0, 2)]
+    return Topology(atoms=atoms, bonds=bonds, angles=[Angle(1, 0, 2)])
+
+
+def water_coords(
+    forcefield: ForceField, origin: np.ndarray, orientation_seed: int = 0
+) -> np.ndarray:
+    """Coordinates for one water at ``origin``, deterministically oriented."""
+    r_oh = forcefield.bond_params("OT", "HT").r0
+    theta = forcefield.angle_params("HT", "OT", "HT").theta0
+    half = 0.5 * theta
+    local = np.array(
+        [
+            [0.0, 0.0, 0.0],
+            [r_oh * math.sin(half), r_oh * math.cos(half), 0.0],
+            [-r_oh * math.sin(half), r_oh * math.cos(half), 0.0],
+        ]
+    )
+    rng = np.random.default_rng(orientation_seed)
+    rot = _random_rotation(rng)
+    return local @ rot.T + np.asarray(origin, dtype=np.float64)
+
+
+def co_topology(segment: str = "HETERO", residue_index: int = 0) -> Topology:
+    """A carbon monoxide molecule."""
+    atoms = [
+        Atom("C", "CM", CO_C_CHARGE, 12.011, "CO", residue_index, segment),
+        Atom("O", "OM", CO_O_CHARGE, 15.999, "CO", residue_index, segment),
+    ]
+    return Topology(atoms=atoms, bonds=[Bond(0, 1)])
+
+
+def co_coords(forcefield: ForceField, origin: np.ndarray) -> np.ndarray:
+    """Coordinates for one CO molecule with C at ``origin``."""
+    r = forcefield.bond_params("CM", "OM").r0
+    origin = np.asarray(origin, dtype=np.float64)
+    return np.array([origin, origin + np.array([r, 0.0, 0.0])])
+
+
+def sulfate_topology(segment: str = "HETERO", residue_index: int = 0) -> Topology:
+    """A sulfate ion SO4(2-) with tetrahedral connectivity."""
+    atoms = [Atom("S", "SUL", SULFATE_S_CHARGE, 32.06, "SO4", residue_index, segment)]
+    atoms += [
+        Atom(f"O{i + 1}", "OSL", SULFATE_O_CHARGE, 15.999, "SO4", residue_index, segment)
+        for i in range(4)
+    ]
+    bonds = [Bond(0, i) for i in range(1, 5)]
+    angles = [Angle(i, 0, j) for i in range(1, 5) for j in range(i + 1, 5)]
+    return Topology(atoms=atoms, bonds=bonds, angles=angles)
+
+
+def sulfate_coords(forcefield: ForceField, origin: np.ndarray) -> np.ndarray:
+    """Tetrahedral sulfate geometry centred on the sulfur."""
+    r = forcefield.bond_params("SUL", "OSL").r0
+    s = r / math.sqrt(3.0)
+    directions = np.array(
+        [[1, 1, 1], [1, -1, -1], [-1, 1, -1], [-1, -1, 1]], dtype=np.float64
+    )
+    origin = np.asarray(origin, dtype=np.float64)
+    return np.vstack([origin, origin + s * directions])
+
+
+def lattice_points(
+    box_lengths: np.ndarray, spacing: float, margin: float = 0.0
+) -> np.ndarray:
+    """Regular cubic lattice of candidate positions inside a box.
+
+    Points are at least ``margin`` away from the box faces (useful when the
+    consumer does not want wrapped near-duplicates).
+    """
+    if spacing <= 0:
+        raise ValueError("spacing must be positive")
+    axes = []
+    for length in box_lengths:
+        n = max(1, int((length - 2 * margin) // spacing))
+        start = 0.5 * (length - (n - 1) * spacing)
+        axes.append(start + spacing * np.arange(n))
+    gx, gy, gz = np.meshgrid(*axes, indexing="ij")
+    return np.stack([gx.ravel(), gy.ravel(), gz.ravel()], axis=1)
+
+
+def _random_rotation(rng: np.random.Generator) -> np.ndarray:
+    """A uniformly random rotation matrix (QR of a Gaussian matrix)."""
+    m = rng.normal(size=(3, 3))
+    q, r = np.linalg.qr(m)
+    q *= np.sign(np.diag(r))
+    if np.linalg.det(q) < 0:
+        q[:, 0] = -q[:, 0]
+    return q

@@ -1,0 +1,120 @@
+"""Network presets: parameter sanity and the paper's ordering claims."""
+
+import pytest
+
+from repro.cluster import (
+    NETWORKS,
+    NetworkParams,
+    IntranodeParams,
+    fast_ethernet_tcp,
+    myrinet_gm,
+    score_gigabit_ethernet,
+    tcp_gigabit_ethernet,
+)
+
+
+class TestPresets:
+    def test_registry_complete(self):
+        assert set(NETWORKS) == {
+            "tcp-gige",
+            "score-gige",
+            "myrinet",
+            "tcp-fast-ethernet",
+            "wide-area-grid",
+        }
+
+    def test_wide_area_grid_extreme(self):
+        from repro.cluster import wide_area_grid
+
+        grid = wide_area_grid()
+        assert grid.latency > 100 * tcp_gigabit_ethernet().latency
+        assert grid.bandwidth < 0.1 * tcp_gigabit_ethernet().bandwidth
+        assert grid.variability > tcp_gigabit_ethernet().variability
+
+    def test_latency_ordering(self):
+        """Myrinet < SCore < TCP (the paper's core claim about overheads)."""
+        assert myrinet_gm().latency < score_gigabit_ethernet().latency
+        assert score_gigabit_ethernet().latency < tcp_gigabit_ethernet().latency
+
+    def test_overhead_ordering(self):
+        assert myrinet_gm().send_overhead < score_gigabit_ethernet().send_overhead
+        assert score_gigabit_ethernet().send_overhead < tcp_gigabit_ethernet().send_overhead
+
+    def test_bandwidth_ordering(self):
+        assert myrinet_gm().bandwidth > score_gigabit_ethernet().bandwidth
+        assert fast_ethernet_tcp().bandwidth < tcp_gigabit_ethernet().bandwidth
+
+    def test_only_tcp_uses_interrupts(self):
+        assert tcp_gigabit_ethernet().uses_interrupts
+        assert fast_ethernet_tcp().uses_interrupts
+        assert not score_gigabit_ethernet().uses_interrupts
+        assert not myrinet_gm().uses_interrupts
+
+    def test_tcp_variability_larger(self):
+        tcp = tcp_gigabit_ethernet()
+        assert tcp.variability > score_gigabit_ethernet().variability
+        assert tcp.congestion_variability > myrinet_gm().congestion_variability
+
+    def test_smp_penalties_only_on_tcp(self):
+        assert tcp_gigabit_ethernet().smp_efficiency_penalty < 1.0
+        assert score_gigabit_ethernet().smp_efficiency_penalty == 1.0
+        assert myrinet_gm().smp_irq_multiplier == 1.0
+
+
+class TestHelpers:
+    def test_packets(self):
+        net = tcp_gigabit_ethernet()
+        assert net.packets(0) == 1
+        assert net.packets(1) == 1
+        assert net.packets(1460) == 1
+        assert net.packets(1461) == 2
+        assert net.packets(14600) == 10
+
+    def test_host_cost_scales(self):
+        net = tcp_gigabit_ethernet()
+        assert net.host_cost(2000) == pytest.approx(2 * net.host_cost(1000))
+
+    def test_validation(self):
+        base = tcp_gigabit_ethernet()
+        with pytest.raises(ValueError):
+            NetworkParams(
+                name="bad",
+                latency=1e-6,
+                bandwidth=0.0,
+                send_overhead=0,
+                recv_overhead=0,
+                cpu_byte_cost=0,
+                packet_size=1000,
+                packet_overhead=0,
+                eager_threshold=1000,
+                base_efficiency=0.5,
+                congestion_sensitivity=0,
+                variability=0,
+                congestion_variability=0,
+                uses_interrupts=False,
+                irq_cost=0,
+                intranode=base.intranode,
+            )
+        with pytest.raises(ValueError):
+            NetworkParams(
+                name="bad",
+                latency=1e-6,
+                bandwidth=1e8,
+                send_overhead=0,
+                recv_overhead=0,
+                cpu_byte_cost=0,
+                packet_size=1000,
+                packet_overhead=0,
+                eager_threshold=1000,
+                base_efficiency=1.5,
+                congestion_sensitivity=0,
+                variability=0,
+                congestion_variability=0,
+                uses_interrupts=False,
+                irq_cost=0,
+                intranode=base.intranode,
+            )
+
+    def test_intranode_params(self):
+        path = IntranodeParams(latency=1e-6, bandwidth=1e8, uses_interrupts=False)
+        assert path.bandwidth == 1e8

@@ -1,0 +1,159 @@
+"""Transfer planning: NIC serialization, IRQ queueing, congestion, records."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterSpec,
+    ClusterState,
+    NodeSpec,
+    myrinet_gm,
+    score_gigabit_ethernet,
+    tcp_gigabit_ethernet,
+)
+
+
+def _state(n_ranks=4, network=None, cpus=1, seed=1):
+    spec = ClusterSpec(
+        n_ranks=n_ranks,
+        network=network or tcp_gigabit_ethernet(),
+        node=NodeSpec(cpus_per_node=cpus),
+        seed=seed,
+    )
+    return ClusterState(spec)
+
+
+class TestBasicTiming:
+    def test_duration_includes_latency(self):
+        st = _state(network=myrinet_gm())
+        plan = st.plan_transfer(0, 1, 0, ready_time=0.0)
+        assert plan.duration >= myrinet_gm().latency
+
+    def test_larger_messages_take_longer(self):
+        st = _state(network=score_gigabit_ethernet())
+        small = st.plan_transfer(0, 1, 10_000, ready_time=0.0)
+        big = st.plan_transfer(2, 3, 1_000_000, ready_time=0.0)
+        assert big.duration > small.duration
+
+    def test_start_respects_ready_time(self):
+        st = _state()
+        plan = st.plan_transfer(0, 1, 1000, ready_time=5.0)
+        assert plan.start >= 5.0
+
+    def test_negative_bytes_rejected(self):
+        st = _state()
+        with pytest.raises(ValueError):
+            st.plan_transfer(0, 1, -1, 0.0)
+
+    def test_rate_property(self):
+        st = _state(network=myrinet_gm())
+        plan = st.plan_transfer(0, 1, 1_000_000, ready_time=0.0)
+        assert 0 < plan.rate < myrinet_gm().bandwidth
+
+
+class TestNicSerialization:
+    def test_same_source_transfers_queue(self):
+        st = _state(network=score_gigabit_ethernet())
+        first = st.plan_transfer(0, 1, 1_000_000, ready_time=0.0)
+        second = st.plan_transfer(0, 2, 1_000_000, ready_time=0.0)
+        assert second.start >= first.start + 1_000_000 / score_gigabit_ethernet().bandwidth * 0.5
+
+    def test_disjoint_node_pairs_overlap(self):
+        st = _state(network=score_gigabit_ethernet())
+        a = st.plan_transfer(0, 1, 1_000_000, ready_time=0.0)
+        b = st.plan_transfer(2, 3, 1_000_000, ready_time=0.0)
+        assert b.start == pytest.approx(a.start)
+
+
+class TestInterrupts:
+    def test_tcp_delivery_after_irq(self):
+        st = _state(network=tcp_gigabit_ethernet())
+        nbytes = 100_000
+        plan = st.plan_transfer(0, 1, nbytes, ready_time=0.0)
+        irq_floor = tcp_gigabit_ethernet().packets(nbytes) * tcp_gigabit_ethernet().irq_cost
+        assert plan.duration > irq_floor
+
+    def test_irq_queueing_serializes_receives(self):
+        st = _state(network=tcp_gigabit_ethernet())
+        a = st.plan_transfer(0, 1, 500_000, ready_time=0.0)
+        b = st.plan_transfer(2, 1, 500_000, ready_time=0.0)  # same receiver
+        assert b.end > a.end
+
+    def test_dual_cpu_irq_multiplier(self):
+        uni = _state(network=tcp_gigabit_ethernet(), cpus=1, seed=3)
+        dual = _state(n_ranks=8, network=tcp_gigabit_ethernet(), cpus=2, seed=3)
+        n = 200_000
+        p_uni = uni.plan_transfer(0, 1, n, 0.0)
+        p_dual = dual.plan_transfer(0, 1, n, 0.0)
+        assert p_dual.duration > p_uni.duration
+
+    def test_score_has_no_irq_tail(self):
+        st = _state(network=score_gigabit_ethernet())
+        plan = st.plan_transfer(0, 1, 100_000, ready_time=0.0)
+        net = score_gigabit_ethernet()
+        wire_min = net.latency + 100_000 / net.bandwidth
+        # duration is close to the pure wire time (efficiency < 1 adds some)
+        assert plan.duration < 3 * wire_min
+
+
+class TestIntranode:
+    def test_same_node_uses_shared_path(self):
+        st = _state(n_ranks=8, network=myrinet_gm(), cpus=2)
+        plan = st.plan_transfer(0, 0, 100_000, ready_time=0.0)
+        assert plan.intranode
+        path = myrinet_gm().intranode
+        assert plan.duration == pytest.approx(path.latency + 100_000 / path.bandwidth)
+
+    def test_intranode_not_recorded_as_wire_transfer(self):
+        st = _state(n_ranks=8, network=myrinet_gm(), cpus=2)
+        st.plan_transfer(0, 0, 100_000, ready_time=0.0)
+        assert len(st.transfers) == 0
+
+    def test_tcp_loopback_pays_irq(self):
+        st = _state(n_ranks=8, network=tcp_gigabit_ethernet(), cpus=2)
+        path = tcp_gigabit_ethernet().intranode
+        plan = st.plan_transfer(0, 0, 200_000, ready_time=0.0)
+        pure = path.latency + 200_000 / path.bandwidth
+        assert plan.duration > pure
+
+
+class TestCongestionAndVariability:
+    def test_determinism_under_seed(self):
+        a = _state(seed=42)
+        b = _state(seed=42)
+        for _ in range(10):
+            pa = a.plan_transfer(0, 1, 50_000, ready_time=0.0)
+            pb = b.plan_transfer(0, 1, 50_000, ready_time=0.0)
+            assert pa.end == pb.end
+
+    def test_different_seeds_differ(self):
+        ends_a = [
+            _state(seed=1).plan_transfer(0, 1, 50_000, 0.0).end for _ in range(1)
+        ]
+        ends_b = [
+            _state(seed=2).plan_transfer(0, 1, 50_000, 0.0).end for _ in range(1)
+        ]
+        assert ends_a != ends_b
+
+    def test_pending_load_reduces_efficiency(self):
+        st = _state(n_ranks=16)
+        lone = st.sample_efficiency(0.0)
+        # pile up pending transfers
+        for i in range(0, 12, 2):
+            st.plan_transfer(i % 4, (i + 1) % 4, 2_000_000, ready_time=0.0)
+        crowded = np.mean([st.sample_efficiency(0.0) for _ in range(20)])
+        assert crowded < lone
+
+    def test_efficiency_floor(self):
+        st = _state()
+        for _ in range(50):
+            assert st.sample_efficiency(0.0) >= 0.06 - 1e-12
+
+    def test_transfers_recorded(self):
+        st = _state()
+        st.plan_transfer(0, 1, 123_456, ready_time=0.0)
+        assert len(st.transfers) == 1
+        rec = st.transfers[0]
+        assert rec.nbytes == 123_456
+        assert rec.src_node == 0 and rec.dst_node == 1
+        assert rec.rate > 0

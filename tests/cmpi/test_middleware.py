@@ -1,0 +1,141 @@
+"""CMPI middleware: correctness + the documented pathologies."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, score_gigabit_ethernet, tcp_gigabit_ethernet
+from repro.cmpi import CMPIMiddleware
+from repro.mpi import MPIMiddleware, MPIWorld
+from repro.sim import Simulator
+
+
+def _run(n_ranks, program_factory, network=None, seed=1):
+    sim = Simulator()
+    world = MPIWorld(
+        sim,
+        ClusterSpec(n_ranks=n_ranks, network=network or tcp_gigabit_ethernet(), seed=seed),
+    )
+    procs = [
+        sim.spawn(program_factory(world.endpoints[r]), name=f"r{r}")
+        for r in range(n_ranks)
+    ]
+    sim.run()
+    world.assert_drained()
+    return [p.result for p in procs], world
+
+
+MW = CMPIMiddleware()
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("p", [1, 2, 4, 5, 8])
+    def test_allreduce(self, p):
+        def prog(ep):
+            out = yield from MW.allreduce(ep, np.full(30, float(ep.rank)))
+            return out
+
+        results, _ = _run(p, prog)
+        for r in results:
+            assert np.allclose(r, sum(range(p)))
+
+    @pytest.mark.parametrize("p", [1, 2, 4, 6])
+    def test_allgatherv(self, p):
+        def prog(ep):
+            blocks = yield from MW.allgatherv(ep, np.full(2 + ep.rank, float(ep.rank)))
+            return blocks
+
+        results, _ = _run(p, prog)
+        for blocks in results:
+            for src, b in enumerate(blocks):
+                assert np.allclose(b, src)
+                assert len(b) == 2 + src
+
+    @pytest.mark.parametrize("p", [1, 2, 4, 6])
+    def test_alltoallv(self, p):
+        def prog(ep):
+            sends = [np.array([100.0 * ep.rank + d]) for d in range(p)]
+            recv = yield from MW.alltoallv(ep, sends)
+            return recv
+
+        results, _ = _run(p, prog)
+        for me, recv in enumerate(results):
+            for src, block in enumerate(recv):
+                assert block[0] == 100.0 * src + me
+
+    def test_alltoallv_validates_block_count(self):
+        def prog(ep):
+            yield from MW.alltoallv(ep, [np.zeros(1)])
+
+        with pytest.raises(ValueError):
+            _run(2, prog)
+
+    @pytest.mark.parametrize("p", [2, 4, 5])
+    def test_barrier_synchronizes(self, p):
+        def prog(ep):
+            if ep.rank == 0:
+                yield from ep.compute(0.7)
+            yield from MW.barrier(ep)
+            return ep.now
+
+        results, _ = _run(p, prog)
+        assert all(t >= 0.7 for t in results)
+
+
+class TestPathology:
+    def test_sync_booked_as_sync(self):
+        def prog(ep):
+            yield from MW.sync(ep)
+
+        _, world = _run(4, prog)
+        for ep in world.endpoints:
+            totals = ep.timeline.grand_total()
+            assert totals.sync > 0
+
+    def test_sync_rounds_scale_linearly(self):
+        """p-1 rounds: sync cost grows ~linearly with p (vs log for MPI)."""
+
+        def cost(p):
+            def prog(ep):
+                yield from MW.sync(ep)
+
+            _, world = _run(p, prog)
+            return max(ep.timeline.grand_total().total for ep in world.endpoints)
+
+        c2, c8 = cost(2), cost(8)
+        assert c8 > 3.0 * c2
+
+    def test_cmpi_allreduce_slower_than_mpi_on_tcp(self):
+        """The Figure 8 effect at the operation level."""
+        mpi = MPIMiddleware()
+
+        def total_time(mw, p):
+            def prog(ep):
+                for _ in range(3):
+                    _ = yield from mw.allreduce(ep, np.zeros(11000))
+                return None
+
+            _, world = _run(p, prog, seed=5)
+            return max(ep.timeline.grand_total().total for ep in world.endpoints)
+
+        assert total_time(MW, 8) > total_time(mpi, 8)
+
+    def test_cmpi_message_count_quadratic(self):
+        """CMPI allreduce sends (p-1) full vectors per rank: p(p-1) messages
+        plus 2 p (p-1) sync messages; MPI recursive doubling sends p log p."""
+
+        def n_transfers(mw, p):
+            def prog(ep):
+                _ = yield from mw.allreduce(ep, np.zeros(1000))
+                return None
+
+            _, world = _run(p, prog, seed=3)
+            return len(world.state.transfers)
+
+        p = 8
+        cmpi_count = n_transfers(MW, p)
+        mpi_count = n_transfers(MPIMiddleware(), p)
+        assert cmpi_count > 2 * mpi_count
+
+    def test_name(self):
+        assert MW.name == "cmpi"
+        assert MPIMiddleware().name == "mpi"

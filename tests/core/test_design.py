@@ -1,0 +1,55 @@
+"""Experimental designs: full factorial and one-factor-at-a-time."""
+
+import pytest
+
+from repro.core import (
+    FOCAL_POINT,
+    DesignPoint,
+    full_factorial,
+    one_factor_at_a_time,
+)
+
+
+class TestFullFactorial:
+    def test_size(self):
+        points = full_factorial()
+        # 12 platform configs x 4 processor counts
+        assert len(points) == 48
+
+    def test_replicates(self):
+        points = full_factorial(replicates=3)
+        assert len(points) == 144
+        reps = {p.replicate for p in points}
+        assert reps == {0, 1, 2}
+
+    def test_replicates_validation(self):
+        with pytest.raises(ValueError):
+            full_factorial(replicates=0)
+
+    def test_custom_processor_levels(self):
+        points = full_factorial(processor_levels=(2,))
+        assert len(points) == 12
+        assert all(p.n_ranks == 2 for p in points)
+
+
+class TestOneFactorAtATime:
+    def test_configs_are_axis_moves(self):
+        points = one_factor_at_a_time()
+        configs = {p.config for p in points}
+        # focal + 2 other networks + 1 other middleware + 1 other cpu = 5
+        assert len(configs) == 5
+        assert FOCAL_POINT in configs
+        for cfg in configs:
+            moved = sum(
+                1
+                for name in ("network", "middleware", "cpus_per_node")
+                if getattr(cfg, name) != getattr(FOCAL_POINT, name)
+            )
+            assert moved <= 1
+
+    def test_size(self):
+        assert len(one_factor_at_a_time()) == 5 * 4
+
+    def test_label(self):
+        p = DesignPoint(config=FOCAL_POINT, n_ranks=4)
+        assert p.label() == "tcp-gige/mpi/uni p=4"

@@ -1,0 +1,94 @@
+"""Report rendering: tables and text bars."""
+
+import pytest
+
+from repro.core import (
+    breakdown_table,
+    format_table,
+    speed_table,
+    text_bar,
+    time_series_table,
+)
+from repro.core.responses import ResponseRecord
+
+
+def _record(n_ranks=2, **overrides):
+    base = dict(
+        network="tcp-gige",
+        middleware="mpi",
+        cpus_per_node=1,
+        n_ranks=n_ranks,
+        replicate=0,
+        wall_time=1.0,
+        classic_time=0.6,
+        pme_time=0.4,
+        classic_comp=0.4,
+        classic_comm=0.1,
+        classic_sync=0.1,
+        pme_comp=0.2,
+        pme_comm=0.1,
+        pme_sync=0.1,
+        comm_mean_mbs=25.0,
+        comm_min_mbs=10.0,
+        comm_max_mbs=40.0,
+        final_energy=-100.0,
+    )
+    base.update(overrides)
+    return ResponseRecord(**base)
+
+
+class TestFormatTable:
+    def test_alignment_and_rows(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 3.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "2.500" in out and "3.250" in out
+
+    def test_empty_rows(self):
+        out = format_table(["x"], [])
+        assert "x" in out
+
+
+class TestTextBar:
+    def test_full_and_empty(self):
+        assert text_bar(1.0, 10) == "##########"
+        assert text_bar(0.0, 10) == ".........."
+
+    def test_clamps(self):
+        assert text_bar(1.5, 4) == "####"
+        assert text_bar(-0.5, 4) == "...."
+
+    def test_proportional(self):
+        assert text_bar(0.5, 10).count("#") == 5
+
+
+class TestTables:
+    def test_time_series(self):
+        out = time_series_table([_record(2), _record(4)], label="Figure X")
+        assert "Figure X" in out
+        assert "tcp-gige/mpi/uni" in out
+        assert out.count("\n") >= 3
+
+    def test_breakdown_components(self):
+        rec = _record()
+        for comp in ("classic", "pme", "total"):
+            out = breakdown_table([rec], component=comp)
+            assert "comp %" in out
+
+    def test_breakdown_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            breakdown_table([_record()], component="io")
+
+    def test_breakdown_percentages(self):
+        out = breakdown_table([_record()], component="classic")
+        # 0.4/0.6 comp = 66.7%
+        assert "66.7" in out
+
+    def test_speed_table_skips_serial(self):
+        out = speed_table([_record(1), _record(4)])
+        assert out.count("tcp-gige") == 1
+
+    def test_dual_label(self):
+        out = time_series_table([_record(cpus_per_node=2)])
+        assert "dual" in out

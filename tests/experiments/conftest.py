@@ -1,0 +1,14 @@
+"""Shared figure runner: the full 3552-atom workload, 10-step runs.
+
+One :class:`CharacterizationRunner` is shared by every experiment test so
+each design point is simulated exactly once per session.
+"""
+
+import pytest
+
+from repro.experiments import default_runner
+
+
+@pytest.fixture(scope="session")
+def figure_runner():
+    return default_runner(n_steps=10)

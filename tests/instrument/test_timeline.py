@@ -1,0 +1,90 @@
+"""Timeline accounting: phases, categories, overrides."""
+
+import pytest
+
+from repro.instrument import Category, PhaseTotals, Timeline
+
+
+class TestPhaseTotals:
+    def test_add_and_total(self):
+        t = PhaseTotals()
+        t.add("comp", 1.0)
+        t.add("comm", 0.5)
+        t.add("sync", 0.25)
+        assert t.total == pytest.approx(1.75)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PhaseTotals().add("comp", -1.0)
+
+    def test_rejects_unknown_category(self):
+        with pytest.raises(ValueError):
+            PhaseTotals().add("io", 1.0)
+
+    def test_addition_operator(self):
+        a = PhaseTotals(comp=1.0, comm=2.0)
+        b = PhaseTotals(comp=0.5, sync=1.0)
+        c = a + b
+        assert (c.comp, c.comm, c.sync) == (1.5, 2.0, 1.0)
+
+    def test_fractions_sum_to_one(self):
+        t = PhaseTotals(comp=3.0, comm=1.0, sync=1.0)
+        f = t.fractions()
+        assert sum(f.values()) == pytest.approx(1.0)
+        assert f["comp"] == pytest.approx(0.6)
+
+    def test_fractions_of_empty_phase(self):
+        assert PhaseTotals().fractions() == {"comp": 0.0, "comm": 0.0, "sync": 0.0}
+
+
+class TestTimeline:
+    def test_default_phase(self):
+        tl = Timeline()
+        tl.add(Category.COMP, 1.0)
+        assert tl.phase_totals("default").comp == 1.0
+
+    def test_phase_context(self):
+        tl = Timeline()
+        with tl.phase("classic"):
+            tl.add(Category.COMP, 2.0)
+            with tl.phase("pme"):
+                tl.add(Category.COMM, 1.0)
+            tl.add(Category.SYNC, 0.5)
+        assert tl.phase_totals("classic").comp == 2.0
+        assert tl.phase_totals("classic").sync == 0.5
+        assert tl.phase_totals("pme").comm == 1.0
+        assert tl.current_phase == "default"
+
+    def test_grand_total(self):
+        tl = Timeline()
+        with tl.phase("a"):
+            tl.add(Category.COMP, 1.0)
+        with tl.phase("b"):
+            tl.add(Category.COMM, 2.0)
+        g = tl.grand_total()
+        assert g.total == pytest.approx(3.0)
+        assert tl.total_seconds() == pytest.approx(3.0)
+
+    def test_category_override(self):
+        tl = Timeline()
+        with tl.as_category(Category.SYNC):
+            tl.add(Category.COMM, 1.0)
+            tl.add(Category.COMP, 0.5)
+        assert tl.grand_total().sync == pytest.approx(1.5)
+        assert tl.grand_total().comm == 0.0
+
+    def test_override_restores(self):
+        tl = Timeline()
+        with tl.as_category(Category.SYNC):
+            pass
+        tl.add(Category.COMM, 1.0)
+        assert tl.grand_total().comm == 1.0
+
+    def test_override_validates(self):
+        tl = Timeline()
+        with pytest.raises(ValueError):
+            with tl.as_category("nope"):
+                pass
+
+    def test_unknown_phase_is_empty(self):
+        assert Timeline().phase_totals("missing").total == 0.0

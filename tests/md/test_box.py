@@ -1,0 +1,86 @@
+"""Periodic box: minimum image, wrapping, cutoff validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md import PeriodicBox
+
+finite = st.floats(
+    min_value=-500.0, max_value=500.0, allow_nan=False, allow_infinity=False
+)
+
+
+def test_lengths_and_volume():
+    box = PeriodicBox(10.0, 20.0, 30.0)
+    assert np.allclose(box.lengths, [10, 20, 30])
+    assert box.volume == pytest.approx(6000.0)
+
+
+def test_rejects_nonpositive_edges():
+    with pytest.raises(ValueError):
+        PeriodicBox(0.0, 1.0, 1.0)
+    with pytest.raises(ValueError):
+        PeriodicBox(1.0, -2.0, 1.0)
+
+
+def test_min_image_simple():
+    box = PeriodicBox(10.0, 10.0, 10.0)
+    dr = np.array([[9.0, 0.0, 0.0]])
+    assert np.allclose(box.min_image(dr), [[-1.0, 0.0, 0.0]])
+
+
+def test_min_image_preserves_small_displacements():
+    box = PeriodicBox(10.0, 12.0, 14.0)
+    dr = np.array([[1.0, -2.0, 3.0]])
+    assert np.allclose(box.min_image(dr), dr)
+
+
+def test_wrap_into_box():
+    box = PeriodicBox(10.0, 10.0, 10.0)
+    pos = np.array([[12.0, -3.0, 25.0]])
+    wrapped = box.wrap(pos)
+    assert np.all(wrapped >= 0.0)
+    assert np.all(wrapped < 10.0)
+    assert np.allclose(wrapped, [[2.0, 7.0, 5.0]])
+
+
+def test_check_cutoff_accepts_half_edge():
+    box = PeriodicBox(20.0, 30.0, 40.0)
+    box.check_cutoff(10.0)  # exactly half the smallest edge
+
+
+def test_check_cutoff_rejects_oversized():
+    box = PeriodicBox(20.0, 30.0, 40.0)
+    with pytest.raises(ValueError):
+        box.check_cutoff(10.1)
+
+
+@given(x=finite, y=finite, z=finite)
+@settings(max_examples=80)
+def test_min_image_components_bounded(x, y, z):
+    box = PeriodicBox(11.0, 13.0, 17.0)
+    out = box.min_image(np.array([x, y, z]))
+    assert np.all(np.abs(out) <= box.lengths / 2 + 1e-9)
+
+
+@given(x=finite, y=finite, z=finite)
+@settings(max_examples=80)
+def test_wrap_is_idempotent(x, y, z):
+    box = PeriodicBox(11.0, 13.0, 17.0)
+    once = box.wrap(np.array([x, y, z]))
+    twice = box.wrap(once)
+    assert np.allclose(once, twice, atol=1e-9)
+
+
+@given(x=finite, y=finite, z=finite)
+@settings(max_examples=80)
+def test_wrap_preserves_min_image_distance(x, y, z):
+    """Wrapping a position never changes minimum-image displacements."""
+    box = PeriodicBox(11.0, 13.0, 17.0)
+    other = np.array([1.0, 2.0, 3.0])
+    p = np.array([x, y, z])
+    d1 = np.linalg.norm(box.min_image(p - other))
+    d2 = np.linalg.norm(box.min_image(box.wrap(p) - other))
+    assert d1 == pytest.approx(d2, abs=1e-6)

@@ -1,0 +1,102 @@
+"""Shift and switch functions: values, smoothness, derivatives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md import CutoffScheme, shift_function, switch_function
+
+
+class TestShift:
+    def test_at_zero(self):
+        s, _ = shift_function(np.array([0.0]), 10.0)
+        assert s[0] == pytest.approx(1.0)
+
+    def test_zero_at_cutoff(self):
+        s, ds = shift_function(np.array([10.0]), 10.0)
+        assert s[0] == pytest.approx(0.0)
+        assert ds[0] == pytest.approx(0.0)
+
+    def test_zero_beyond_cutoff(self):
+        s, ds = shift_function(np.array([10.5, 20.0]), 10.0)
+        assert np.all(s == 0.0)
+        assert np.all(ds == 0.0)
+
+    def test_monotone_decreasing_inside(self):
+        r = np.linspace(0.0, 10.0, 200)
+        s, _ = shift_function(r, 10.0)
+        assert np.all(np.diff(s) <= 1e-12)
+
+    def test_rejects_bad_cutoff(self):
+        with pytest.raises(ValueError):
+            shift_function(np.array([1.0]), 0.0)
+
+    @given(st.floats(min_value=0.01, max_value=9.99))
+    @settings(max_examples=60)
+    def test_derivative_matches_finite_difference(self, r):
+        h = 1e-6
+        sp, _ = shift_function(np.array([r + h]), 10.0)
+        sm, _ = shift_function(np.array([r - h]), 10.0)
+        _, ds = shift_function(np.array([r]), 10.0)
+        assert ds[0] == pytest.approx((sp[0] - sm[0]) / (2 * h), abs=1e-5)
+
+
+class TestSwitch:
+    def test_one_below_window(self):
+        s, ds = switch_function(np.array([5.0]), 8.0, 10.0)
+        assert s[0] == pytest.approx(1.0)
+        assert ds[0] == pytest.approx(0.0)
+
+    def test_zero_above_window(self):
+        s, ds = switch_function(np.array([11.0]), 8.0, 10.0)
+        assert s[0] == pytest.approx(0.0)
+        assert ds[0] == pytest.approx(0.0)
+
+    def test_continuous_at_edges(self):
+        eps = 1e-9
+        s_lo, _ = switch_function(np.array([8.0 - eps, 8.0 + eps]), 8.0, 10.0)
+        assert s_lo[0] == pytest.approx(s_lo[1], abs=1e-6)
+        s_hi, _ = switch_function(np.array([10.0 - eps, 10.0 + eps]), 8.0, 10.0)
+        assert s_hi[0] == pytest.approx(s_hi[1], abs=1e-6)
+
+    def test_monotone_in_window(self):
+        r = np.linspace(8.0, 10.0, 300)
+        s, _ = switch_function(r, 8.0, 10.0)
+        assert np.all(np.diff(s) <= 1e-12)
+        assert np.all((s >= 0) & (s <= 1))
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            switch_function(np.array([1.0]), 10.0, 8.0)
+        with pytest.raises(ValueError):
+            switch_function(np.array([1.0]), 0.0, 8.0)
+
+    @given(st.floats(min_value=8.01, max_value=9.99))
+    @settings(max_examples=60)
+    def test_derivative_matches_finite_difference(self, r):
+        h = 1e-6
+        sp, _ = switch_function(np.array([r + h]), 8.0, 10.0)
+        sm, _ = switch_function(np.array([r - h]), 8.0, 10.0)
+        _, ds = switch_function(np.array([r]), 8.0, 10.0)
+        assert ds[0] == pytest.approx((sp[0] - sm[0]) / (2 * h), abs=1e-5)
+
+
+class TestCutoffScheme:
+    def test_defaults(self):
+        s = CutoffScheme()
+        assert s.r_cut == 10.0
+        assert s.switch_on == pytest.approx(8.0)
+        assert s.list_cutoff == pytest.approx(12.0)
+
+    def test_explicit_switch_on(self):
+        s = CutoffScheme(r_cut=10.0, r_on=7.5)
+        assert s.switch_on == 7.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CutoffScheme(r_cut=-1.0)
+        with pytest.raises(ValueError):
+            CutoffScheme(r_cut=10.0, r_on=12.0)
+        with pytest.raises(ValueError):
+            CutoffScheme(skin=-0.1)

@@ -1,0 +1,88 @@
+"""Force-field parameter tables: lookup, canonicalization, wildcards."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.md import ForceField, default_forcefield
+
+
+@pytest.fixture(scope="module")
+def ff():
+    return default_forcefield()
+
+
+class TestLookups:
+    def test_bond_symmetric(self, ff):
+        a = ff.bond_params("NH1", "CT1")
+        b = ff.bond_params("CT1", "NH1")
+        assert a == b
+
+    def test_angle_symmetric(self, ff):
+        a = ff.angle_params("NH1", "CT1", "C")
+        b = ff.angle_params("C", "CT1", "NH1")
+        assert a == b
+
+    def test_dihedral_wildcard_fallback(self, ff):
+        p = ff.dihedral_params("HB", "CT1", "CT2", "HA")
+        assert p == ff.dihedral_params("X", "CT1", "CT2", "X")
+
+    def test_dihedral_reversed_matches(self, ff):
+        a = ff.dihedral_params("O", "C", "NH1", "CT1")
+        b = ff.dihedral_params("CT1", "NH1", "C", "O")
+        assert a == b
+
+    def test_missing_lj_raises(self, ff):
+        with pytest.raises(KeyError):
+            ff.lj_params("NOPE")
+
+    def test_missing_bond_raises(self, ff):
+        with pytest.raises(KeyError):
+            ff.bond_params("OT", "SUL")
+
+    def test_missing_dihedral_raises(self, ff):
+        with pytest.raises(KeyError):
+            ff.dihedral_params("OT", "HT", "HT", "OT")
+
+    def test_improper_lookup(self, ff):
+        p = ff.improper_params("O", "CT1", "NH1", "C")
+        assert p.kpsi > 0
+
+
+class TestRegistration:
+    def test_add_and_get(self):
+        ff = ForceField()
+        ff.add_lj("A", 0.1, 2.0)
+        assert ff.lj_params("A").epsilon == 0.1
+
+    def test_lj_validation(self):
+        with pytest.raises(ValueError):
+            ForceField().add_lj("A", -0.1, 2.0)
+        with pytest.raises(ValueError):
+            ForceField().add_lj("A", 0.1, 0.0)
+
+    def test_dihedral_multiplicity_validation(self):
+        with pytest.raises(ValueError):
+            ForceField().add_dihedral("A", "B", "C", "D", 1.0, 0, 0.0)
+
+
+class TestTables:
+    def test_lj_tables_shapes(self, ff):
+        eps, rmh = ff.lj_tables(["OT", "HT", "OT"])
+        assert eps.shape == (3,)
+        assert np.allclose(eps[[0, 2]], ff.lj_params("OT").epsilon)
+        assert rmh[1] == ff.lj_params("HT").rmin_half
+
+    def test_water_geometry_parameters(self, ff):
+        assert ff.bond_params("OT", "HT").r0 == pytest.approx(0.9572)
+        assert math.degrees(ff.angle_params("HT", "OT", "HT").theta0) == pytest.approx(
+            104.52
+        )
+
+    def test_every_workload_type_has_lj(self, ff):
+        for t in [
+            "NH1", "H", "CT1", "CT2", "CT3", "HB", "HA", "C", "O",
+            "OT", "HT", "CM", "OM", "SUL", "OSL",
+        ]:
+            ff.lj_params(t)  # must not raise

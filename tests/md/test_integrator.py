@@ -1,0 +1,127 @@
+"""Velocity Verlet: determinism, momentum and energy conservation."""
+
+import numpy as np
+import pytest
+
+from repro.md import (
+    CutoffScheme,
+    MDSystem,
+    VelocityVerlet,
+    default_forcefield,
+    kinetic_energy,
+    maxwell_boltzmann_velocities,
+)
+from repro.md.units import BOLTZMANN_KCAL
+from repro.workloads import build_water_box
+
+
+@pytest.fixture(scope="module")
+def water_md():
+    topo, pos, box = build_water_box(n_side=3)
+    system = MDSystem(topo, default_forcefield(), box, CutoffScheme(r_cut=4.0, skin=1.2))
+    return system, pos
+
+
+class TestVelocities:
+    def test_com_momentum_removed(self):
+        rng = np.random.default_rng(0)
+        masses = np.array([16.0, 1.0, 1.0] * 30)
+        v = maxwell_boltzmann_velocities(masses, 300.0, rng)
+        assert np.allclose(masses @ v, 0.0, atol=1e-9)
+
+    def test_temperature_statistics(self):
+        rng = np.random.default_rng(1)
+        masses = np.full(3000, 12.0)
+        v = maxwell_boltzmann_velocities(masses, 300.0, rng)
+        ke = kinetic_energy(masses, v)
+        t_est = 2 * ke / (3 * len(masses) * BOLTZMANN_KCAL)
+        assert t_est == pytest.approx(300.0, rel=0.05)
+
+    def test_zero_temperature(self):
+        rng = np.random.default_rng(2)
+        v = maxwell_boltzmann_velocities(np.full(10, 12.0), 0.0, rng)
+        assert np.allclose(v, 0.0)
+
+    def test_negative_temperature_rejected(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError):
+            maxwell_boltzmann_velocities(np.full(4, 12.0), -1.0, rng)
+
+
+class TestStepping:
+    def test_dt_validation(self, water_md):
+        system, _ = water_md
+        with pytest.raises(ValueError):
+            VelocityVerlet(system, dt=0.0)
+
+    def test_initialize_counts_one_eval(self, water_md):
+        system, pos = water_md
+        vv = VelocityVerlet(system, dt=0.0005)
+        state = vv.initialize(pos, temperature=50.0)
+        assert vv.n_force_evals == 1
+        assert state.step == 0
+        assert state.n_atoms == system.n_atoms
+
+    def test_run_advances_steps(self, water_md):
+        system, pos = water_md
+        vv = VelocityVerlet(system, dt=0.0002)
+        state = vv.initialize(pos, temperature=50.0)
+        state = vv.run(state, 3)
+        assert state.step == 3
+
+    def test_run_rejects_negative(self, water_md):
+        system, pos = water_md
+        vv = VelocityVerlet(system, dt=0.0002)
+        state = vv.initialize(pos, temperature=50.0)
+        with pytest.raises(ValueError):
+            vv.run(state, -1)
+
+    def test_deterministic(self, water_md):
+        system, pos = water_md
+        out = []
+        for _ in range(2):
+            vv = VelocityVerlet(system, dt=0.0002)
+            state = vv.run(vv.initialize(pos, temperature=100.0, seed=9), 5)
+            out.append(state.positions.copy())
+        assert np.array_equal(out[0], out[1])
+
+    def test_momentum_conserved(self, water_md):
+        system, pos = water_md
+        vv = VelocityVerlet(system, dt=0.0002)
+        state = vv.run(vv.initialize(pos, temperature=100.0), 10)
+        p_total = system.masses @ state.velocities
+        assert np.allclose(p_total, 0.0, atol=1e-7)
+
+
+class TestEnergyConservation:
+    def test_nve_drift_small(self, water_md):
+        """Total energy drift over 150 steps stays well under kT per dof."""
+        system, pos = water_md
+        vv = VelocityVerlet(system, dt=0.0002)
+        state = vv.initialize(pos, temperature=150.0, seed=4)
+        e0 = state.potential.total + kinetic_energy(system.masses, state.velocities)
+        energies = []
+        for _ in range(150):
+            state = vv.step(state)
+            energies.append(
+                state.potential.total + kinetic_energy(system.masses, state.velocities)
+            )
+        drift = abs(energies[-1] - e0)
+        scale = 3 * system.n_atoms * BOLTZMANN_KCAL * 150.0  # ~ total thermal energy
+        assert drift < 0.02 * scale, f"drift {drift} vs scale {scale}"
+
+    def test_smaller_dt_conserves_better(self, water_md):
+        system, pos = water_md
+
+        def drift(dt, steps):
+            vv = VelocityVerlet(system, dt=dt)
+            state = vv.initialize(pos, temperature=150.0, seed=4)
+            e0 = state.potential.total + kinetic_energy(system.masses, state.velocities)
+            state = vv.run(state, steps)
+            e1 = state.potential.total + kinetic_energy(system.masses, state.velocities)
+            return abs(e1 - e0)
+
+        # same simulated time, quarter the step: Verlet error ~ dt^2
+        big = drift(0.0008, 25)
+        small = drift(0.0002, 100)
+        assert small < big

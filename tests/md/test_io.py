@@ -1,0 +1,86 @@
+"""Structure I/O: XYZ and PDB round-trips."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.md import read_pdb_coordinates, read_xyz, write_pdb, write_xyz
+from repro.workloads import build_peptide_in_water, water_topology
+from repro.workloads.solvent import water_coords
+from repro.md import default_forcefield
+
+
+@pytest.fixture(scope="module")
+def small_structure():
+    topo = water_topology()
+    xyz = water_coords(default_forcefield(), np.array([1.0, 2.0, 3.0]), 0)
+    return topo, xyz
+
+
+class TestXYZ:
+    def test_roundtrip_stream(self, small_structure):
+        topo, xyz = small_structure
+        buf = io.StringIO()
+        write_xyz(buf, topo, xyz, comment="water")
+        buf.seek(0)
+        elements, coords = read_xyz(buf)
+        assert elements == ["O", "H", "H"]
+        assert np.allclose(coords, xyz, atol=1e-6)
+
+    def test_roundtrip_file(self, small_structure, tmp_path):
+        topo, xyz = small_structure
+        path = tmp_path / "w.xyz"
+        write_xyz(path, topo, xyz)
+        elements, coords = read_xyz(path)
+        assert len(elements) == 3
+        assert np.allclose(coords, xyz, atol=1e-6)
+
+    def test_mismatched_counts_rejected(self, small_structure):
+        topo, xyz = small_structure
+        with pytest.raises(ValueError):
+            write_xyz(io.StringIO(), topo, xyz[:2])
+
+    def test_truncated_file_rejected(self):
+        with pytest.raises(ValueError):
+            read_xyz(io.StringIO("5\ncomment\nO 0 0 0\n"))
+
+    def test_bad_record_rejected(self):
+        with pytest.raises(ValueError):
+            read_xyz(io.StringIO("1\nc\nO 0 0\n"))
+
+
+class TestPDB:
+    def test_coordinates_roundtrip(self, small_structure):
+        topo, xyz = small_structure
+        buf = io.StringIO()
+        write_pdb(buf, topo, xyz)
+        buf.seek(0)
+        coords = read_pdb_coordinates(buf)
+        assert np.allclose(coords, xyz, atol=1e-3)  # PDB has 3 decimals
+
+    def test_record_types(self):
+        topo, pos, _box = build_peptide_in_water(n_residues=2, n_waters=3)
+        buf = io.StringIO()
+        write_pdb(buf, topo, pos)
+        text = buf.getvalue()
+        assert text.count("\nATOM") + text.startswith("ATOM") > 0
+        assert "HETATM" in text  # the waters
+        assert text.rstrip().endswith("END")
+
+    def test_peptide_atoms_are_atom_records(self):
+        topo, pos, _box = build_peptide_in_water(n_residues=2, n_waters=2)
+        buf = io.StringIO()
+        write_pdb(buf, topo, pos)
+        lines = [l for l in buf.getvalue().splitlines() if l.startswith("ATOM")]
+        n_pep = sum(1 for a in topo.atoms if a.segment == "PEP")
+        assert len(lines) == n_pep
+
+    def test_empty_pdb_rejected(self):
+        with pytest.raises(ValueError):
+            read_pdb_coordinates(io.StringIO("REMARK nothing\nEND\n"))
+
+    def test_mismatched_counts_rejected(self, small_structure):
+        topo, xyz = small_structure
+        with pytest.raises(ValueError):
+            write_pdb(io.StringIO(), topo, xyz[:1])

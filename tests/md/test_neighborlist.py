@@ -1,0 +1,131 @@
+"""Cell-list neighbour search vs brute force; skin/rebuild behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md import CutoffScheme, NeighborList, PeriodicBox, brute_force_pairs
+
+
+def _random_positions(rng, n, box):
+    return rng.uniform(0, 1, (n, 3)) * box.lengths
+
+
+class TestBruteForce:
+    def test_two_atoms_within(self):
+        box = PeriodicBox(10, 10, 10)
+        pos = np.array([[1.0, 1.0, 1.0], [2.0, 1.0, 1.0]])
+        pairs = brute_force_pairs(pos, box, 2.0)
+        assert pairs.tolist() == [[0, 1]]
+
+    def test_periodic_image_pair(self):
+        box = PeriodicBox(10, 10, 10)
+        pos = np.array([[0.5, 5.0, 5.0], [9.5, 5.0, 5.0]])
+        pairs = brute_force_pairs(pos, box, 1.5)
+        assert pairs.tolist() == [[0, 1]]
+
+    def test_empty(self):
+        box = PeriodicBox(10, 10, 10)
+        pos = np.array([[1.0, 1.0, 1.0], [6.0, 6.0, 6.0]])
+        assert len(brute_force_pairs(pos, box, 2.0)) == 0
+
+
+class TestCellList:
+    @pytest.mark.parametrize("n,edge", [(40, 12.0), (120, 18.0), (250, 25.0)])
+    def test_matches_brute_force(self, n, edge):
+        rng = np.random.default_rng(n)
+        box = PeriodicBox(edge, edge * 1.1, edge * 0.9)
+        pos = _random_positions(rng, n, box)
+        scheme = CutoffScheme(r_cut=4.0, skin=1.0)
+        nl = NeighborList(box, scheme)
+        pairs = nl.build(pos)
+        ref = brute_force_pairs(pos, box, scheme.list_cutoff)
+        assert pairs.tolist() == ref.tolist()
+
+    def test_exclusions_removed(self):
+        box = PeriodicBox(12, 12, 12)
+        pos = np.array([[1.0, 1, 1], [2.0, 1, 1], [3.0, 1, 1]])
+        excl = np.array([[0, 1]], dtype=np.int64)
+        nl = NeighborList(box, CutoffScheme(r_cut=4.0, skin=0.5), exclusions=excl)
+        pairs = set(map(tuple, nl.build(pos)))
+        assert (0, 1) not in pairs
+        assert (1, 2) in pairs and (0, 2) in pairs
+
+    def test_bad_exclusion_order_rejected(self):
+        box = PeriodicBox(12, 12, 12)
+        with pytest.raises(ValueError):
+            NeighborList(
+                box,
+                CutoffScheme(r_cut=4.0),
+                exclusions=np.array([[1, 0]], dtype=np.int64),
+            )
+
+    def test_cutoff_vs_box_validation(self):
+        with pytest.raises(ValueError):
+            NeighborList(PeriodicBox(6, 6, 6), CutoffScheme(r_cut=4.0))
+
+    def test_unwrapped_positions_handled(self):
+        """Positions far outside the box must be binned correctly."""
+        box = PeriodicBox(12, 12, 12)
+        pos = np.array([[1.0, 1, 1], [2.0, 1, 1]])
+        shifted = pos + np.array([36.0, -24.0, 12.0])
+        nl = NeighborList(box, CutoffScheme(r_cut=4.0, skin=0.5))
+        assert nl.build(shifted).tolist() == [[0, 1]]
+
+
+class TestRebuild:
+    def test_needs_rebuild_initially(self):
+        nl = NeighborList(PeriodicBox(12, 12, 12), CutoffScheme(r_cut=4.0, skin=2.0))
+        assert nl.needs_rebuild(np.zeros((2, 3)))
+
+    def test_no_rebuild_for_small_motion(self):
+        box = PeriodicBox(12, 12, 12)
+        pos = np.array([[1.0, 1, 1], [3.0, 1, 1]])
+        nl = NeighborList(box, CutoffScheme(r_cut=4.0, skin=2.0))
+        nl.build(pos)
+        assert not nl.needs_rebuild(pos + 0.4)  # < skin/2 = 1.0
+
+    def test_rebuild_for_large_motion(self):
+        box = PeriodicBox(12, 12, 12)
+        pos = np.array([[1.0, 1, 1], [3.0, 1, 1]])
+        nl = NeighborList(box, CutoffScheme(r_cut=4.0, skin=2.0))
+        nl.build(pos)
+        moved = pos.copy()
+        moved[0, 0] += 1.2  # > skin/2
+        assert nl.needs_rebuild(moved)
+
+    def test_ensure_counts_builds(self):
+        box = PeriodicBox(12, 12, 12)
+        pos = np.array([[1.0, 1, 1], [3.0, 1, 1]])
+        nl = NeighborList(box, CutoffScheme(r_cut=4.0, skin=2.0))
+        nl.ensure(pos)
+        assert nl.n_builds == 1 and nl.last_ensure_rebuilt
+        nl.ensure(pos + 0.1)
+        assert nl.n_builds == 1 and not nl.last_ensure_rebuilt
+
+    def test_zero_skin_always_rebuilds(self):
+        box = PeriodicBox(12, 12, 12)
+        pos = np.array([[1.0, 1, 1], [3.0, 1, 1]])
+        nl = NeighborList(box, CutoffScheme(r_cut=4.0, skin=0.0))
+        nl.build(pos)
+        assert nl.needs_rebuild(pos)
+
+    def test_candidate_counter_set(self):
+        rng = np.random.default_rng(0)
+        box = PeriodicBox(15, 15, 15)
+        pos = _random_positions(rng, 60, box)
+        nl = NeighborList(box, CutoffScheme(r_cut=4.0, skin=1.0))
+        pairs = nl.build(pos)
+        assert nl.last_candidates >= len(pairs)
+
+
+@given(seed=st.integers(0, 10_000), n=st.integers(10, 80))
+@settings(max_examples=25, deadline=None)
+def test_cell_list_equals_brute_force_property(seed, n):
+    rng = np.random.default_rng(seed)
+    box = PeriodicBox(14.0, 16.0, 13.0)
+    pos = rng.uniform(-20, 40, (n, 3))  # deliberately unwrapped
+    scheme = CutoffScheme(r_cut=5.0, skin=1.0)
+    nl = NeighborList(box, scheme)
+    assert nl.build(pos).tolist() == brute_force_pairs(pos, box, scheme.list_cutoff).tolist()

@@ -1,0 +1,167 @@
+"""Non-bonded kernel: LJ + electrostatics values, gradients, cutoffs."""
+
+import numpy as np
+import pytest
+from scipy.special import erfc
+
+from repro.md import CutoffScheme, NonbondedKernel, PeriodicBox, default_forcefield
+from repro.md.units import COULOMB_CONSTANT
+
+BOX = PeriodicBox(40.0, 40.0, 40.0)
+SCHEME = CutoffScheme(r_cut=10.0, skin=2.0)
+
+
+def _kernel(types, charges, elec_mode="shift", alpha=None, scheme=SCHEME):
+    ff = default_forcefield()
+    return NonbondedKernel(
+        ff, types, np.array(charges), BOX, scheme, elec_mode=elec_mode, ewald_alpha=alpha
+    )
+
+
+def _pair(r):
+    pos = np.array([[5.0, 5.0, 5.0], [5.0 + r, 5.0, 5.0]])
+    pairs = np.array([[0, 1]], dtype=np.int64)
+    return pos, pairs
+
+
+class TestConstruction:
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            _kernel(["OT", "OT"], [0.0, 0.0], elec_mode="pppm")
+
+    def test_ewald_requires_alpha(self):
+        with pytest.raises(ValueError):
+            _kernel(["OT", "OT"], [0.0, 0.0], elec_mode="ewald")
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            _kernel(["OT"], [0.0, 0.0])
+
+
+class TestLennardJones:
+    def test_minimum_depth(self):
+        """At r = Rmin the LJ energy is -eps (inside the switch-on radius)."""
+        ff = default_forcefield()
+        p = ff.lj_params("OT")
+        kern = _kernel(["OT", "OT"], [0.0, 0.0])
+        pos, pairs = _pair(2 * p.rmin_half)
+        energies, forces = kern.compute(pos, pairs)
+        assert energies.lj == pytest.approx(-p.epsilon, rel=1e-12)
+        assert np.allclose(forces, 0.0, atol=1e-9)
+
+    def test_repulsive_inside_minimum(self):
+        kern = _kernel(["OT", "OT"], [0.0, 0.0])
+        pos, pairs = _pair(2.2)
+        energies, forces = kern.compute(pos, pairs)
+        assert energies.lj > 0
+        assert forces[0, 0] < 0  # pushed apart
+        assert forces[1, 0] > 0
+
+    def test_zero_beyond_cutoff(self):
+        kern = _kernel(["OT", "OT"], [0.0, 0.0])
+        pos, pairs = _pair(10.5)
+        energies, forces = kern.compute(pos, pairs)
+        assert energies.lj == 0.0
+        assert np.allclose(forces, 0.0)
+        assert kern.last_pair_count == 0
+
+    def test_switched_continuity_at_cutoff(self):
+        kern = _kernel(["OT", "OT"], [0.0, 0.0])
+        e_in, _ = kern.compute(*_pair(10.0 - 1e-7))
+        e_out, _ = kern.compute(*_pair(10.0 + 1e-7))
+        assert abs(e_in.lj - e_out.lj) < 1e-8
+
+
+class TestShiftElectrostatics:
+    def test_small_r_close_to_bare_coulomb(self):
+        q = [1.0, -1.0]
+        kern = _kernel(["OT", "OT"], q)
+        r = 1.5
+        energies, _ = kern.compute(*_pair(r))
+        bare = -COULOMB_CONSTANT / r
+        # shift factor (1-(r/rc)^2)^2 at r=1.5, rc=10
+        expect = bare * (1 - (r / 10) ** 2) ** 2
+        assert energies.elec == pytest.approx(expect, rel=1e-12)
+
+    def test_zero_at_cutoff(self):
+        kern = _kernel(["OT", "OT"], [1.0, -1.0])
+        energies, forces = kern.compute(*_pair(10.0))
+        assert energies.elec == pytest.approx(0.0, abs=1e-12)
+        assert np.allclose(forces, 0.0, atol=1e-10)
+
+    def test_like_charges_repel(self):
+        kern = _kernel(["OT", "OT"], [0.5, 0.5])
+        _, forces = kern.compute(*_pair(3.0))
+        assert forces[0, 0] < 0 and forces[1, 0] > 0
+
+
+class TestEwaldDirect:
+    def test_matches_erfc_formula(self):
+        alpha = 0.31
+        kern = _kernel(["OT", "OT"], [0.8, -0.4], elec_mode="ewald", alpha=alpha)
+        r = 4.0
+        energies, _ = kern.compute(*_pair(r))
+        expect = COULOMB_CONSTANT * 0.8 * (-0.4) * erfc(alpha * r) / r
+        assert energies.elec == pytest.approx(expect, rel=1e-12)
+
+    def test_forces_match_gradient(self):
+        alpha = 0.31
+        kern = _kernel(
+            ["OT", "HT", "OT"], [0.8, -0.3, -0.5], elec_mode="ewald", alpha=alpha
+        )
+        rng = np.random.default_rng(4)
+        pos = np.array([[5.0, 5, 5], [7.0, 5.5, 5], [6.0, 7.5, 6]])
+        pos += rng.normal(scale=0.1, size=pos.shape)
+        pairs = np.array([[0, 1], [0, 2], [1, 2]], dtype=np.int64)
+        _, forces = kern.compute(pos, pairs)
+        h = 1e-6
+        for i in range(3):
+            for d in range(3):
+                pp = pos.copy(); pp[i, d] += h
+                pm = pos.copy(); pm[i, d] -= h
+                ep, _ = kern.compute(pp, pairs)
+                em, _ = kern.compute(pm, pairs)
+                fd = -(ep.total - em.total) / (2 * h)
+                assert forces[i, d] == pytest.approx(fd, abs=1e-5)
+
+
+class TestShiftGradients:
+    def test_forces_match_gradient(self):
+        kern = _kernel(["OT", "HT", "CT2"], [0.6, -0.2, -0.4])
+        pos = np.array([[5.0, 5, 5], [7.5, 5.5, 5], [6.0, 8.5, 6]])
+        pairs = np.array([[0, 1], [0, 2], [1, 2]], dtype=np.int64)
+        _, forces = kern.compute(pos, pairs)
+        h = 1e-6
+        for i in range(3):
+            for d in range(3):
+                pp = pos.copy(); pp[i, d] += h
+                pm = pos.copy(); pm[i, d] -= h
+                ep, _ = kern.compute(pp, pairs)
+                em, _ = kern.compute(pm, pairs)
+                fd = -(ep.total - em.total) / (2 * h)
+                assert forces[i, d] == pytest.approx(fd, abs=1e-5)
+
+
+class TestBookkeeping:
+    def test_empty_pairs(self):
+        kern = _kernel(["OT", "OT"], [0.0, 0.0])
+        energies, forces = kern.compute(
+            np.zeros((2, 3)), np.empty((0, 2), dtype=np.int64)
+        )
+        assert energies.total == 0.0
+        assert np.allclose(forces, 0.0)
+        assert kern.last_pair_count == 0
+
+    def test_pair_count_filters_skin(self):
+        kern = _kernel(["OT", "OT", "OT"], [0.0, 0.0, 0.0])
+        pos = np.array([[5.0, 5, 5], [9.0, 5, 5], [16.0, 5, 5]])
+        pairs = np.array([[0, 1], [0, 2]], dtype=np.int64)  # 0-2 at 11 A: in skin
+        kern.compute(pos, pairs)
+        assert kern.last_pair_count == 1
+
+    def test_newton_third_law(self):
+        kern = _kernel(["OT", "HT", "CT2"], [0.6, -0.2, -0.4])
+        pos = np.array([[5.0, 5, 5], [7.5, 5.5, 5], [6.0, 8.5, 6]])
+        pairs = np.array([[0, 1], [0, 2], [1, 2]], dtype=np.int64)
+        _, forces = kern.compute(pos, pairs)
+        assert np.allclose(forces.sum(axis=0), 0.0, atol=1e-10)

@@ -1,0 +1,139 @@
+"""Trajectory observables: temperature, Rg, RMSD, MSD, dipole."""
+
+import numpy as np
+import pytest
+
+from repro.md import (
+    PeriodicBox,
+    center_of_mass,
+    dipole_moment,
+    mean_squared_displacement,
+    radius_of_gyration,
+    rmsd,
+    temperature,
+)
+from repro.md.observables import kabsch_rotation
+from repro.md.units import BOLTZMANN_KCAL, KINETIC_CONVERT
+
+
+class TestTemperature:
+    def test_matches_kinetic_definition(self):
+        masses = np.array([12.0, 16.0])
+        v = np.array([[1.0, 0, 0], [0, 2.0, 0]])
+        ke = 0.5 * (12 * 1 + 16 * 4) / KINETIC_CONVERT
+        n_dof = 3
+        assert temperature(masses, v) == pytest.approx(2 * ke / (n_dof * BOLTZMANN_KCAL))
+
+    def test_constraints_reduce_dof(self):
+        masses = np.full(10, 12.0)
+        rng = np.random.default_rng(0)
+        v = rng.normal(size=(10, 3))
+        assert temperature(masses, v, n_constraints=5) > temperature(masses, v)
+
+    def test_no_dof_rejected(self):
+        with pytest.raises(ValueError):
+            temperature(np.array([12.0]), np.zeros((1, 3)))
+
+
+class TestStructureMetrics:
+    def test_center_of_mass(self):
+        masses = np.array([1.0, 3.0])
+        pos = np.array([[0.0, 0, 0], [4.0, 0, 0]])
+        assert np.allclose(center_of_mass(masses, pos), [3.0, 0, 0])
+
+    def test_radius_of_gyration_dimer(self):
+        masses = np.array([1.0, 1.0])
+        pos = np.array([[-1.0, 0, 0], [1.0, 0, 0]])
+        assert radius_of_gyration(masses, pos) == pytest.approx(1.0)
+
+    def test_rg_invariant_under_translation(self):
+        rng = np.random.default_rng(1)
+        masses = rng.uniform(1, 16, 20)
+        pos = rng.normal(size=(20, 3))
+        assert radius_of_gyration(masses, pos) == pytest.approx(
+            radius_of_gyration(masses, pos + 5.0)
+        )
+
+
+class TestRMSD:
+    def test_identical_is_zero(self, rng):
+        pos = rng.normal(size=(15, 3))
+        assert rmsd(pos, pos) == pytest.approx(0.0, abs=1e-10)
+
+    def test_superposition_removes_rotation(self, rng):
+        pos = rng.normal(size=(15, 3))
+        theta = 0.7
+        rot = np.array(
+            [
+                [np.cos(theta), -np.sin(theta), 0],
+                [np.sin(theta), np.cos(theta), 0],
+                [0, 0, 1],
+            ]
+        )
+        moved = pos @ rot.T + np.array([3.0, -1.0, 2.0])
+        assert rmsd(moved, pos, superpose=True) == pytest.approx(0.0, abs=1e-9)
+        assert rmsd(moved, pos, superpose=False) > 1.0
+
+    def test_known_displacement(self):
+        pos = np.zeros((4, 3))
+        ref = np.zeros((4, 3))
+        ref[0, 0] = 2.0
+        # centred ref x-coords: [1.5, -0.5, -0.5, -0.5]
+        expect = np.sqrt((1.5**2 + 3 * 0.5**2) / 4.0)
+        assert rmsd(pos, ref, superpose=False) == pytest.approx(expect, rel=1e-12)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rmsd(np.zeros((3, 3)), np.zeros((4, 3)))
+
+    def test_kabsch_is_proper_rotation(self, rng):
+        a = rng.normal(size=(10, 3))
+        b = rng.normal(size=(10, 3))
+        a -= a.mean(0)
+        b -= b.mean(0)
+        r = kabsch_rotation(a, b)
+        assert np.allclose(r @ r.T, np.eye(3), atol=1e-10)
+        assert np.linalg.det(r) == pytest.approx(1.0)
+
+
+class TestMSD:
+    def test_static_trajectory_zero(self):
+        traj = np.zeros((5, 4, 3))
+        assert np.allclose(mean_squared_displacement(traj), 0.0)
+
+    def test_ballistic_motion(self):
+        frames = 6
+        traj = np.zeros((frames, 2, 3))
+        for f in range(frames):
+            traj[f, :, 0] = f * 0.5
+        msd = mean_squared_displacement(traj)
+        assert np.allclose(msd, (0.5 * np.arange(frames)) ** 2)
+
+    def test_unwrapping_through_boundary(self):
+        box = PeriodicBox(10.0, 10.0, 10.0)
+        # an atom drifting +1 A/frame in x, wrapped into [0, 10)
+        frames = 15
+        traj = np.zeros((frames, 1, 3))
+        for f in range(frames):
+            traj[f, 0, 0] = (f * 1.0) % 10.0
+        msd = mean_squared_displacement(traj, box=box)
+        assert msd[-1] == pytest.approx((frames - 1) ** 2)
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            mean_squared_displacement(np.zeros((5, 3)))
+
+
+class TestDipole:
+    def test_neutral_pair(self):
+        q = np.array([1.0, -1.0])
+        pos = np.array([[0.0, 0, 0], [2.0, 0, 0]])
+        assert np.allclose(dipole_moment(q, pos), [-2.0, 0, 0])
+
+    def test_translation_invariant_for_neutral(self, rng):
+        q = rng.normal(size=8)
+        q -= q.mean()
+        pos = rng.normal(size=(8, 3))
+        d1 = dipole_moment(q, pos)
+        d2 = dipole_moment(q, pos + 7.0)
+        assert np.allclose(d1, d2, atol=1e-9)

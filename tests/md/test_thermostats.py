@@ -1,0 +1,109 @@
+"""Thermostats: rescaling behaviour and relaxation direction."""
+
+import numpy as np
+import pytest
+
+from repro.md import BerendsenThermostat, VelocityRescale, temperature
+
+
+@pytest.fixture()
+def hot_system(rng):
+    masses = np.full(60, 12.0)
+    v = rng.normal(size=(60, 3)) * 10.0
+    return masses, v
+
+
+class TestVelocityRescale:
+    def test_hits_target_exactly(self, hot_system):
+        masses, v = hot_system
+        new_v = VelocityRescale(target=300.0).apply(masses, v)
+        assert temperature(masses, new_v) == pytest.approx(300.0, rel=1e-12)
+
+    def test_zero_velocities_unchanged(self):
+        masses = np.full(4, 12.0)
+        v = np.zeros((4, 3))
+        assert np.allclose(VelocityRescale(300.0).apply(masses, v), 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VelocityRescale(target=0.0)
+
+    def test_preserves_direction(self, hot_system):
+        masses, v = hot_system
+        new_v = VelocityRescale(target=100.0).apply(masses, v)
+        cos = np.sum(v * new_v) / (np.linalg.norm(v) * np.linalg.norm(new_v))
+        assert cos == pytest.approx(1.0)
+
+
+class TestBerendsen:
+    def test_moves_towards_target(self, hot_system):
+        masses, v = hot_system
+        t0 = temperature(masses, v)
+        thermostat = BerendsenThermostat(target=300.0, tau=0.1)
+        new_v = thermostat.apply(masses, v, dt=0.001)
+        t1 = temperature(masses, new_v)
+        assert (t0 - 300.0) * (t0 - t1) > 0  # moved towards target
+        assert abs(t1 - 300.0) < abs(t0 - 300.0)
+
+    def test_weaker_than_rescale(self, hot_system):
+        masses, v = hot_system
+        berendsen = BerendsenThermostat(target=300.0, tau=0.5).apply(masses, v, dt=0.001)
+        assert abs(temperature(masses, berendsen) - 300.0) > 1.0  # gentle
+
+    def test_at_target_is_identity(self, hot_system):
+        masses, v = hot_system
+        v = VelocityRescale(300.0).apply(masses, v)
+        out = BerendsenThermostat(target=300.0).apply(masses, v, dt=0.001)
+        assert np.allclose(out, v, rtol=1e-10)
+
+    def test_longer_tau_is_gentler(self, hot_system):
+        masses, v = hot_system
+        fast = BerendsenThermostat(300.0, tau=0.01).apply(masses, v, dt=0.001)
+        slow = BerendsenThermostat(300.0, tau=1.0).apply(masses, v, dt=0.001)
+        assert abs(temperature(masses, fast) - 300.0) < abs(
+            temperature(masses, slow) - 300.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BerendsenThermostat(target=-1.0)
+        with pytest.raises(ValueError):
+            BerendsenThermostat(target=300.0, tau=0.0)
+        with pytest.raises(ValueError):
+            BerendsenThermostat(300.0).apply(np.ones(2), np.ones((2, 3)), dt=0.0)
+
+    def test_converges_over_many_applications(self, hot_system):
+        masses, v = hot_system
+        thermostat = BerendsenThermostat(target=300.0, tau=0.02)
+        for _ in range(200):
+            v = thermostat.apply(masses, v, dt=0.001)
+        assert temperature(masses, v) == pytest.approx(300.0, rel=1e-3)
+
+
+class TestConstraintAwareness:
+    """Regression: a thermostat measuring T with the wrong DOF count drives
+    a constrained system to target * (3N-3)/(3N-3-n_constraints)."""
+
+    def test_rescale_with_constraints_hits_true_target(self, hot_system):
+        masses, v = hot_system
+        n_constraints = 60
+        out = VelocityRescale(target=300.0, n_constraints=n_constraints).apply(masses, v)
+        assert temperature(masses, out, n_constraints=n_constraints) == pytest.approx(
+            300.0, rel=1e-12
+        )
+
+    def test_berendsen_with_constraints_converges_to_true_target(self, hot_system):
+        masses, v = hot_system
+        n_constraints = 60
+        thermostat = BerendsenThermostat(300.0, tau=0.01, n_constraints=n_constraints)
+        for _ in range(300):
+            v = thermostat.apply(masses, v, dt=0.001)
+        assert temperature(masses, v, n_constraints=n_constraints) == pytest.approx(
+            300.0, rel=1e-3
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VelocityRescale(300.0, n_constraints=-1)
+        with pytest.raises(ValueError):
+            BerendsenThermostat(300.0, n_constraints=-2)

@@ -1,0 +1,144 @@
+"""Topology: validation, exclusions, merging, term derivation."""
+
+import numpy as np
+import pytest
+
+from repro.md import Atom, Bond, Topology
+from repro.md.topology import derive_angles, derive_dihedrals
+
+
+def _atom(name="X", type_name="CT2", charge=0.0):
+    return Atom(name=name, type_name=type_name, charge=charge, mass=12.0)
+
+
+def _chain(n):
+    """A linear chain of n atoms bonded consecutively."""
+    atoms = [_atom(f"A{i}") for i in range(n)]
+    bonds = [Bond(i, i + 1) for i in range(n - 1)]
+    return Topology(atoms=atoms, bonds=bonds)
+
+
+class TestValidation:
+    def test_rejects_out_of_range_bond(self):
+        with pytest.raises(ValueError):
+            Topology(atoms=[_atom()], bonds=[Bond(0, 1)])
+
+    def test_rejects_self_bond(self):
+        with pytest.raises(ValueError):
+            Topology(atoms=[_atom(), _atom()], bonds=[Bond(1, 1)])
+
+    def test_accepts_valid(self):
+        topo = _chain(3)
+        assert topo.n_atoms == 3
+
+
+class TestArrays:
+    def test_charges_masses(self):
+        topo = Topology(atoms=[_atom(charge=0.5), _atom(charge=-0.5)])
+        assert np.allclose(topo.charges, [0.5, -0.5])
+        assert np.allclose(topo.masses, [12.0, 12.0])
+        assert topo.total_charge() == pytest.approx(0.0)
+
+    def test_empty_term_arrays(self):
+        topo = Topology(atoms=[_atom()])
+        assert topo.bond_index_array().shape == (0, 2)
+        assert topo.angle_index_array().shape == (0, 3)
+        assert topo.dihedral_index_array().shape == (0, 4)
+        assert topo.improper_index_array().shape == (0, 4)
+
+
+class TestExclusions:
+    def test_linear_chain_separation_3(self):
+        # chain 0-1-2-3-4: within 3 bonds of 0: 1, 2, 3
+        topo = _chain(5)
+        excl = topo.exclusion_pairs(max_separation=3)
+        pairs = set(map(tuple, excl))
+        assert (0, 1) in pairs and (0, 2) in pairs and (0, 3) in pairs
+        assert (0, 4) not in pairs
+
+    def test_separation_1_is_bonds_only(self):
+        topo = _chain(4)
+        excl = topo.exclusion_pairs(max_separation=1)
+        assert set(map(tuple, excl)) == {(0, 1), (1, 2), (2, 3)}
+
+    def test_sorted_and_unique(self):
+        topo = _chain(6)
+        excl = topo.exclusion_pairs()
+        assert np.all(excl[:, 0] < excl[:, 1])
+        as_tuples = list(map(tuple, excl))
+        assert len(as_tuples) == len(set(as_tuples))
+        assert as_tuples == sorted(as_tuples)
+
+    def test_rejects_bad_separation(self):
+        with pytest.raises(ValueError):
+            _chain(3).exclusion_pairs(max_separation=0)
+
+    def test_disconnected_atoms_have_no_exclusions(self):
+        topo = Topology(atoms=[_atom(), _atom()])
+        assert len(topo.exclusion_pairs()) == 0
+
+
+class TestMerge:
+    def test_merge_offsets_indices(self):
+        a = _chain(3)
+        b = _chain(2)
+        merged = a.merge(b)
+        assert merged.n_atoms == 5
+        assert (merged.bonds[-1].i, merged.bonds[-1].j) == (3, 4)
+
+    def test_merge_offsets_residues(self):
+        a = Topology(atoms=[_atom()])
+        b = Topology(atoms=[_atom()])
+        merged = a.merge(b)
+        assert merged.atoms[0].residue_index == 0
+        assert merged.atoms[1].residue_index == 1
+
+    def test_concat_many_linear(self):
+        parts = [_chain(3) for _ in range(10)]
+        merged = Topology.concat(parts)
+        assert merged.n_atoms == 30
+        assert len(merged.bonds) == 20
+
+    def test_concat_matches_repeated_merge(self):
+        parts = [_chain(3), _chain(2), _chain(4)]
+        via_concat = Topology.concat(parts)
+        via_merge = parts[0].merge(parts[1]).merge(parts[2])
+        assert via_concat.n_atoms == via_merge.n_atoms
+        assert [(b.i, b.j) for b in via_concat.bonds] == [
+            (b.i, b.j) for b in via_merge.bonds
+        ]
+
+
+class TestDerivation:
+    def test_angles_of_linear_chain(self):
+        bonds = [Bond(0, 1), Bond(1, 2), Bond(2, 3)]
+        angles = derive_angles(bonds, 4)
+        triples = {(a.i, a.j, a.k) for a in angles}
+        assert triples == {(0, 1, 2), (1, 2, 3)}
+
+    def test_angles_of_star(self):
+        # central atom 0 bonded to 1, 2, 3 -> three angles
+        bonds = [Bond(0, 1), Bond(0, 2), Bond(0, 3)]
+        angles = derive_angles(bonds, 4)
+        assert len(angles) == 3
+        assert all(a.j == 0 for a in angles)
+
+    def test_dihedrals_of_linear_chain(self):
+        bonds = [Bond(0, 1), Bond(1, 2), Bond(2, 3), Bond(3, 4)]
+        dihedrals = derive_dihedrals(bonds, 5)
+        quads = {(d.i, d.j, d.k, d.l) for d in dihedrals}
+        assert quads == {(0, 1, 2, 3), (1, 2, 3, 4)}
+
+    def test_dihedrals_exclude_three_rings(self):
+        # triangle 0-1-2: paths like 2-0-1-2 must not appear
+        bonds = [Bond(0, 1), Bond(1, 2), Bond(0, 2)]
+        dihedrals = derive_dihedrals(bonds, 3)
+        assert dihedrals == []
+
+    def test_methane_like_dihedral_count(self):
+        # X-C-C-X with 3 substituents each side -> 9 dihedrals
+        bonds = [Bond(0, 1)]
+        bonds += [Bond(0, i) for i in (2, 3, 4)]
+        bonds += [Bond(1, i) for i in (5, 6, 7)]
+        dihedrals = derive_dihedrals(bonds, 8)
+        assert len(dihedrals) == 9

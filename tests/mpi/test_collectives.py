@@ -1,0 +1,210 @@
+"""Collective algorithms: correctness for every operation and rank count."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterSpec, score_gigabit_ethernet
+from repro.mpi import MPIWorld, collectives
+from repro.sim import Simulator
+
+
+def _run_collective(n_ranks, program, seed=1):
+    sim = Simulator()
+    world = MPIWorld(
+        sim, ClusterSpec(n_ranks=n_ranks, network=score_gigabit_ethernet(), seed=seed)
+    )
+    procs = [
+        sim.spawn(program(world.endpoints[r]), name=f"r{r}") for r in range(n_ranks)
+    ]
+    sim.run()
+    world.assert_drained()
+    return [p.result for p in procs], world
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 8])
+    def test_completes(self, p):
+        def prog(ep):
+            yield from collectives.barrier(ep)
+            return ep.now
+
+        results, _ = _run_collective(p, prog)
+        assert len(results) == p
+
+    def test_barrier_waits_for_slowest(self):
+        def prog(ep):
+            if ep.rank == 0:
+                yield from ep.compute(1.0)
+            yield from collectives.barrier(ep)
+            return ep.now
+
+        results, _ = _run_collective(4, prog)
+        assert all(t >= 1.0 for t in results)
+
+    def test_all_time_booked_as_sync(self):
+        def prog(ep):
+            yield from collectives.barrier(ep)
+
+        _, world = _run_collective(4, prog)
+        for ep in world.endpoints:
+            totals = ep.timeline.grand_total()
+            assert totals.comm == 0.0
+            assert totals.sync > 0.0
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8])
+    def test_sum_power_of_two(self, p):
+        def prog(ep):
+            data = np.full(50, float(ep.rank + 1))
+            out = yield from collectives.allreduce(ep, data)
+            return out
+
+        results, _ = _run_collective(p, prog)
+        expect = sum(range(1, p + 1))
+        for r in results:
+            assert np.allclose(r, expect)
+
+    @pytest.mark.parametrize("p", [3, 5, 6])
+    def test_sum_general(self, p):
+        def prog(ep):
+            out = yield from collectives.allreduce(ep, np.array([float(ep.rank)]))
+            return out[0]
+
+        results, _ = _run_collective(p, prog)
+        assert results == [sum(range(p))] * p
+
+    def test_max_operation(self):
+        def prog(ep):
+            out = yield from collectives.allreduce(
+                ep, np.array([float(ep.rank)]), op=np.maximum
+            )
+            return out[0]
+
+        results, _ = _run_collective(4, prog)
+        assert results == [3.0] * 4
+
+    def test_input_not_mutated(self):
+        def prog(ep):
+            data = np.full(5, float(ep.rank))
+            yield from collectives.allreduce(ep, data)
+            return data.copy()
+
+        results, _ = _run_collective(4, prog)
+        for r, arr in enumerate(results):
+            assert np.allclose(arr, r)
+
+
+class TestAllgatherv:
+    @pytest.mark.parametrize("p", [1, 2, 4, 5])
+    def test_gathers_uneven_blocks(self, p):
+        def prog(ep):
+            block = np.full(ep.rank + 1, float(ep.rank))
+            blocks = yield from collectives.allgatherv(ep, block)
+            return blocks
+
+        results, _ = _run_collective(p, prog)
+        for blocks in results:
+            assert len(blocks) == p
+            for src, b in enumerate(blocks):
+                assert len(b) == src + 1
+                assert np.allclose(b, src)
+
+
+class TestAlltoallv:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8, 3, 6])
+    def test_personalized_exchange(self, p):
+        def prog(ep):
+            sends = [np.array([10.0 * ep.rank + d]) for d in range(p)]
+            recv = yield from collectives.alltoallv(ep, sends)
+            return recv
+
+        results, _ = _run_collective(p, prog)
+        for me, recv in enumerate(results):
+            for src, block in enumerate(recv):
+                assert block[0] == 10.0 * src + me
+
+    def test_wrong_block_count_rejected(self):
+        def prog(ep):
+            yield from collectives.alltoallv(ep, [np.zeros(1)])
+
+        sim = Simulator()
+        world = MPIWorld(sim, ClusterSpec(n_ranks=2, network=score_gigabit_ethernet()))
+        for r in range(2):
+            sim.spawn(prog(world.endpoints[r]))
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_matrix_transpose_use_case(self):
+        """The FFT-transpose pattern: blocks reassemble a distributed matrix."""
+        p = 4
+        full = np.arange(16.0).reshape(4, 4)
+
+        def prog(ep):
+            my_row = full[ep.rank : ep.rank + 1, :]
+            sends = [np.ascontiguousarray(my_row[:, c : c + 1]) for c in range(p)]
+            recv = yield from collectives.alltoallv(ep, sends)
+            return np.concatenate(recv, axis=0)  # my column
+
+        results, _ = _run_collective(p, prog)
+        for c, col in enumerate(results):
+            assert np.allclose(col.ravel(), full[:, c])
+
+
+class TestBcastReduce:
+    @pytest.mark.parametrize("p", [1, 2, 4, 7, 8])
+    @pytest.mark.parametrize("root", [0, 1])
+    def test_bcast(self, p, root):
+        if root >= p:
+            pytest.skip("root outside communicator")
+
+        def prog(ep):
+            data = np.arange(20.0) if ep.rank == root else None
+            out = yield from collectives.bcast(ep, data, root=root)
+            return out
+
+        results, _ = _run_collective(p, prog)
+        for r in results:
+            assert np.allclose(r, np.arange(20.0))
+
+    @pytest.mark.parametrize("p", [1, 2, 4, 5, 8])
+    @pytest.mark.parametrize("root", [0, 2])
+    def test_reduce(self, p, root):
+        if root >= p:
+            pytest.skip("root outside communicator")
+
+        def prog(ep):
+            out = yield from collectives.reduce(
+                ep, np.array([float(ep.rank)]), root=root
+            )
+            return out
+
+        results, _ = _run_collective(p, prog)
+        for rank, out in enumerate(results):
+            if rank == root:
+                assert out[0] == sum(range(p))
+            else:
+                assert out is None
+
+
+@given(
+    p=st.sampled_from([2, 3, 4, 8]),
+    values=st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=1, max_size=8
+    ),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=20, deadline=None)
+def test_allreduce_property(p, values, seed):
+    arr = np.array(values)
+
+    def prog(ep):
+        out = yield from collectives.allreduce(ep, arr * (ep.rank + 1))
+        return out
+
+    results, _ = _run_collective(p, prog, seed=seed)
+    expect = arr * sum(range(1, p + 1))
+    for r in results:
+        assert np.allclose(r, expect, atol=1e-9)

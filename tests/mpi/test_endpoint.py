@@ -1,0 +1,234 @@
+"""Point-to-point semantics: payload integrity, matching, timing split."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, myrinet_gm, tcp_gigabit_ethernet
+from repro.mpi import MPIWorld
+from repro.sim import SimulationError, Simulator
+
+
+def _world(n=2, network=None, seed=1):
+    sim = Simulator()
+    spec = ClusterSpec(n_ranks=n, network=network or tcp_gigabit_ethernet(), seed=seed)
+    return sim, MPIWorld(sim, spec)
+
+
+def _run(sim, world, programs):
+    procs = [sim.spawn(programs[r](world.endpoints[r]), name=f"r{r}") for r in range(len(programs))]
+    sim.run()
+    world.assert_drained()
+    return [p.result for p in procs]
+
+
+class TestBlockingSendRecv:
+    def test_array_payload_delivered(self):
+        sim, world = _world()
+        data = np.arange(100, dtype=np.float64)
+
+        def sender(ep):
+            yield from ep.send(1, data, tag=7)
+
+        def receiver(ep):
+            got = yield from ep.recv(0, tag=7)
+            return got
+
+        results = _run(sim, world, [sender, receiver])
+        assert np.array_equal(results[1], data)
+
+    def test_payload_is_copied_at_send(self):
+        sim, world = _world()
+        data = np.zeros(10)
+
+        def sender(ep):
+            req = yield from ep.isend(1, data, tag=1)
+            data[:] = 99.0  # mutate after send: receiver must not see this
+            yield from req.wait()
+
+        def receiver(ep):
+            got = yield from ep.recv(0, tag=1)
+            return got
+
+        results = _run(sim, world, [sender, receiver])
+        assert np.allclose(results[1], 0.0)
+
+    def test_bytes_payload(self):
+        sim, world = _world()
+
+        def sender(ep):
+            yield from ep.send(1, b"\x01\x02", tag=0)
+
+        def receiver(ep):
+            got = yield from ep.recv(0, tag=0)
+            return got
+
+        results = _run(sim, world, [sender, receiver])
+        assert results[1] == b"\x01\x02"
+
+    def test_tag_matching(self):
+        sim, world = _world()
+
+        def sender(ep):
+            yield from ep.send(1, np.array([1.0]), tag=5)
+            yield from ep.send(1, np.array([2.0]), tag=6)
+
+        def receiver(ep):
+            second = yield from ep.recv(0, tag=6)
+            first = yield from ep.recv(0, tag=5)
+            return first[0], second[0]
+
+        results = _run(sim, world, [sender, receiver])
+        assert results[1] == (1.0, 2.0)
+
+    def test_fifo_per_tag(self):
+        sim, world = _world()
+
+        def sender(ep):
+            for v in (1.0, 2.0, 3.0):
+                yield from ep.send(1, np.array([v]), tag=0)
+
+        def receiver(ep):
+            got = []
+            for _ in range(3):
+                arr = yield from ep.recv(0, tag=0)
+                got.append(arr[0])
+            return got
+
+        results = _run(sim, world, [sender, receiver])
+        assert results[1] == [1.0, 2.0, 3.0]
+
+    def test_sendrecv_exchanges(self):
+        sim, world = _world()
+
+        def prog(ep):
+            other = yield from ep.sendrecv(1 - ep.rank, np.array([float(ep.rank)]), 1 - ep.rank, tag=3)
+            return other[0]
+
+        results = _run(sim, world, [prog, prog])
+        assert results == [1.0, 0.0]
+
+
+class TestValidation:
+    def test_self_send_rejected(self):
+        sim, world = _world()
+
+        def prog(ep):
+            yield from ep.send(0, b"x")
+
+        sim.spawn(prog(world.endpoints[0]))
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_bad_rank_rejected(self):
+        sim, world = _world()
+
+        def prog(ep):
+            yield from ep.send(5, b"x")
+
+        sim.spawn(prog(world.endpoints[0]))
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_unsupported_payload_rejected(self):
+        sim, world = _world()
+
+        def prog(ep):
+            yield from ep.send(1, [1, 2, 3])
+
+        sim.spawn(prog(world.endpoints[0]))
+        with pytest.raises(TypeError):
+            sim.run()
+
+    def test_missing_receiver_deadlocks(self):
+        sim, world = _world()
+        big = np.zeros(100_000)  # rendezvous: sender blocks forever
+
+        def prog(ep):
+            yield from ep.send(1, big)
+
+        sim.spawn(prog(world.endpoints[0]), name="lonely")
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_unmatched_recv_detected(self):
+        sim, world = _world()
+
+        def prog(ep):
+            yield from ep.recv(1, tag=0)
+
+        sim.spawn(prog(world.endpoints[0]), name="r0")
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestTiming:
+    def test_compute_charges_comp(self):
+        sim, world = _world()
+
+        def prog(ep):
+            yield from ep.compute(0.25)
+
+        def idle(ep):
+            yield from ep.compute(0.0)
+
+        _run(sim, world, [prog, idle])
+        totals = world.endpoints[0].timeline.grand_total()
+        assert totals.comp == pytest.approx(0.25)
+        assert totals.comm == 0.0
+
+    def test_negative_compute_rejected(self):
+        sim, world = _world()
+
+        def prog(ep):
+            yield from ep.compute(-1.0)
+
+        sim.spawn(prog(world.endpoints[0]))
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_late_receiver_accrues_sync(self):
+        sim, world = _world()
+        payload = np.zeros(200_000)  # rendezvous
+
+        def sender(ep):
+            yield from ep.send(1, payload, tag=0)
+
+        def receiver(ep):
+            yield from ep.compute(0.5)  # make the sender wait
+            got = yield from ep.recv(0, tag=0)
+            return got.shape
+
+        _run(sim, world, [sender, receiver])
+        sender_totals = world.endpoints[0].timeline.grand_total()
+        assert sender_totals.sync > 0.4  # waited ~0.5s for the receiver
+
+    def test_early_receiver_accrues_sync(self):
+        sim, world = _world()
+
+        def sender(ep):
+            yield from ep.compute(0.5)
+            yield from ep.send(1, np.zeros(10), tag=0)
+
+        def receiver(ep):
+            got = yield from ep.recv(0, tag=0)
+            return got.shape
+
+        _run(sim, world, [sender, receiver])
+        recv_totals = world.endpoints[1].timeline.grand_total()
+        assert recv_totals.sync > 0.4
+
+    def test_faster_network_faster_delivery(self):
+        def run_on(network):
+            sim, world = _world(network=network)
+            payload = np.zeros(125_000)
+
+            def sender(ep):
+                yield from ep.send(1, payload, tag=0)
+
+            def receiver(ep):
+                yield from ep.recv(0, tag=0)
+
+            _run(sim, world, [sender, receiver])
+            return sim.now
+
+        assert run_on(myrinet_gm()) < run_on(tcp_gigabit_ethernet())

@@ -1,0 +1,143 @@
+"""World-level protocol invariants: eager vs rendezvous, causality, drain."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterSpec, score_gigabit_ethernet, tcp_gigabit_ethernet
+from repro.mpi import MPIWorld
+from repro.sim import Simulator
+
+
+def _pingpong(network, nbytes, seed=1):
+    """One message each way; returns (sim_time, world)."""
+    sim = Simulator()
+    world = MPIWorld(sim, ClusterSpec(n_ranks=2, network=network, seed=seed))
+    payload = np.zeros(max(1, nbytes // 8))
+
+    def rank0(ep):
+        yield from ep.send(1, payload, tag=0)
+        yield from ep.recv(1, tag=1)
+
+    def rank1(ep):
+        yield from ep.recv(0, tag=0)
+        yield from ep.send(0, payload, tag=1)
+
+    sim.spawn(rank0(world.endpoints[0]), name="r0")
+    sim.spawn(rank1(world.endpoints[1]), name="r1")
+    total = sim.run()
+    world.assert_drained()
+    return total, world
+
+
+class TestProtocols:
+    def test_eager_sender_does_not_block(self):
+        """An eager sender finishes even while the receiver computes."""
+        net = tcp_gigabit_ethernet()
+        sim = Simulator()
+        world = MPIWorld(sim, ClusterSpec(n_ranks=2, network=net, seed=1))
+        done_at = {}
+
+        def sender(ep):
+            yield from ep.send(1, np.zeros(10), tag=0)  # tiny: eager
+            done_at["sender"] = ep.now
+
+        def receiver(ep):
+            yield from ep.compute(1.0)
+            yield from ep.recv(0, tag=0)
+
+        sim.spawn(sender(world.endpoints[0]))
+        sim.spawn(receiver(world.endpoints[1]))
+        sim.run()
+        assert done_at["sender"] < 0.1
+
+    def test_rendezvous_sender_blocks(self):
+        net = tcp_gigabit_ethernet()
+        sim = Simulator()
+        world = MPIWorld(sim, ClusterSpec(n_ranks=2, network=net, seed=1))
+        done_at = {}
+
+        def sender(ep):
+            yield from ep.send(1, np.zeros(100_000), tag=0)  # > eager threshold
+            done_at["sender"] = ep.now
+
+        def receiver(ep):
+            yield from ep.compute(1.0)
+            yield from ep.recv(0, tag=0)
+
+        sim.spawn(sender(world.endpoints[0]))
+        sim.spawn(receiver(world.endpoints[1]))
+        sim.run()
+        assert done_at["sender"] > 1.0
+
+    def test_threshold_boundary_behaviour(self):
+        net = dataclasses.replace(tcp_gigabit_ethernet(), eager_threshold=800)
+        sim = Simulator()
+        world = MPIWorld(sim, ClusterSpec(n_ranks=2, network=net, seed=1))
+        done = {}
+
+        def sender(ep):
+            yield from ep.send(1, np.zeros(100), tag=0)  # exactly 800 B: eager
+            done["eager"] = ep.now
+            yield from ep.send(1, np.zeros(101), tag=1)  # 808 B: rendezvous
+            done["rendezvous"] = ep.now
+
+        def receiver(ep):
+            yield from ep.compute(0.5)
+            yield from ep.recv(0, tag=0)
+            yield from ep.recv(0, tag=1)
+
+        sim.spawn(sender(world.endpoints[0]))
+        sim.spawn(receiver(world.endpoints[1]))
+        sim.run()
+        assert done["eager"] < 0.1
+        assert done["rendezvous"] > 0.5
+
+
+class TestCausality:
+    @given(
+        nbytes=st.integers(1, 500_000),
+        seed=st.integers(0, 500),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_time_at_least_two_latencies(self, nbytes, seed):
+        net = score_gigabit_ethernet()
+        total, _ = _pingpong(net, nbytes, seed)
+        assert total >= 2 * net.latency
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=15, deadline=None)
+    def test_bigger_messages_never_faster(self, seed):
+        net = score_gigabit_ethernet()
+        small, _ = _pingpong(net, 1_000, seed)
+        big, _ = _pingpong(net, 1_000_000, seed)
+        assert big > small
+
+    def test_transfer_records_have_positive_duration(self):
+        _, world = _pingpong(tcp_gigabit_ethernet(), 50_000)
+        assert world.state.transfers
+        for rec in world.state.transfers:
+            assert rec.end > rec.start
+            assert rec.nbytes > 0
+
+    def test_timeline_total_never_exceeds_sim_time(self):
+        total, world = _pingpong(tcp_gigabit_ethernet(), 200_000)
+        for ep in world.endpoints:
+            assert ep.timeline.total_seconds() <= total + 1e-12
+
+
+class TestDrainChecks:
+    def test_assert_drained_raises_on_leftovers(self):
+        sim = Simulator()
+        world = MPIWorld(sim, ClusterSpec(n_ranks=2, network=tcp_gigabit_ethernet()))
+
+        def sender(ep):
+            yield from ep.send(1, np.zeros(4), tag=9)  # eager, never received
+
+        sim.spawn(sender(world.endpoints[0]))
+        sim.run()
+        with pytest.raises(AssertionError, match="unmatched"):
+            world.assert_drained()

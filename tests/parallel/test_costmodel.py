@@ -1,0 +1,75 @@
+"""Cost model: unit costs, FFT units, calibration invariants."""
+
+import math
+
+import pytest
+
+from repro.parallel import MachineCostModel, PIII_1GHZ, fft_units
+
+
+class TestFftUnits:
+    def test_single_pass(self):
+        assert fft_units((10, 16)) == pytest.approx(10 * 16 * 4)
+
+    def test_multiple_passes_add(self):
+        a = fft_units((10, 16))
+        b = fft_units((5, 32))
+        assert fft_units((10, 16), (5, 32)) == pytest.approx(a + b)
+
+    def test_length_one_guarded(self):
+        # log2 floor at 2 avoids zero-work degenerate transforms
+        assert fft_units((3, 1)) == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fft_units((1, 0))
+        with pytest.raises(ValueError):
+            fft_units((-1, 8))
+
+    def test_3d_decomposition_matches_full(self):
+        """Slab-wise unit counts sum to the whole-mesh 3-D transform count."""
+        kx, ky, kz = 16, 12, 8
+        full = fft_units((ky * kz, kx), (kx * kz, ky), (kx * ky, kz))
+        # distributed: 2-D passes on x-slabs + 1-D passes on y-slabs
+        p = 4
+        parts = 0.0
+        for r in range(p):
+            cx = kx // p
+            cy = ky // p
+            parts += fft_units((cx * kz, ky), (cx * ky, kz))  # local 2-D
+            parts += fft_units((cy * kz, kx))  # local 1-D after transpose
+        assert parts == pytest.approx(full)
+
+
+class TestCostModel:
+    def test_helpers_scale_linearly(self):
+        m = MachineCostModel()
+        assert m.classic_pairs(200) == pytest.approx(2 * m.classic_pairs(100))
+        assert m.bonded(10) == pytest.approx(10 * m.bonded_cost)
+        assert m.spread(5) == pytest.approx(5 * m.spread_cost)
+        assert m.integrate(7) == pytest.approx(7 * m.integrate_cost)
+        assert m.exclusions(3) == pytest.approx(3 * m.exclusion_cost)
+        assert m.neighbor_build(11) == pytest.approx(11 * m.pair_candidate_cost)
+        assert m.grid_pass(9) == pytest.approx(9 * m.grid_cost)
+        assert m.fft(100.0) == pytest.approx(100 * m.fft_cost)
+
+    def test_reference_model_calibration_envelope(self):
+        """The published serial split: ~3.4 s classic, ~2.8 s PME / 10 steps.
+
+        Checked against the measured operation counts of the synthetic
+        myoglobin workload (~451k pairs, ~18k bonded terms, 80x36x48 mesh).
+        """
+        m = PIII_1GHZ
+        pairs = 308_565  # within the 10 A cutoff (list holds ~451k with skin)
+        bonded = 15_181
+        classic_step = m.classic_pairs(pairs) + m.bonded(bonded)
+        assert 0.30 < classic_step < 0.38
+
+        mesh = 80 * 36 * 48
+        spread_points = 2 * 3552 * 64
+        fft = 2 * fft_units((36 * 48, 80), (80 * 48, 36), (80 * 36, 48))
+        pme_step = m.spread(spread_points) + m.fft(fft) + m.grid_pass(2 * mesh)
+        assert 0.24 < pme_step < 0.32
+
+        # the paper's headline ratio: PME slightly under half the total
+        assert 0.40 < pme_step / (pme_step + classic_step) < 0.50

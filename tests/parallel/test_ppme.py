@@ -1,0 +1,115 @@
+"""Parallel PME == serial PME: energies and (summed) partial forces."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, score_gigabit_ethernet
+from repro.mpi import MPIMiddleware, MPIWorld
+from repro.parallel import AtomDecomposition, ParallelPME, PIII_1GHZ
+from repro.pme import PME, exclusion_correction, self_energy
+from repro.sim import Simulator
+
+
+def _run_ppme(system, positions, p, seed=1):
+    sim = Simulator()
+    world = MPIWorld(sim, ClusterSpec(n_ranks=p, network=score_gigabit_ethernet(), seed=seed))
+    mw = MPIMiddleware()
+    decomp = AtomDecomposition(system.n_atoms, p)
+
+    def prog(r):
+        ppme = ParallelPME(
+            pme=system.pme,
+            box=system.box,
+            decomp=decomp,
+            exclusions=system.exclusions,
+            charges=system.charges,
+            n_ranks=p,
+            rank=r,
+            cost=PIII_1GHZ,
+        )
+        result = yield from ppme.reciprocal(world.endpoints[r], mw, positions)
+        return result
+
+    procs = [sim.spawn(prog(r), name=f"r{r}") for r in range(p)]
+    sim.run()
+    world.assert_drained()
+    return [pr.result for pr in procs], world
+
+
+@pytest.mark.parametrize("p", [1, 2, 4])
+def test_matches_serial(peptide_system, p):
+    system, pos = peptide_system
+    serial_e, serial_f = system.pme_energy_forces(pos)
+    results, _ = _run_ppme(system, pos, p)
+
+    total_recip = sum(r.reciprocal_energy for r in results)
+    total_self = sum(r.self_energy for r in results)
+    total_excl = sum(r.exclusion_energy for r in results)
+    total_forces = sum(r.forces for r in results)
+
+    assert total_recip == pytest.approx(serial_e.pme_reciprocal, rel=1e-9)
+    assert total_self == pytest.approx(serial_e.pme_self, rel=1e-12)
+    assert total_excl == pytest.approx(serial_e.pme_exclusion, rel=1e-9)
+    assert np.allclose(total_forces, serial_f, atol=1e-8)
+
+
+def test_three_ranks_uneven_slabs(peptide_system):
+    system, pos = peptide_system
+    serial_e, serial_f = system.pme_energy_forces(pos)
+    results, _ = _run_ppme(system, pos, 3)
+    total_forces = sum(r.forces for r in results)
+    total_e = sum(
+        r.reciprocal_energy + r.self_energy + r.exclusion_energy for r in results
+    )
+    assert total_e == pytest.approx(serial_e.pme_total, rel=1e-9)
+    assert np.allclose(total_forces, serial_f, atol=1e-8)
+
+
+def test_exclusion_slices_partition(peptide_system):
+    system, pos = peptide_system
+    p = 4
+    decomp = AtomDecomposition(system.n_atoms, p)
+    total = 0
+    for r in range(p):
+        ppme = ParallelPME(
+            pme=system.pme,
+            box=system.box,
+            decomp=decomp,
+            exclusions=system.exclusions,
+            charges=system.charges,
+            n_ranks=p,
+            rank=r,
+            cost=PIII_1GHZ,
+        )
+        total += len(ppme.my_exclusions)
+    assert total == len(system.exclusions)
+
+
+def test_self_energy_shares_sum(peptide_system):
+    system, _ = peptide_system
+    expect = self_energy(system.charges, system.ewald_alpha)
+    p = 3
+    decomp = AtomDecomposition(system.n_atoms, p)
+    shares = [
+        ParallelPME(
+            pme=system.pme,
+            box=system.box,
+            decomp=decomp,
+            exclusions=system.exclusions,
+            charges=system.charges,
+            n_ranks=p,
+            rank=r,
+            cost=PIII_1GHZ,
+        ).self_energy_share
+        for r in range(p)
+    ]
+    assert sum(shares) == pytest.approx(expect, rel=1e-12)
+
+
+def test_pme_phase_charges_compute_and_comm(peptide_system):
+    system, pos = peptide_system
+    _, world = _run_ppme(system, pos, 4)
+    for ep in world.endpoints:
+        totals = ep.timeline.grand_total()
+        assert totals.comp > 0
+        assert totals.comm > 0

@@ -1,0 +1,127 @@
+"""Cardinal B-splines: values, partition of unity, derivatives, moduli."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pme import bspline_moduli, bspline_weights, mn_values
+
+
+class TestMnValues:
+    def test_m2_triangle(self):
+        u = np.array([0.0, 0.5, 1.0, 1.5, 2.0, 2.5])
+        expect = np.array([0.0, 0.5, 1.0, 0.5, 0.0, 0.0])
+        assert np.allclose(mn_values(u, 2), expect)
+
+    def test_m4_peak_value(self):
+        # M_4(2) = 2/3 (cubic B-spline centre value)
+        assert mn_values(np.array([2.0]), 4)[0] == pytest.approx(2.0 / 3.0)
+
+    def test_m4_symmetry(self):
+        u = np.linspace(0, 4, 101)
+        v = mn_values(u, 4)
+        assert np.allclose(v, v[::-1], atol=1e-12)
+
+    def test_support(self):
+        for order in (2, 3, 4, 6):
+            vals = mn_values(np.array([-0.5, 0.0, order, order + 0.5]), order)
+            assert np.allclose(vals, 0.0, atol=1e-12)
+
+    def test_nonnegative(self):
+        for order in (2, 3, 4, 5, 6):
+            u = np.linspace(-1, order + 1, 200)
+            assert np.all(mn_values(u, order) >= -1e-12)
+
+    def test_integral_is_one(self):
+        for order in (2, 4, 6):
+            u = np.linspace(0, order, 4001)
+            v = mn_values(u, order)
+            assert np.trapezoid(v, u) == pytest.approx(1.0, abs=1e-6)
+
+    def test_rejects_order_one(self):
+        with pytest.raises(ValueError):
+            mn_values(np.array([0.5]), 1)
+
+    def test_recursion_consistency(self):
+        """M_n(u) = u/(n-1) M_{n-1}(u) + (n-u)/(n-1) M_{n-1}(u-1)."""
+        u = np.linspace(0.1, 3.9, 50)
+        lhs = mn_values(u, 4)
+        rhs = u / 3 * mn_values(u, 3) + (4 - u) / 3 * mn_values(u - 1, 3)
+        assert np.allclose(lhs, rhs, atol=1e-12)
+
+
+class TestWeights:
+    @pytest.mark.parametrize("order", [2, 4, 6])
+    def test_partition_of_unity(self, order):
+        frac = np.linspace(0, 0.999, 57)
+        w, _ = bspline_weights(frac, order)
+        assert np.allclose(w.sum(axis=-1), 1.0, atol=1e-12)
+
+    @pytest.mark.parametrize("order", [4, 6])
+    def test_derivative_sums_to_zero(self, order):
+        frac = np.linspace(0, 0.999, 37)
+        _, dw = bspline_weights(frac, order)
+        assert np.allclose(dw.sum(axis=-1), 0.0, atol=1e-12)
+
+    @pytest.mark.parametrize("order", [4, 6])
+    def test_derivative_matches_finite_difference(self, order):
+        h = 1e-6
+        frac = np.array([0.123, 0.5, 0.876])
+        wp, _ = bspline_weights(frac + h, order)
+        wm, _ = bspline_weights(frac - h, order)
+        _, dw = bspline_weights(frac, order)
+        assert np.allclose(dw, (wp - wm) / (2 * h), atol=1e-5)
+
+    def test_weights_nonnegative(self):
+        frac = np.linspace(0, 0.999, 100)
+        w, _ = bspline_weights(frac, 4)
+        assert np.all(w >= -1e-12)
+
+    @given(st.floats(min_value=0.0, max_value=0.999999))
+    @settings(max_examples=50)
+    def test_partition_of_unity_property(self, frac):
+        w, _ = bspline_weights(np.array([frac]), 4)
+        assert w.sum() == pytest.approx(1.0, abs=1e-10)
+
+
+class TestModuli:
+    def test_positive(self):
+        b = bspline_moduli(32, 4)
+        assert np.all(b > 0)
+        assert b.shape == (32,)
+
+    def test_dc_component_is_one(self):
+        # at m = 0 the denominator is sum of M_n(k) = 1
+        b = bspline_moduli(32, 4)
+        assert b[0] == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        b = bspline_moduli(30, 4)
+        assert np.allclose(b[1:], b[1:][::-1], atol=1e-10)
+
+    def test_rejects_odd_order(self):
+        with pytest.raises(ValueError):
+            bspline_moduli(32, 5)
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError):
+            bspline_moduli(2, 4)
+
+    def test_exactness_for_plane_wave(self):
+        """|b(m)|^2 must make B-spline interpolation exact for e^{2pi i m u/K}.
+
+        Interpolating exp(2 pi i m k / K) with splines and multiplying the
+        spectrum by b(m) recovers the exact coefficient; equivalently
+        b(m) * sum_k M_n(k+1) e^{2 pi i m k/K} has modulus 1.
+        """
+        order, size = 4, 16
+        from repro.pme.bspline import mn_values as mv
+
+        k = np.arange(order - 1)
+        mn = mv(k + 1.0, order)
+        for m in range(size):
+            denom = np.sum(mn * np.exp(2j * np.pi * m * k / size))
+            assert bspline_moduli(size, order)[m] * abs(denom) ** 2 == pytest.approx(
+                1.0, rel=1e-10
+            )

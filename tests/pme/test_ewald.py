@@ -1,0 +1,99 @@
+"""Ewald pieces: alpha selection, self energy, exclusion corrections."""
+
+import numpy as np
+import pytest
+from scipy.special import erf, erfc
+
+from repro.md import PeriodicBox
+from repro.md.units import COULOMB_CONSTANT
+from repro.pme import choose_alpha, exclusion_correction, self_energy
+
+
+class TestChooseAlpha:
+    def test_hits_tolerance(self):
+        alpha = choose_alpha(10.0, 1e-5)
+        assert erfc(alpha * 10.0) == pytest.approx(1e-5, rel=1e-3)
+
+    def test_tighter_tolerance_bigger_alpha(self):
+        assert choose_alpha(10.0, 1e-8) > choose_alpha(10.0, 1e-4)
+
+    def test_scales_inversely_with_cutoff(self):
+        a10 = choose_alpha(10.0)
+        a5 = choose_alpha(5.0)
+        assert a5 == pytest.approx(2 * a10, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            choose_alpha(0.0)
+        with pytest.raises(ValueError):
+            choose_alpha(10.0, 2.0)
+
+
+class TestSelfEnergy:
+    def test_formula(self):
+        q = np.array([1.0, -2.0, 0.5])
+        alpha = 0.4
+        expect = -COULOMB_CONSTANT * alpha / np.sqrt(np.pi) * np.sum(q**2)
+        assert self_energy(q, alpha) == pytest.approx(expect)
+
+    def test_always_nonpositive(self):
+        rng = np.random.default_rng(0)
+        assert self_energy(rng.normal(size=50), 0.3) <= 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self_energy(np.array([1.0]), 0.0)
+
+
+class TestExclusionCorrection:
+    BOX = PeriodicBox(20.0, 20.0, 20.0)
+
+    def test_empty(self):
+        e, f = exclusion_correction(
+            np.zeros((3, 3)),
+            np.ones(3),
+            np.empty((0, 2), dtype=np.int64),
+            self.BOX,
+            0.3,
+        )
+        assert e == 0.0
+        assert np.allclose(f, 0.0)
+
+    def test_pair_value(self):
+        pos = np.array([[1.0, 1, 1], [2.5, 1, 1]])
+        q = np.array([0.5, -0.4])
+        excl = np.array([[0, 1]], dtype=np.int64)
+        alpha = 0.35
+        e, _ = exclusion_correction(pos, q, excl, self.BOX, alpha)
+        r = 1.5
+        expect = -COULOMB_CONSTANT * 0.5 * (-0.4) * erf(alpha * r) / r
+        assert e == pytest.approx(expect, rel=1e-12)
+
+    def test_forces_match_gradient(self):
+        pos = np.array([[1.0, 1, 1], [2.2, 1.4, 0.7], [0.4, 2.0, 1.2]])
+        q = np.array([0.5, -0.4, 0.3])
+        excl = np.array([[0, 1], [1, 2]], dtype=np.int64)
+        alpha = 0.35
+        _, forces = exclusion_correction(pos, q, excl, self.BOX, alpha)
+        h = 1e-6
+        for i in range(3):
+            for d in range(3):
+                pp = pos.copy(); pp[i, d] += h
+                pm = pos.copy(); pm[i, d] -= h
+                ep, _ = exclusion_correction(pp, q, excl, self.BOX, alpha)
+                em, _ = exclusion_correction(pm, q, excl, self.BOX, alpha)
+                assert forces[i, d] == pytest.approx(-(ep - em) / (2 * h), abs=1e-6)
+
+    def test_coincident_atoms_rejected(self):
+        pos = np.zeros((2, 3))
+        with pytest.raises(FloatingPointError):
+            exclusion_correction(
+                pos, np.ones(2), np.array([[0, 1]], dtype=np.int64), self.BOX, 0.3
+            )
+
+    def test_newton_third_law(self):
+        pos = np.array([[1.0, 1, 1], [2.2, 1.4, 0.7], [0.4, 2.0, 1.2]])
+        q = np.array([0.5, -0.4, 0.3])
+        excl = np.array([[0, 1], [0, 2], [1, 2]], dtype=np.int64)
+        _, forces = exclusion_correction(pos, q, excl, self.BOX, 0.35)
+        assert np.allclose(forces.sum(axis=0), 0.0, atol=1e-12)

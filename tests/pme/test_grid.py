@@ -1,0 +1,114 @@
+"""Charge mesh: spreading conservation, slab consistency, force interpolation."""
+
+import numpy as np
+import pytest
+
+from repro.md import PeriodicBox
+from repro.pme import ChargeMesh
+
+BOX = PeriodicBox(12.0, 10.0, 14.0)
+GRID = (12, 10, 14)
+
+
+@pytest.fixture()
+def mesh():
+    return ChargeMesh(BOX, GRID, order=4)
+
+
+@pytest.fixture()
+def cloud(rng):
+    n = 17
+    pos = rng.uniform(0, 1, (n, 3)) * BOX.lengths
+    q = rng.normal(size=n)
+    return pos, q
+
+
+class TestSpread:
+    def test_total_charge_conserved(self, mesh, cloud):
+        pos, q = cloud
+        grid = mesh.spread(pos, q)
+        assert grid.sum() == pytest.approx(q.sum(), abs=1e-10)
+
+    def test_grid_shape(self, mesh, cloud):
+        pos, q = cloud
+        assert mesh.spread(pos, q).shape == GRID
+
+    def test_single_charge_at_gridpoint(self, mesh):
+        # an atom exactly on a grid point with order 4: weights M4(1..3)
+        pos = np.array([[3.0, 2.0, 5.0]])  # spacing is exactly 1.0 per axis
+        q = np.array([1.0])
+        grid = mesh.spread(pos, q)
+        assert grid.sum() == pytest.approx(1.0)
+        # the peak weight is M4(2)^3 = (2/3)^3
+        assert grid.max() == pytest.approx((2.0 / 3.0) ** 3, rel=1e-9)
+
+    def test_slabs_tile_full_grid(self, mesh, cloud):
+        pos, q = cloud
+        full = mesh.spread(pos, q)
+        parts = []
+        bounds = [0, 3, 7, 12]
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            parts.append(mesh.spread(pos, q, x_range=(lo, hi - lo)))
+        assert np.allclose(np.concatenate(parts, axis=0), full, atol=1e-12)
+
+    def test_wrapping_slab(self, mesh, cloud):
+        """A slab range that wraps modulo Kx."""
+        pos, q = cloud
+        full = mesh.spread(pos, q)
+        wrapped = mesh.spread(pos, q, x_range=(10, 4))  # planes 10,11,0,1
+        expect = np.concatenate([full[10:], full[:2]], axis=0)
+        assert np.allclose(wrapped, expect, atol=1e-12)
+
+    def test_workload_counts(self, mesh, cloud):
+        pos, q = cloud
+        mesh.spread(pos, q)
+        wl = mesh.last_workload
+        assert wl.n_atoms == len(pos)
+        assert wl.stencil_points == len(pos) * 64
+        assert wl.scattered_points == len(pos) * 64
+
+    def test_slab_workload_smaller(self, mesh, cloud):
+        pos, q = cloud
+        mesh.spread(pos, q, x_range=(0, 3))
+        assert mesh.last_workload.scattered_points < len(pos) * 64
+
+    def test_invalid_slab_rejected(self, mesh, cloud):
+        pos, q = cloud
+        with pytest.raises(ValueError):
+            mesh.spread(pos, q, x_range=(0, 0))
+
+    def test_bad_grid_rejected(self):
+        with pytest.raises(ValueError):
+            ChargeMesh(BOX, (2, 10, 14), order=4)
+
+
+class TestInterpolate:
+    def test_slab_partial_forces_sum_to_full(self, mesh, cloud, rng):
+        pos, q = cloud
+        phi = rng.normal(size=GRID)
+        full = mesh.interpolate_forces(pos, q, phi)
+        partial = np.zeros_like(full)
+        bounds = [0, 3, 7, 12]
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            partial += mesh.interpolate_forces(
+                pos, q, phi[lo:hi], x_range=(lo, hi - lo)
+            )
+        assert np.allclose(partial, full, atol=1e-10)
+
+    def test_shape_mismatch_rejected(self, mesh, cloud, rng):
+        pos, q = cloud
+        with pytest.raises(ValueError):
+            mesh.interpolate_forces(pos, q, rng.normal(size=(3, 10, 14)))
+
+    def test_constant_phi_gives_zero_force(self, mesh, cloud):
+        """A flat potential exerts no force (derivative weights sum to 0)."""
+        pos, q = cloud
+        phi = np.ones(GRID)
+        forces = mesh.interpolate_forces(pos, q, phi)
+        assert np.allclose(forces, 0.0, atol=1e-10)
+
+    def test_zero_charge_zero_force(self, mesh, rng):
+        pos = rng.uniform(0, 1, (5, 3)) * BOX.lengths
+        phi = rng.normal(size=GRID)
+        forces = mesh.interpolate_forces(pos, np.zeros(5), phi)
+        assert np.allclose(forces, 0.0)

@@ -1,0 +1,88 @@
+"""Property-based physics invariants of the PME machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md import PeriodicBox
+from repro.pme import PME, choose_alpha, self_energy
+
+BOX = PeriodicBox(12.0, 12.0, 12.0)
+
+
+def _pme():
+    return PME(BOX, (16, 16, 16), alpha=0.55, order=4)
+
+
+@st.composite
+def charge_clouds(draw):
+    n = draw(st.integers(4, 16))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(0.5, 11.5, (n, 3))
+    q = rng.normal(size=n)
+    return pos, q - q.mean()
+
+
+class TestScalingInvariants:
+    @given(cloud=charge_clouds(), scale=st.floats(min_value=0.1, max_value=5.0))
+    @settings(max_examples=15, deadline=None)
+    def test_reciprocal_energy_quadratic_in_charge(self, cloud, scale):
+        pos, q = cloud
+        pme = _pme()
+        e1 = pme.reciprocal(pos, q).energy
+        e2 = pme.reciprocal(pos, scale * q).energy
+        assert e2 == pytest.approx(scale**2 * e1, rel=1e-9, abs=1e-12)
+
+    @given(cloud=charge_clouds())
+    @settings(max_examples=15, deadline=None)
+    def test_reciprocal_energy_nonnegative(self, cloud):
+        """The reciprocal sum is a sum of psi(m)|S(m)|^2 with psi >= 0."""
+        pos, q = cloud
+        assert _pme().reciprocal(pos, q).energy >= 0.0
+
+    @given(cloud=charge_clouds())
+    @settings(max_examples=10, deadline=None)
+    def test_net_force_bounded_by_interpolation_error(self, cloud):
+        """Mesh interpolation breaks exact momentum conservation; the net
+        force must stay a small fraction of the total force magnitude,
+        shrinking with spline order."""
+        pos, q = cloud
+        fine = PME(BOX, (32, 32, 32), alpha=0.55, order=6)
+        forces = fine.reciprocal(pos, q).forces
+        scale = np.abs(forces).sum() + 1e-12
+        assert np.abs(forces.sum(axis=0)).max() < 1e-4 * scale
+
+    @given(
+        cloud=charge_clouds(),
+        shift=st.tuples(
+            st.floats(-20, 20), st.floats(-20, 20), st.floats(-20, 20)
+        ),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_translation_invariance_within_mesh_error(self, cloud, shift):
+        """Shifting all charges changes the energy only at the level of
+        the B-spline discretization error."""
+        pos, q = cloud
+        fine = PME(BOX, (32, 32, 32), alpha=0.55, order=6)
+        e1 = fine.reciprocal(pos, q).energy
+        e2 = fine.reciprocal(pos + np.array(shift), q).energy
+        assert e2 == pytest.approx(e1, rel=1e-5, abs=1e-6)
+
+
+class TestSelfEnergyProperties:
+    @given(
+        seed=st.integers(0, 1000),
+        alpha=st.floats(min_value=0.05, max_value=2.0),
+    )
+    @settings(max_examples=30)
+    def test_linear_in_alpha(self, seed, alpha):
+        rng = np.random.default_rng(seed)
+        q = rng.normal(size=10)
+        assert self_energy(q, 2 * alpha) == pytest.approx(2 * self_energy(q, alpha))
+
+    @given(r_cut=st.floats(min_value=5.0, max_value=15.0))
+    @settings(max_examples=20)
+    def test_choose_alpha_monotone_in_cutoff(self, r_cut):
+        assert choose_alpha(r_cut) > choose_alpha(r_cut + 1.0)

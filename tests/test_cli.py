@@ -1,0 +1,48 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.network == "tcp-gige"
+        assert args.ranks == 4
+        assert args.cpus_per_node == 1
+
+    def test_figures_flags(self):
+        args = build_parser().parse_args(["figures", "--all", "--steps", "3"])
+        assert args.all and args.steps == 3
+
+
+class TestCommands:
+    def test_figures_listing(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "figure3" in out and "figure9" in out
+
+    def test_unknown_figure_errors(self, capsys):
+        assert main(["figures", "figure42"]) == 2
+        assert "unknown figures" in capsys.readouterr().err
+
+    def test_workload_description(self, capsys):
+        assert main(["workload"]) == 0
+        out = capsys.readouterr().out
+        assert "3552" in out
+        assert "80 x 36 x 48" in out
+
+    def test_bad_run_config_errors(self, capsys):
+        assert main(["run", "--network", "infiniband"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_run_small_point(self, capsys):
+        assert main(["run", "--ranks", "2", "--steps", "1", "--network", "myrinet"]) == 0
+        out = capsys.readouterr().out
+        assert "myrinet" in out
+        assert "comp %" in out

@@ -1,0 +1,120 @@
+"""Helical segment builder: counts, charges, strain, helix geometry."""
+
+import numpy as np
+import pytest
+
+from repro.md import BondedTables, PeriodicBox, default_forcefield
+from repro.md.bonded import bonded_energy_forces
+from repro.workloads import SegmentSpec, build_helical_segment, residue_size
+
+FF = default_forcefield()
+BOX = PeriodicBox(200.0, 200.0, 200.0)
+
+
+class TestResidueSize:
+    def test_values(self):
+        assert residue_size(1) == 13
+        assert residue_size(2) == 16
+        assert residue_size(3) == 19
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            residue_size(0)
+
+
+class TestSpec:
+    def test_atom_count_prediction(self):
+        spec = SegmentSpec(sidechain_ks=(2, 3, 2))
+        assert spec.n_atoms == 16 + 19 + 16 + 2  # + extra H + OT2
+
+    def test_nh3_adds_one(self):
+        a = SegmentSpec(sidechain_ks=(2, 2))
+        b = SegmentSpec(sidechain_ks=(2, 2), nh3_terminus=True)
+        assert b.n_atoms == a.n_atoms + 1
+
+    def test_n_residues(self):
+        assert SegmentSpec(sidechain_ks=(2,) * 5).n_residues == 5
+
+
+class TestBuiltSegment:
+    @pytest.fixture(scope="class")
+    def segment(self):
+        spec = SegmentSpec(
+            sidechain_ks=(2, 3, 2, 2, 3, 2), basic_residues=frozenset({1}),
+        )
+        return spec, *build_helical_segment(spec, FF)
+
+    def test_atom_count_matches_spec(self, segment):
+        spec, topo, xyz = segment
+        assert topo.n_atoms == spec.n_atoms
+        assert len(xyz) == topo.n_atoms
+
+    def test_net_charge_is_basic_surplus(self, segment):
+        spec, topo, _ = segment
+        assert topo.total_charge() == pytest.approx(0.25, abs=1e-12)
+
+    def test_neutral_without_basics(self):
+        spec = SegmentSpec(sidechain_ks=(2, 2, 3))
+        topo, _ = build_helical_segment(spec, FF)
+        assert topo.total_charge() == pytest.approx(0.0, abs=1e-12)
+
+    def test_bonds_unstrained(self, segment):
+        _, topo, xyz = segment
+        tables = BondedTables(topo, FF)
+        from repro.md.bonded import bond_energy_forces
+
+        e, _ = bond_energy_forces(xyz, BOX, tables)
+        assert e == pytest.approx(0.0, abs=1e-8)
+
+    def test_low_total_bonded_strain(self, segment):
+        _, topo, xyz = segment
+        tables = BondedTables(topo, FF)
+        energies, _ = bonded_energy_forces(xyz, BOX, tables)
+        # a few kcal of angle strain at the termini is expected; nothing more
+        assert energies["bond"] < 1e-6
+        assert energies["angle"] < 0.3 * topo.n_atoms
+        assert energies["improper"] < 1e-6
+
+    def test_helix_geometry(self, segment):
+        """CA trace must look like an alpha helix: ~1.5 A rise per residue."""
+        _, topo, xyz = segment
+        ca = [i for i, a in enumerate(topo.atoms) if a.name == "CA"]
+        axis = xyz[ca[-1]] - xyz[ca[0]]
+        rise = np.linalg.norm(axis) / (len(ca) - 1)
+        assert 1.2 < rise < 1.8
+
+    def test_ca_ca_distance(self, segment):
+        _, topo, xyz = segment
+        ca = [i for i, a in enumerate(topo.atoms) if a.name == "CA"]
+        d = np.linalg.norm(np.diff(xyz[ca], axis=0), axis=1)
+        assert np.all((d > 3.5) & (d < 4.1))  # canonical ~3.8 A
+
+    def test_every_type_parameterized(self, segment):
+        _, topo, _ = segment
+        BondedTables(topo, FF)  # raises KeyError on any missing parameter
+        for t in topo.type_names:
+            FF.lj_params(t)
+
+    def test_no_intrasegment_clashes(self, segment):
+        from repro.md.neighborlist import brute_force_pairs
+
+        _, topo, xyz = segment
+        pairs = brute_force_pairs(xyz - xyz.min(0) + 50.0, BOX, 1.4)
+        excl = {(int(i), int(j)) for i, j in topo.exclusion_pairs()}
+        clashes = [(i, j) for i, j in map(tuple, pairs) if (i, j) not in excl]
+        assert clashes == []
+
+    def test_peptide_bond_connectivity(self, segment):
+        """One C-N bond between consecutive residues."""
+        _, topo, _ = segment
+        inter = 0
+        for b in topo.bonds:
+            ri = topo.atoms[b.i].residue_index
+            rj = topo.atoms[b.j].residue_index
+            if ri != rj:
+                inter += 1
+        assert inter == 5  # 6 residues -> 5 peptide bonds
+
+    def test_rejects_single_residue(self):
+        with pytest.raises(ValueError):
+            build_helical_segment(SegmentSpec(sidechain_ks=(2,)), FF)

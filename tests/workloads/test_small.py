@@ -1,0 +1,50 @@
+"""Small test systems: water box, solvated peptide."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import build_peptide_in_water, build_water_box
+
+
+class TestWaterBox:
+    def test_counts(self):
+        topo, pos, box = build_water_box(n_side=3)
+        assert topo.n_atoms == 27 * 3
+        assert len(pos) == topo.n_atoms
+
+    def test_neutral(self):
+        topo, _, _ = build_water_box(n_side=2)
+        assert topo.total_charge() == pytest.approx(0.0)
+
+    def test_rejects_bad_side(self):
+        with pytest.raises(ValueError):
+            build_water_box(n_side=0)
+
+    def test_waters_separated(self):
+        topo, pos, box = build_water_box(n_side=3)
+        oxygens = pos[0::3]
+        dr = box.min_image(oxygens[:, None] - oxygens[None, :])
+        d = np.linalg.norm(dr, axis=-1)
+        d[d == 0] = np.inf
+        assert d.min() > 2.5
+
+
+class TestPeptideInWater:
+    def test_counts(self):
+        topo, pos, box = build_peptide_in_water(n_residues=3, n_waters=10)
+        assert len(pos) == topo.n_atoms
+        n_wat = sum(1 for a in topo.atoms if a.residue == "TIP3")
+        assert n_wat == 30
+
+    def test_no_overlap_with_peptide(self):
+        from repro.md.neighborlist import brute_force_pairs
+
+        topo, pos, box = build_peptide_in_water(n_residues=3, n_waters=15)
+        pairs = brute_force_pairs(pos, box, 1.4)
+        excl = {(int(i), int(j)) for i, j in topo.exclusion_pairs()}
+        clashes = [(i, j) for i, j in map(tuple, pairs) if (i, j) not in excl]
+        assert clashes == []
+
+    def test_too_many_waters_rejected(self):
+        with pytest.raises(RuntimeError):
+            build_peptide_in_water(n_residues=2, n_waters=100_000)

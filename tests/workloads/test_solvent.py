@@ -1,0 +1,115 @@
+"""Water / CO / sulfate building blocks and lattice placement."""
+
+import numpy as np
+import pytest
+
+from repro.md import default_forcefield
+from repro.workloads import (
+    co_coords,
+    co_topology,
+    lattice_points,
+    sulfate_coords,
+    sulfate_topology,
+    water_coords,
+    water_topology,
+)
+
+FF = default_forcefield()
+
+
+class TestWater:
+    def test_topology(self):
+        topo = water_topology()
+        assert topo.n_atoms == 3
+        assert len(topo.bonds) == 2
+        assert len(topo.angles) == 1
+        assert topo.total_charge() == pytest.approx(0.0)
+
+    def test_geometry(self):
+        xyz = water_coords(FF, np.array([5.0, 5.0, 5.0]), orientation_seed=3)
+        r_oh = FF.bond_params("OT", "HT").r0
+        assert np.linalg.norm(xyz[1] - xyz[0]) == pytest.approx(r_oh)
+        assert np.linalg.norm(xyz[2] - xyz[0]) == pytest.approx(r_oh)
+        assert np.allclose(xyz[0], [5, 5, 5])
+
+    def test_orientation_varies_with_seed(self):
+        a = water_coords(FF, np.zeros(3), orientation_seed=1)
+        b = water_coords(FF, np.zeros(3), orientation_seed=2)
+        assert not np.allclose(a, b)
+
+    def test_orientation_deterministic(self):
+        a = water_coords(FF, np.zeros(3), orientation_seed=9)
+        b = water_coords(FF, np.zeros(3), orientation_seed=9)
+        assert np.array_equal(a, b)
+
+    def test_angle_preserved_under_rotation(self):
+        import math
+
+        xyz = water_coords(FF, np.zeros(3), orientation_seed=11)
+        u = xyz[1] - xyz[0]
+        v = xyz[2] - xyz[0]
+        ang = math.degrees(
+            math.acos(np.dot(u, v) / np.linalg.norm(u) / np.linalg.norm(v))
+        )
+        assert ang == pytest.approx(104.52, abs=1e-6)
+
+
+class TestCO:
+    def test_topology(self):
+        topo = co_topology()
+        assert topo.n_atoms == 2
+        assert len(topo.bonds) == 1
+        assert abs(topo.total_charge()) < 1e-12
+
+    def test_bond_length(self):
+        xyz = co_coords(FF, np.zeros(3))
+        assert np.linalg.norm(xyz[1] - xyz[0]) == pytest.approx(
+            FF.bond_params("CM", "OM").r0
+        )
+
+
+class TestSulfate:
+    def test_topology(self):
+        topo = sulfate_topology()
+        assert topo.n_atoms == 5
+        assert len(topo.bonds) == 4
+        assert len(topo.angles) == 6
+        assert topo.total_charge() == pytest.approx(-2.0)
+
+    def test_tetrahedral_geometry(self):
+        import math
+
+        xyz = sulfate_coords(FF, np.zeros(3))
+        r = FF.bond_params("SUL", "OSL").r0
+        for i in range(1, 5):
+            assert np.linalg.norm(xyz[i] - xyz[0]) == pytest.approx(r)
+        # O-S-O angles all equal the tetrahedral angle
+        for i in range(1, 5):
+            for j in range(i + 1, 5):
+                u, v = xyz[i] - xyz[0], xyz[j] - xyz[0]
+                ang = math.degrees(
+                    math.acos(np.dot(u, v) / np.linalg.norm(u) / np.linalg.norm(v))
+                )
+                assert ang == pytest.approx(109.47, abs=0.01)
+
+
+class TestLattice:
+    def test_point_count_and_bounds(self):
+        pts = lattice_points(np.array([10.0, 10.0, 10.0]), spacing=2.5)
+        assert len(pts) == 4**3
+        assert np.all(pts > 0) and np.all(pts < 10)
+
+    def test_margin_respected(self):
+        pts = lattice_points(np.array([10.0, 10.0, 10.0]), spacing=2.0, margin=2.0)
+        assert np.all(pts >= 2.0 - 1e-9)
+        assert np.all(pts <= 8.0 + 1e-9)
+
+    def test_minimum_spacing(self):
+        pts = lattice_points(np.array([9.0, 9.0, 9.0]), spacing=3.0)
+        d = np.linalg.norm(pts[:, None] - pts[None, :], axis=-1)
+        d[d == 0] = np.inf
+        assert d.min() >= 3.0 - 1e-9
+
+    def test_rejects_bad_spacing(self):
+        with pytest.raises(ValueError):
+            lattice_points(np.array([10.0, 10.0, 10.0]), spacing=0.0)
