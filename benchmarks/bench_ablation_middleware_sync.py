@@ -51,10 +51,17 @@ def _measure():
 def test_middleware_sync_ablation(benchmark, report_dir):
     rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
     table = format_table(
-        ["p", "MPI barrier tcp (ms)", "CMPI sync tcp (ms)", "MPI barrier myri (ms)", "CMPI sync myri (ms)"],
+        [
+            "p", "MPI barrier tcp (ms)", "CMPI sync tcp (ms)",
+            "MPI barrier myri (ms)", "CMPI sync myri (ms)",
+        ],
         rows,
     )
-    emit(report_dir, "ablation_middleware_sync", "== Ablation: synchronization primitives ==\n" + table)
+    emit(
+        report_dir,
+        "ablation_middleware_sync",
+        "== Ablation: synchronization primitives ==\n" + table,
+    )
 
     tcp_mpi = np.array([r[1] for r in rows])
     tcp_cmpi = np.array([r[2] for r in rows])

@@ -1,0 +1,32 @@
+"""Communication-correctness analyzer for the coroutine-collective protocol.
+
+Three layers, one rule namespace (REP1xx/2xx/3xx, see
+:mod:`repro.analysis.rules`):
+
+* :mod:`repro.analysis.lint` — static AST lint for dropped generators,
+  discarded collective results, unseeded randomness and wall-clock use;
+* :mod:`repro.analysis.schedule` — deadlock/race diagnosis over a
+  recorded per-rank communication trace;
+* :mod:`repro.analysis.sanitizer` — opt-in runtime invariant checks
+  (message size/dtype agreement, transfer windows, timeline accounting,
+  clean shutdown).
+
+Entry points: ``python -m repro analyze [paths] [--sanitize-run]`` on
+the command line, or the functions re-exported here as a library.
+"""
+
+from .lint import lint_paths, lint_source
+from .rules import RULES, Diagnostic, Rule
+from .sanitizer import Sanitizer, SanitizerError
+from .schedule import analyze_trace
+
+__all__ = [
+    "analyze_trace",
+    "Diagnostic",
+    "lint_paths",
+    "lint_source",
+    "Rule",
+    "RULES",
+    "Sanitizer",
+    "SanitizerError",
+]

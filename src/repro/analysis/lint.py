@@ -1,0 +1,344 @@
+"""AST lint for the coroutine-collective protocol.
+
+The whole communication layer is built from generator coroutines driven
+with ``yield from`` (see :mod:`repro.sim.engine`): an endpoint or
+middleware method that is *called* but not *yielded from* creates a
+generator object and throws it away — the communication silently never
+happens and the run produces wrong timings instead of a crash.  This
+module walks source files with :mod:`ast` and flags that class of bug
+plus the reproducibility hazards around it.
+
+Rules (see :mod:`repro.analysis.rules` for the registry):
+
+* **REP101** — a protocol generator (``ep.compute``/``ep.send``/
+  ``mw.allreduce``/``collectives.barrier``/``req.wait``/...) called
+  without ``yield from``;
+* **REP102** — a data-moving collective (``allreduce``, ``allgatherv``,
+  ``alltoallv``, ``bcast``, ``recv``) yielded from as a bare statement,
+  discarding the result every caller depends on;
+* **REP103** — unseeded randomness (``np.random.default_rng()`` with no
+  seed, the legacy ``np.random.*`` global generator, or the stdlib
+  ``random`` module) — breaks the reproducibility of the Figure-7
+  variability statistics;
+* **REP104** — wall-clock calls (``time.time()``/``perf_counter``/
+  ``datetime.now``) inside virtual-time code.
+
+Protocol calls are recognised by the repo's naming conventions
+(receivers named ``ep``/``endpoint``, ``mw``/``middleware``, the
+``collectives`` module, ``*req`` request handles, and ``self`` inside
+``*Middleware``/``*Endpoint`` classes).  Intentional exceptions are
+suppressed with a trailing ``# noqa: REP1xx`` comment; whole files
+(golden bad-program fixtures) opt out with a ``# repro-analyze:
+skip-file`` marker in their first lines.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from pathlib import Path
+
+from .rules import ERROR, Diagnostic
+
+__all__ = ["lint_source", "lint_paths", "SKIP_MARKER"]
+
+#: Files whose first lines contain this marker are skipped by
+#: :func:`lint_paths` (used for the golden bad-program test fixtures).
+SKIP_MARKER = "repro-analyze: skip-file"
+
+_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
+
+# ---------------------------------------------------------------------------
+# protocol tables (the repo's coroutine-collective conventions)
+
+_ENDPOINT_RECEIVERS = {"ep", "endpoint"}
+_ENDPOINT_METHODS = {"compute", "send", "recv", "sendrecv", "isend", "irecv"}
+
+_MIDDLEWARE_RECEIVERS = {"mw", "middleware"}
+_MIDDLEWARE_METHODS = {"barrier", "allreduce", "allgatherv", "alltoallv", "sync"}
+
+_COLLECTIVE_MODULE = "collectives"
+_COLLECTIVE_FUNCS = {"barrier", "allreduce", "allgatherv", "alltoallv", "bcast", "reduce"}
+
+#: Collectives whose entire purpose is the returned data: discarding the
+#: result of a ``yield from`` of one of these is REP102.  Point-to-point
+#: ``recv`` is excluded: receive-and-ignore is a legitimate
+#: synchronization idiom (one-byte control messages).
+_VALUE_RETURNING = {"allreduce", "allgatherv", "alltoallv", "bcast"}
+
+#: Functions a bare (non-yielded) generator may legitimately be passed
+#: to: simulator drivers and explicit generator consumers.
+_DRIVER_FUNCS = {"spawn", "drive", "drive_all", "run_generator", "list", "next", "iter"}
+
+_LEGACY_NP_RANDOM = {
+    "rand", "randn", "random", "randint", "seed", "choice", "shuffle",
+    "normal", "uniform", "permutation", "random_sample", "standard_normal",
+    "exponential", "poisson", "binomial",
+}
+_STDLIB_RANDOM = {
+    "random", "randint", "uniform", "choice", "choices", "shuffle",
+    "gauss", "randrange", "sample", "seed", "betavariate", "expovariate",
+}
+_WALLCLOCK_TIME = {
+    "time", "time_ns", "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+}
+_WALLCLOCK_DATETIME = {"now", "utcnow", "today"}
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` as a string, or None for non-trivial receivers."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _call_name(func: ast.expr) -> str | None:
+    """The simple name a call is made under (``spawn`` in ``sim.spawn(..)``)."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class _Visitor(ast.NodeVisitor):
+    """Parent- and class-aware walker collecting diagnostics."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.diags: list[Diagnostic] = []
+        self._parents: list[ast.AST] = []
+        self._classes: list[str] = []
+
+    # -- traversal ------------------------------------------------------
+    def visit(self, node: ast.AST) -> None:
+        self._parents.append(node)
+        try:
+            super().visit(node)
+        finally:
+            self._parents.pop()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        bases = [b for base in node.bases if (b := _dotted(base)) is not None]
+        label = node.name + "|" + "|".join(bases)
+        self._classes.append(label)
+        try:
+            self.generic_visit(node)
+        finally:
+            self._classes.pop()
+
+    def _in_class(self, fragment: str) -> bool:
+        return any(fragment in label for label in self._classes)
+
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        self.diags.append(
+            Diagnostic(
+                rule=rule,
+                message=message,
+                path=self.path,
+                line=getattr(node, "lineno", None),
+                severity=ERROR,
+            )
+        )
+
+    # -- protocol-generator classification ------------------------------
+    def _protocol_call(self, node: ast.Call) -> str | None:
+        """Name of the protocol generator this call creates, or None."""
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            method = func.attr
+            recv = _dotted(func.value)
+            leaf = recv.rsplit(".", 1)[-1].lower() if recv else ""
+            if method in _ENDPOINT_METHODS and leaf in _ENDPOINT_RECEIVERS:
+                return f"{recv}.{method}"
+            if method in _MIDDLEWARE_METHODS and leaf in _MIDDLEWARE_RECEIVERS:
+                return f"{recv}.{method}"
+            if method in _COLLECTIVE_FUNCS and leaf == _COLLECTIVE_MODULE:
+                return f"{recv}.{method}"
+            if method == "wait" and leaf.endswith("req"):
+                return f"{recv}.wait"
+            if recv == "self":
+                if method in _MIDDLEWARE_METHODS and self._in_class("Middleware"):
+                    return f"self.{method}"
+                if method in _ENDPOINT_METHODS and self._in_class("Endpoint"):
+                    return f"self.{method}"
+            return None
+        if isinstance(func, ast.Name) and func.id in _COLLECTIVE_FUNCS:
+            # bare collective name: only when the first argument is an
+            # endpoint by convention (collectives.py internal calls)
+            if node.args and isinstance(node.args[0], ast.Name):
+                if node.args[0].id.lower() in _ENDPOINT_RECEIVERS:
+                    return func.id
+        return None
+
+    def _is_driven(self) -> bool:
+        """Is the current call handed to a generator driver (sim.spawn)?"""
+        # parents[-1] is the Call itself
+        for ancestor in reversed(self._parents[:-1]):
+            if isinstance(ancestor, ast.Call):
+                name = _call_name(ancestor.func)
+                return name in _DRIVER_FUNCS
+            if isinstance(ancestor, (ast.keyword, ast.Starred)):
+                continue
+            break
+        return False
+
+    # -- the checks -----------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        parent = self._parents[-2] if len(self._parents) >= 2 else None
+
+        label = self._protocol_call(node)
+        if label is not None:
+            if isinstance(parent, ast.YieldFrom):
+                grandparent = self._parents[-3] if len(self._parents) >= 3 else None
+                method = label.rsplit(".", 1)[-1]
+                if isinstance(grandparent, ast.Expr) and method in _VALUE_RETURNING:
+                    self._emit(
+                        "REP102",
+                        node,
+                        f"result of collective '{label}' is discarded; every rank "
+                        "depends on the combined value — assign it",
+                    )
+            elif not self._is_driven():
+                self._emit(
+                    "REP101",
+                    node,
+                    f"'{label}(...)' creates a generator that is never driven; "
+                    "call it with 'yield from' (or hand it to sim.spawn)",
+                )
+
+        self._check_randomness(node)
+        self._check_wallclock(node)
+        self.generic_visit(node)
+
+    def _check_randomness(self, node: ast.Call) -> None:
+        name = _dotted(node.func)
+        if name is None:
+            return
+        parts = name.split(".")
+        # np.random.* / numpy.random.*
+        if len(parts) == 3 and parts[0] in ("np", "numpy") and parts[1] == "random":
+            leaf = parts[2]
+            if leaf == "default_rng":
+                unseeded = not node.args or (
+                    isinstance(node.args[0], ast.Constant) and node.args[0].value is None
+                )
+                if unseeded and not node.keywords:
+                    self._emit(
+                        "REP103",
+                        node,
+                        "np.random.default_rng() without a seed: run-to-run "
+                        "variability becomes unreproducible",
+                    )
+            elif leaf in _LEGACY_NP_RANDOM:
+                self._emit(
+                    "REP103",
+                    node,
+                    f"legacy global generator np.random.{leaf}(): use a seeded "
+                    "np.random.default_rng(seed) instead",
+                )
+        # stdlib random module
+        elif len(parts) == 2 and parts[0] == "random" and parts[1] in _STDLIB_RANDOM:
+            self._emit(
+                "REP103",
+                node,
+                f"stdlib random.{parts[1]}() is unseeded process-global state; "
+                "use np.random.default_rng(seed)",
+            )
+
+    def _check_wallclock(self, node: ast.Call) -> None:
+        name = _dotted(node.func)
+        if name is None:
+            return
+        parts = name.split(".")
+        if len(parts) == 2 and parts[0] == "time" and parts[1] in _WALLCLOCK_TIME:
+            self._emit(
+                "REP104",
+                node,
+                f"time.{parts[1]}() reads the host wall clock inside virtual-time "
+                "code; use the simulator clock (ep.now / sim.now)",
+            )
+        elif (
+            parts[-1] in _WALLCLOCK_DATETIME
+            and len(parts) >= 2
+            and parts[-2] in ("datetime", "date")
+        ):
+            self._emit(
+                "REP104",
+                node,
+                f"{name}() reads the host wall clock inside virtual-time code; "
+                "use the simulator clock (ep.now / sim.now)",
+            )
+
+
+# ---------------------------------------------------------------------------
+def _noqa_codes(line: str) -> set[str] | None:
+    """Codes suppressed on this line; empty set means 'suppress all'."""
+    m = _NOQA_RE.search(line)
+    if m is None:
+        return None
+    codes = m.group("codes")
+    if not codes:
+        return set()
+    return {c.strip().upper() for c in codes.split(",") if c.strip()}
+
+
+def lint_source(
+    source: str, path: str = "<string>", *, respect_skip: bool = True
+) -> list[Diagnostic]:
+    """Lint one source text; returns the surviving diagnostics."""
+    head = source.splitlines()[:5]
+    if respect_skip and any(SKIP_MARKER in line for line in head):
+        return []
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                rule="REP100",
+                message=f"syntax error: {exc.msg}",
+                path=path,
+                line=exc.lineno,
+                severity=ERROR,
+            )
+        ]
+    visitor = _Visitor(path)
+    visitor.visit(tree)
+
+    lines = source.splitlines()
+    out = []
+    for diag in visitor.diags:
+        if diag.line is not None and 1 <= diag.line <= len(lines):
+            codes = _noqa_codes(lines[diag.line - 1])
+            if codes is not None and (not codes or diag.rule in codes):
+                continue
+        out.append(diag)
+    return out
+
+
+def lint_paths(paths: list[str | Path]) -> list[Diagnostic]:
+    """Lint every ``.py`` file under the given files/directories."""
+    files: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            for dirpath, dirnames, filenames in os.walk(p):
+                dirnames[:] = sorted(
+                    d for d in dirnames if not d.startswith(".") and d != "__pycache__"
+                )
+                files.extend(
+                    Path(dirpath) / f for f in sorted(filenames) if f.endswith(".py")
+                )
+        elif p.suffix == ".py":
+            files.append(p)
+    diags: list[Diagnostic] = []
+    for f in files:
+        diags.extend(lint_source(f.read_text(), str(f)))
+    return diags

@@ -1,0 +1,102 @@
+"""Rule registry and diagnostic record for the correctness analyzer.
+
+Every diagnostic the analyzer can emit is declared here with a stable
+identifier, so CI output, suppression comments (``# noqa: REP101``) and
+the documentation all speak the same names.  The identifiers are grouped
+by layer:
+
+* **REP1xx** — static AST lint over the coroutine-collective protocol
+  (:mod:`repro.analysis.lint`);
+* **REP2xx** — message-schedule analysis of a recorded communication
+  trace (:mod:`repro.analysis.schedule`);
+* **REP3xx** — runtime sanitizer invariants checked during a simulated
+  run (:mod:`repro.analysis.sanitizer`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Rule", "Diagnostic", "RULES", "ERROR", "WARNING"]
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One analyzer rule: stable id, layer and a one-line summary."""
+
+    id: str
+    layer: str  # "lint" | "schedule" | "sanitizer"
+    severity: str
+    summary: str
+
+
+_RULE_LIST = [
+    # ---- static lint ---------------------------------------------------
+    Rule("REP100", "lint", ERROR, "file does not parse"),
+    Rule(
+        "REP101",
+        "lint",
+        ERROR,
+        "protocol generator called without 'yield from' (communication silently dropped)",
+    ),
+    Rule(
+        "REP102",
+        "lint",
+        ERROR,
+        "data-moving collective's return value discarded",
+    ),
+    Rule(
+        "REP103",
+        "lint",
+        ERROR,
+        "unseeded random source inside the simulation model (breaks reproducibility)",
+    ),
+    Rule(
+        "REP104",
+        "lint",
+        ERROR,
+        "wall-clock call inside virtual-time code",
+    ),
+    # ---- message-schedule analysis ------------------------------------
+    Rule("REP201", "schedule", ERROR, "unmatched send at finalize"),
+    Rule("REP202", "schedule", ERROR, "unmatched receive at finalize"),
+    Rule(
+        "REP203",
+        "schedule",
+        WARNING,
+        "tag collision: concurrent in-flight messages share (src, dst, tag)",
+    ),
+    Rule("REP204", "schedule", ERROR, "collective order diverges across ranks"),
+    Rule("REP205", "schedule", ERROR, "rendezvous wait-for cycle (deadlock)"),
+    # ---- runtime sanitizer --------------------------------------------
+    Rule("REP301", "sanitizer", ERROR, "matched message size disagreement"),
+    Rule("REP302", "sanitizer", ERROR, "matched message dtype disagreement"),
+    Rule("REP303", "sanitizer", ERROR, "invalid transfer window from plan_transfer"),
+    Rule("REP304", "sanitizer", ERROR, "timeline accounting exceeds the virtual wall clock"),
+    Rule("REP305", "sanitizer", ERROR, "unclean shutdown: message queues not drained"),
+]
+
+#: All analyzer rules, indexed by id.
+RULES: dict[str, Rule] = {r.id: r for r in _RULE_LIST}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding, from any layer."""
+
+    rule: str
+    message: str
+    path: str | None = None
+    line: int | None = None
+    severity: str = ERROR
+    ranks: tuple[int, ...] = ()
+    tag: int | None = None
+
+    def format(self) -> str:
+        where = ""
+        if self.path is not None:
+            where = f"{self.path}:{self.line}: " if self.line else f"{self.path}: "
+        return f"{where}{self.rule} [{self.severity}] {self.message}"

@@ -1,0 +1,226 @@
+"""Message-schedule analysis: deadlock and race diagnosis from a trace.
+
+Consumes the :class:`~repro.instrument.commstats.CommTrace` a run
+records (``run_parallel_md(..., trace=CommTrace())``) and diagnoses the
+communication-schedule bugs that invalidate a characterization study —
+the exact failure modes the paper's MPI-vs-CMPI comparison hinges on:
+
+* **REP201/202** — sends or receive posts left unmatched at finalize,
+  per ``(src, dst, tag)`` key; an unmatched *rendezvous* send is a
+  blocked sender, an unmatched receive a blocked receiver;
+* **REP203** — tag collisions: two messages in flight at once with the
+  same ``(src, dst, tag)`` in the user tag range, indistinguishable to
+  the matching engine (ordering then silently relies on FIFO);
+* **REP204** — cross-rank collective-order divergence: the SPMD contract
+  requires every rank to invoke the same collectives in the same order;
+  divergence either deadlocks or — worse — cross-matches two different
+  operations and produces wrong timings without any crash;
+* **REP205** — rendezvous wait-for cycles: blocked senders/receivers
+  forming a cycle across ranks, the classic message-passing deadlock.
+
+:func:`analyze_trace` returns a ranked list of
+:class:`~repro.analysis.rules.Diagnostic` — errors first, then warnings,
+ordered by rule and tag — so the most actionable finding leads.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..instrument.commstats import CommTrace
+from ..mpi.endpoint import COLLECTIVE_TAG_BASE
+from .rules import ERROR, Diagnostic
+
+__all__ = ["analyze_trace"]
+
+
+def _rank_diagnoses(diags: list[Diagnostic]) -> list[Diagnostic]:
+    """Errors before warnings, then by rule id, tag and ranks."""
+    return sorted(
+        diags,
+        key=lambda d: (
+            0 if d.severity == ERROR else 1,
+            d.rule,
+            d.tag if d.tag is not None else -1,
+            d.ranks,
+        ),
+    )
+
+
+def _unmatched(trace: CommTrace) -> tuple[dict, dict]:
+    """Per-key excess sends and excess receive posts at finalize."""
+    sends: dict[tuple[int, int, int], list] = defaultdict(list)
+    recvs: dict[tuple[int, int, int], int] = defaultdict(int)
+    for ev in trace.events:
+        if ev.kind == "send":
+            sends[ev.key].append(ev)
+        elif ev.kind == "recv":
+            recvs[ev.key] += 1
+    excess_sends = {}
+    excess_recvs = {}
+    for key in set(sends) | set(recvs):
+        n_send = len(sends.get(key, ()))
+        n_recv = recvs.get(key, 0)
+        if n_send > n_recv:
+            # FIFO matching: the *last* sends of the key are the unmatched ones
+            excess_sends[key] = sends[key][n_recv:]
+        elif n_recv > n_send:
+            excess_recvs[key] = n_recv - n_send
+    return excess_sends, excess_recvs
+
+
+def _tag_collisions(trace: CommTrace, tag_base: int) -> list[Diagnostic]:
+    """User-range keys that ever had two sends in flight at once."""
+    outstanding: dict[tuple[int, int, int], int] = defaultdict(int)
+    flagged: set[tuple[int, int, int]] = set()
+    diags = []
+    for ev in trace.events:
+        if ev.tag >= tag_base or ev.kind == "collective":
+            continue
+        if ev.kind == "send":
+            outstanding[ev.key] += 1
+            if outstanding[ev.key] >= 2 and ev.key not in flagged:
+                flagged.add(ev.key)
+                src, dst, tag = ev.key
+                diags.append(
+                    Diagnostic(
+                        rule="REP203",
+                        severity="warning",
+                        message=(
+                            f"{outstanding[ev.key]} messages {src}->{dst} with "
+                            f"tag {tag} in flight at once: indistinguishable to "
+                            "the matching engine, ordering relies on FIFO — use "
+                            "distinct tags per logical operation"
+                        ),
+                        ranks=(src, dst),
+                        tag=tag,
+                    )
+                )
+        else:  # recv post retires the oldest outstanding send of the key
+            if outstanding[ev.key] > 0:
+                outstanding[ev.key] -= 1
+    return diags
+
+
+def _collective_divergence(trace: CommTrace, n_ranks: int) -> list[Diagnostic]:
+    sequences = {r: trace.collective_ops(r) for r in range(n_ranks)}
+    participating = {r: s for r, s in sequences.items() if s}
+    if len(participating) < 2:
+        return []
+    ranks = sorted(participating)
+    longest = max(len(s) for s in participating.values())
+    for i in range(longest):
+        entries = {
+            r: (s[i] if i < len(s) else None) for r, s in participating.items()
+        }
+        distinct = set(entries.values())
+        if len(distinct) > 1:
+            detail = ", ".join(
+                f"rank {r}: {'—' if entries[r] is None else entries[r][0]}"
+                for r in ranks
+            )
+            return [
+                Diagnostic(
+                    rule="REP204",
+                    severity=ERROR,
+                    message=(
+                        f"collective order diverges at position {i}: {detail}. "
+                        "SPMD requires every rank to invoke the same collectives "
+                        "in the same order"
+                    ),
+                    ranks=tuple(ranks),
+                )
+            ]
+    return []
+
+
+def _wait_cycles(excess_sends: dict, excess_recvs: dict) -> list[Diagnostic]:
+    """Cycles in the blocked-rank wait-for graph."""
+    edges: dict[int, set[int]] = defaultdict(set)
+    edge_tags: dict[tuple[int, int], set[int]] = defaultdict(set)
+    for (src, dst, tag), events in excess_sends.items():
+        if any(ev.rendezvous for ev in events):
+            edges[src].add(dst)  # blocked sender waits for the receiver
+            edge_tags[(src, dst)].add(tag)
+    for (src, dst, tag), _count in excess_recvs.items():
+        edges[dst].add(src)  # blocked receiver waits for the sender
+        edge_tags[(dst, src)].add(tag)
+
+    cycles: set[tuple[int, ...]] = set()
+
+    def dfs(start: int, node: int, path: list[int], seen: set[int]) -> None:
+        for nxt in sorted(edges.get(node, ())):
+            if nxt == start:
+                cycle = path[:]
+                pivot = cycle.index(min(cycle))
+                cycles.add(tuple(cycle[pivot:] + cycle[:pivot]))
+            elif nxt not in seen:
+                seen.add(nxt)
+                dfs(start, nxt, path + [nxt], seen)
+
+    for start in sorted(edges):
+        dfs(start, start, [start], {start})
+
+    diags = []
+    for cycle in sorted(cycles):
+        hops = list(cycle) + [cycle[0]]
+        arrows = " -> ".join(f"rank {r}" for r in hops)
+        tags = sorted(
+            {t for a, b in zip(hops, hops[1:]) for t in edge_tags.get((a, b), ())}
+        )
+        diags.append(
+            Diagnostic(
+                rule="REP205",
+                severity=ERROR,
+                message=(
+                    f"rendezvous wait-for cycle: {arrows} (tags {tags}); every "
+                    "rank in the cycle is blocked on the next — deadlock"
+                ),
+                ranks=cycle,
+            )
+        )
+    return diags
+
+
+def analyze_trace(
+    trace: CommTrace, n_ranks: int, tag_base: int = COLLECTIVE_TAG_BASE
+) -> list[Diagnostic]:
+    """Diagnose a recorded communication schedule; ranked, errors first."""
+    diags: list[Diagnostic] = []
+
+    excess_sends, excess_recvs = _unmatched(trace)
+    for (src, dst, tag), events in sorted(excess_sends.items()):
+        rendezvous = any(ev.rendezvous for ev in events)
+        blocked = "; the sender is blocked forever" if rendezvous else ""
+        diags.append(
+            Diagnostic(
+                rule="REP201",
+                severity=ERROR,
+                message=(
+                    f"{len(events)} unmatched send(s) {src}->{dst} tag {tag} "
+                    f"at finalize: the receiver never posted a matching "
+                    f"recv{blocked}"
+                ),
+                ranks=(src, dst),
+                tag=tag,
+            )
+        )
+    for (src, dst, tag), count in sorted(excess_recvs.items()):
+        diags.append(
+            Diagnostic(
+                rule="REP202",
+                severity=ERROR,
+                message=(
+                    f"{count} unmatched receive(s) posted by rank {dst} for "
+                    f"{src}->{dst} tag {tag}: no matching send ever arrived; "
+                    "the receiver is blocked forever"
+                ),
+                ranks=(src, dst),
+                tag=tag,
+            )
+        )
+
+    diags.extend(_tag_collisions(trace, tag_base))
+    diags.extend(_collective_divergence(trace, n_ranks))
+    diags.extend(_wait_cycles(excess_sends, excess_recvs))
+    return _rank_diagnoses(diags)

@@ -7,6 +7,8 @@ Usage::
     python -m repro figures --all --steps 4      # everything, shorter runs
     python -m repro run --network myrinet --middleware mpi --ranks 8
     python -m repro workload                     # describe the benchmark system
+    python -m repro analyze src tests            # communication-correctness lint
+    python -m repro analyze --sanitize-run       # sanitized end-to-end runs
 """
 
 from __future__ import annotations
@@ -48,6 +50,28 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=2002)
 
     sub.add_parser("workload", help="describe the 3552-atom benchmark system")
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="communication-correctness analyzer (lint + schedule + sanitizer)",
+    )
+    analyze.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: ./src and ./tests if present)",
+    )
+    analyze.add_argument(
+        "--sanitize-run",
+        action="store_true",
+        help=(
+            "also run a small sanitized workload (2 and 4 ranks, MPI and CMPI), "
+            "check every runtime invariant, diagnose the recorded message "
+            "schedule, and verify timings are identical to an unsanitized run"
+        ),
+    )
+    analyze.add_argument(
+        "--steps", type=int, default=2, help="MD steps for --sanitize-run (default 2)"
+    )
 
     return parser
 
@@ -142,6 +166,107 @@ def _cmd_workload(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _analyze_lint(paths: list[str]) -> int:
+    """Static layer of ``repro analyze``; returns the error count."""
+    from pathlib import Path
+
+    from .analysis import lint_paths
+
+    if not paths:
+        paths = [p for p in ("src", "tests") if Path(p).is_dir()]
+        if not paths:
+            print("error: no paths given and no ./src or ./tests here", file=sys.stderr)
+            return 1
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(map(str, missing))}", file=sys.stderr)
+        return 1
+    diags = lint_paths(paths)
+    for diag in diags:
+        print(diag.format())
+    n_files = sum(
+        1 if Path(p).is_file() else sum(1 for _ in Path(p).rglob("*.py")) for p in paths
+    )
+    errors = sum(1 for d in diags if d.severity == "error")
+    print(
+        f"analyze: linted {n_files} files under {', '.join(map(str, paths))}: "
+        f"{errors} error(s), {len(diags) - errors} warning(s)"
+    )
+    return errors
+
+
+def _analyze_sanitize_run(n_steps: int) -> int:
+    """Dynamic layer of ``repro analyze --sanitize-run``.
+
+    For 2 and 4 ranks under both middlewares: run the small workload
+    plain and sanitized+traced, require zero invariant violations, a
+    clean schedule diagnosis, and bit-identical comp/comm/sync totals.
+    Returns the number of failures.
+    """
+    from .analysis import SanitizerError, analyze_trace
+    from .analysis.rules import ERROR
+    from .cluster import ClusterSpec, score_gigabit_ethernet
+    from .instrument.commstats import CommTrace
+    from .md import CutoffScheme, MDSystem, default_forcefield
+    from .parallel import MDRunConfig, run_parallel_md
+    from .workloads import build_peptide_in_water
+
+    ff = default_forcefield()
+    topo, pos, box = build_peptide_in_water(n_residues=2, n_waters=12, forcefield=ff)
+    system = MDSystem(
+        topo, ff, box, CutoffScheme(r_cut=8.0, skin=1.5),
+        electrostatics="pme", pme_grid=(16, 16, 16),
+    )
+    config = MDRunConfig(n_steps=n_steps, dt=0.0004)
+
+    failures = 0
+    for mw in ("mpi", "cmpi"):
+        for ranks in (2, 4):
+            spec = ClusterSpec(n_ranks=ranks, network=score_gigabit_ethernet(), seed=7)
+            plain = run_parallel_md(system, pos, spec, middleware=mw, config=config)
+            trace = CommTrace()
+            try:
+                sanitized = run_parallel_md(
+                    system, pos, spec, middleware=mw, config=config,
+                    sanitize=True, trace=trace,
+                )
+            except SanitizerError as exc:
+                print(f"  {mw} p={ranks}: sanitizer violation: {exc}")
+                failures += 1
+                continue
+
+            drift = []
+            phases = {p for r in (plain, sanitized) for tl in r.timelines for p in tl.phases}
+            for phase in sorted(phases):
+                a, b = plain.component(phase), sanitized.component(phase)
+                if (a.comp, a.comm, a.sync) != (b.comp, b.comm, b.sync):
+                    drift.append(phase)
+            diags = analyze_trace(trace, ranks)
+            errors = [d for d in diags if d.severity == ERROR]
+            for d in diags:
+                print("  " + d.format())
+            status = "ok"
+            if drift:
+                status = f"TIMING DRIFT in phases {drift}"
+                failures += 1
+            if errors:
+                status = f"{len(errors)} schedule error(s)"
+                failures += 1
+            print(
+                f"  {mw} p={ranks}: {len(trace)} events, "
+                f"0 sanitizer violations, {status}"
+            )
+    print(f"analyze: sanitized runs {'passed' if failures == 0 else 'FAILED'}")
+    return failures
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    failures = _analyze_lint(list(args.paths))
+    if args.sanitize_run:
+        failures += _analyze_sanitize_run(args.steps)
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -151,6 +276,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "workload":
         return _cmd_workload(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
     raise AssertionError("unreachable")
 
 

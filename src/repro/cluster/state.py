@@ -18,6 +18,7 @@ wire timing is decided.  It models:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -90,10 +91,20 @@ class _ActiveTransfers:
 
 
 class ClusterState:
-    """Mutable per-run network state for one simulated cluster."""
+    """Mutable per-run network state for one simulated cluster.
 
-    def __init__(self, spec: ClusterSpec) -> None:
+    ``plan_validator`` is an optional hook called as ``validator(plan,
+    ready_time)`` on every planned transfer; the runtime sanitizer uses
+    it to assert non-negative, causally ordered transfer windows.
+    """
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        plan_validator: Callable[[TransferPlan, float], None] | None = None,
+    ) -> None:
         self.spec = spec
+        self._plan_validator = plan_validator
         self.net: NetworkParams = spec.network
         self.nic_free = np.zeros(spec.n_nodes, dtype=np.float64)
         self.irq_free = np.zeros(spec.n_nodes, dtype=np.float64)
@@ -132,7 +143,10 @@ class ClusterState:
             raise ValueError("nbytes must be non-negative")
         net = self.net
         if src_node == dst_node:
-            return self._plan_intranode(dst_node, nbytes, ready_time, net.intranode)
+            plan = self._plan_intranode(dst_node, nbytes, ready_time, net.intranode)
+            if self._plan_validator is not None:
+                self._plan_validator(plan, ready_time)
+            return plan
 
         start = float(max(ready_time, self.nic_free[src_node], self.nic_free[dst_node]))
         eff = self.sample_efficiency(ready_time)
@@ -152,9 +166,14 @@ class ClusterState:
 
         self._active.add(start, end)
         self.transfers.append(
-            TransferRecord(start=start, end=end, src_node=src_node, dst_node=dst_node, nbytes=nbytes)
+            TransferRecord(
+                start=start, end=end, src_node=src_node, dst_node=dst_node, nbytes=nbytes
+            )
         )
-        return TransferPlan(start=start, end=end, nbytes=nbytes, efficiency=eff, intranode=False)
+        plan = TransferPlan(start=start, end=end, nbytes=nbytes, efficiency=eff, intranode=False)
+        if self._plan_validator is not None:
+            self._plan_validator(plan, ready_time)
+        return plan
 
     # ------------------------------------------------------------------
     def _plan_intranode(

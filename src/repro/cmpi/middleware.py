@@ -24,6 +24,7 @@ import numpy as np
 from ..instrument.timeline import Category
 from ..mpi.endpoint import EMPTY_PAYLOAD, RankEndpoint
 from ..mpi.middleware import Middleware
+from ..sim.engine import Sleep
 
 __all__ = ["CMPIMiddleware"]
 
@@ -38,21 +39,32 @@ class CMPIMiddleware(Middleware):
     call_overhead: float = 4.0e-6
 
     # ------------------------------------------------------------------
-    def _charge_call(self, ep: RankEndpoint) -> None:
+    def _charge_call(self, ep: RankEndpoint):
+        """Generator: book and *spend* the per-call marshalling time.
+
+        The cost must advance the virtual clock as well as the timeline —
+        booking without sleeping would attribute seconds that never
+        existed on the clock, which the runtime sanitizer's
+        timeline-accounting invariant (REP304) rejects.
+        """
         ep.timeline.add(Category.COMM, self.call_overhead)
+        yield Sleep(self.call_overhead)
 
     def sync(self, ep: RankEndpoint):
         """Neighbour-ring synchronization: p-1 one-byte exchange rounds."""
         p = ep.size
         if p == 1:
             return
-        tag = ep.next_collective_tag()
+        tag = ep.next_collective_tag("cmpi-sync")
         with ep.timeline.as_category(Category.SYNC):
             for k in range(1, p):
                 dest = (ep.rank + k) % p
                 src = (ep.rank - k) % p
-                self._charge_call(ep)
-                yield from ep.sendrecv(dest, EMPTY_PAYLOAD, src, tag + k)
+                yield from self._charge_call(ep)
+                yield from ep.sendrecv(
+                    dest, EMPTY_PAYLOAD, src, tag + k,
+                    expect_nbytes=len(EMPTY_PAYLOAD), expect_dtype="bytes",
+                )
 
     # ------------------------------------------------------------------
     def barrier(self, ep: RankEndpoint):
@@ -64,13 +76,21 @@ class CMPIMiddleware(Middleware):
         data = np.asarray(array).copy()
         if p == 1:
             return data
-        tag = ep.next_collective_tag()
+        tag = ep.next_collective_tag("allreduce")
         send_reqs = []
         recv_reqs = []
         for k in range(1, p):
             peer = (ep.rank + k) % p
-            self._charge_call(ep)
-            recv_reqs.append((yield from ep.irecv((ep.rank - k) % p, tag)))
+            yield from self._charge_call(ep)
+            # every peer contributes a block shaped like ours (SPMD)
+            recv_reqs.append(
+                (
+                    yield from ep.irecv(
+                        (ep.rank - k) % p, tag,
+                        expect_nbytes=int(data.nbytes), expect_dtype=str(data.dtype),
+                    )
+                )
+            )
             send_reqs.append((yield from ep.isend(peer, data, tag)))
         for rreq in recv_reqs:
             other = yield from rreq.wait()
@@ -87,13 +107,13 @@ class CMPIMiddleware(Middleware):
         blocks[ep.rank] = np.asarray(block).copy()
         if p == 1:
             return blocks
-        tag = ep.next_collective_tag()
+        tag = ep.next_collective_tag("allgatherv")
         send_reqs = []
         recv_reqs = []
         for k in range(1, p):
             peer = (ep.rank + k) % p
             src = (ep.rank - k) % p
-            self._charge_call(ep)
+            yield from self._charge_call(ep)
             recv_reqs.append((src, (yield from ep.irecv(src, tag))))
             send_reqs.append((yield from ep.isend(peer, blocks[ep.rank], tag)))
         for src, rreq in recv_reqs:
@@ -112,13 +132,13 @@ class CMPIMiddleware(Middleware):
         recv_blocks[ep.rank] = send_blocks[ep.rank]
         if p == 1:
             return recv_blocks
-        tag = ep.next_collective_tag()
+        tag = ep.next_collective_tag("alltoallv")
         send_reqs = []
         recv_reqs = []
         for k in range(1, p):
             peer = (ep.rank + k) % p
             src = (ep.rank - k) % p
-            self._charge_call(ep)
+            yield from self._charge_call(ep)
             recv_reqs.append((src, (yield from ep.irecv(src, tag))))
             send_reqs.append((yield from ep.isend(peer, send_blocks[peer], tag)))
         for src, rreq in recv_reqs:

@@ -8,7 +8,7 @@ designs are provided, plus processor-count sweeps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .factors import FOCAL_POINT, FactorSpace, PlatformConfig
 

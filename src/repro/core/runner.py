@@ -8,6 +8,7 @@ figure drivers can share runs (several figures slice the same design).
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -53,7 +54,12 @@ class CharacterizationRunner:
 
     # ------------------------------------------------------------------
     def _point_seed(self, point: DesignPoint) -> int:
-        """Deterministic, distinct seed per design point and replicate."""
+        """Deterministic, distinct seed per design point and replicate.
+
+        Uses a stable digest, not ``hash()``: string hashing is randomized
+        per process (PYTHONHASHSEED), which would give every run of the
+        same experiment different platform noise.
+        """
         key = (
             point.config.network,
             point.config.middleware,
@@ -61,7 +67,8 @@ class CharacterizationRunner:
             point.n_ranks,
             point.replicate,
         )
-        return (self.base_seed + hash(key)) % (2**31 - 1)
+        digest = zlib.crc32(repr(key).encode())
+        return (self.base_seed + digest) % (2**31 - 1)
 
     def run_point(self, point: DesignPoint) -> ParallelRunResult:
         """Execute (or recall) one design point."""

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core.design import DesignPoint
-from ..core.factors import FOCAL_POINT, PlatformConfig
+from ..core.factors import FOCAL_POINT
 from ..core.report import breakdown_table, speed_table, time_series_table
 from ..core.responses import ResponseRecord
 from ..core.runner import CharacterizationRunner

@@ -1,9 +1,17 @@
-"""Communication-rate statistics (the paper's Figure 7 metric).
+"""Communication-rate statistics (the paper's Figure 7 metric) and the
+per-rank communication event trace.
 
 Figure 7 plots, per network and processor count, the *average and
 variability of the communication speed per node* in MByte/s: how fast the
 data actually moved when a node was transferring, with min/max whiskers
 exposing the TCP flow-control instability.
+
+:class:`CommTrace` is the raw material for the message-schedule analyzer
+(:mod:`repro.analysis.schedule`): an opt-in, passive log of every send,
+receive post and collective invocation with ``(src, dst, tag, nbytes,
+dtype)``, in a global deterministic order.  Recording draws no random
+numbers and charges no virtual time, so a traced run is bit-identical to
+an untraced one.
 """
 
 from __future__ import annotations
@@ -14,7 +22,12 @@ import numpy as np
 
 from ..cluster.state import TransferRecord
 
-__all__ = ["CommSpeedStats", "communication_speeds"]
+__all__ = [
+    "CommSpeedStats",
+    "communication_speeds",
+    "CommEvent",
+    "CommTrace",
+]
 
 #: Transfers smaller than this are latency-dominated and excluded from the
 #: rate statistics, mirroring how the paper measures data-transfer speed.
@@ -57,3 +70,98 @@ def communication_speeds(
         maximum=float(mb.max()),
         n_transfers=len(mb),
     )
+
+
+# ---------------------------------------------------------------------------
+# communication event trace
+
+
+@dataclass(frozen=True)
+class CommEvent:
+    """One communication call as seen from the calling rank.
+
+    ``kind`` is ``"send"``, ``"recv"`` or ``"collective"``.  For sends,
+    ``peer`` is the destination; for receive posts, the source; for
+    collectives it is ``-1`` and ``op`` names the operation.  ``nbytes``
+    and ``dtype`` describe the payload for sends and the *expected*
+    payload for receives (``-1`` / ``""`` when the receiver declares no
+    expectation).
+    """
+
+    kind: str
+    rank: int
+    peer: int
+    tag: int
+    nbytes: int
+    dtype: str
+    op: str
+    time: float
+    seq: int
+    rendezvous: bool = False
+
+    @property
+    def key(self) -> tuple[int, int, int]:
+        """The matching key ``(src, dst, tag)`` of a send or receive."""
+        if self.kind == "send":
+            return (self.rank, self.peer, self.tag)
+        return (self.peer, self.rank, self.tag)
+
+
+class CommTrace:
+    """Append-only log of communication events across all ranks."""
+
+    def __init__(self) -> None:
+        self.events: list[CommEvent] = []
+
+    def _record(self, **kw) -> None:
+        self.events.append(CommEvent(seq=len(self.events), **kw))
+
+    def record_send(
+        self,
+        rank: int,
+        dst: int,
+        tag: int,
+        nbytes: int,
+        dtype: str,
+        time: float,
+        rendezvous: bool = False,
+    ) -> None:
+        self._record(
+            kind="send", rank=rank, peer=dst, tag=tag, nbytes=nbytes,
+            dtype=dtype, op="", time=time, rendezvous=rendezvous,
+        )
+
+    def record_recv(
+        self,
+        rank: int,
+        src: int,
+        tag: int,
+        time: float,
+        nbytes: int = -1,
+        dtype: str = "",
+    ) -> None:
+        self._record(
+            kind="recv", rank=rank, peer=src, tag=tag, nbytes=nbytes,
+            dtype=dtype, op="", time=time,
+        )
+
+    def record_collective(self, rank: int, op: str, tag: int, time: float) -> None:
+        self._record(
+            kind="collective", rank=rank, peer=-1, tag=tag, nbytes=0,
+            dtype="", op=op, time=time,
+        )
+
+    # ------------------------------------------------------------------
+    def by_kind(self, kind: str) -> list[CommEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def collective_ops(self, rank: int) -> list[tuple[str, int]]:
+        """The ordered ``(op, tag)`` collective sequence of one rank."""
+        return [
+            (e.op, e.tag)
+            for e in self.events
+            if e.kind == "collective" and e.rank == rank
+        ]
+
+    def __len__(self) -> int:
+        return len(self.events)

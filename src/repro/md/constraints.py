@@ -19,7 +19,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .box import PeriodicBox
-from .energy import EnergyBreakdown
 from .forcefield import ForceField
 from .integrator import MDState
 from .system import MDSystem

@@ -15,7 +15,6 @@ is a pure data change.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
 
 import numpy as np
 

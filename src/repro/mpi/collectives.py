@@ -47,14 +47,17 @@ def barrier(ep: RankEndpoint):
     p = ep.size
     if p == 1:
         return
-    tag = ep.next_collective_tag()
+    tag = ep.next_collective_tag("barrier")
     with ep.timeline.as_category(Category.SYNC):
         k = 1
         round_no = 0
         while k < p:
             dest = (ep.rank + k) % p
             src = (ep.rank - k) % p
-            yield from ep.sendrecv(dest, EMPTY_PAYLOAD, src, tag + round_no)
+            yield from ep.sendrecv(
+                dest, EMPTY_PAYLOAD, src, tag + round_no,
+                expect_nbytes=len(EMPTY_PAYLOAD), expect_dtype="bytes",
+            )
             k <<= 1
             round_no += 1
 
@@ -67,13 +70,18 @@ def allreduce(
     data = np.asarray(array).copy()
     if p == 1:
         return data
-    tag = ep.next_collective_tag()
+    tag = ep.next_collective_tag("allreduce")
     if _is_power_of_two(p):
         k = 1
         round_no = 0
         while k < p:
             partner = ep.rank ^ k
-            other = yield from ep.sendrecv(partner, data, partner, tag + round_no)
+            # recursive doubling is symmetric: the partner's block has the
+            # same shape and dtype as ours, so declare it for the sanitizer
+            other = yield from ep.sendrecv(
+                partner, data, partner, tag + round_no,
+                expect_nbytes=int(data.nbytes), expect_dtype=str(data.dtype),
+            )
             data = op(data, other)
             k <<= 1
             round_no += 1
@@ -96,7 +104,7 @@ def allgatherv(ep: RankEndpoint, block: np.ndarray):
     blocks[ep.rank] = np.asarray(block).copy()
     if p == 1:
         return blocks
-    tag = ep.next_collective_tag()
+    tag = ep.next_collective_tag("allgatherv")
     right = (ep.rank + 1) % p
     left = (ep.rank - 1) % p
     for step in range(p - 1):
@@ -120,7 +128,7 @@ def alltoallv(ep: RankEndpoint, send_blocks: list):
     recv_blocks[ep.rank] = send_blocks[ep.rank]
     if p == 1:
         return recv_blocks
-    tag = ep.next_collective_tag()
+    tag = ep.next_collective_tag("alltoallv")
     if _is_power_of_two(p):
         # XOR partners: each step is a symmetric pairwise exchange
         for step in range(1, p):
@@ -144,7 +152,7 @@ def bcast(ep: RankEndpoint, array, root: int = 0):
     p = ep.size
     if p == 1:
         return array
-    tag = ep.next_collective_tag()
+    tag = ep.next_collective_tag("bcast")
     vrank = (ep.rank - root) % p
     data = array
     mask = 1
@@ -176,7 +184,7 @@ def reduce(
     data = np.asarray(array).copy()
     if p == 1:
         return data
-    tag = ep.next_collective_tag()
+    tag = ep.next_collective_tag("reduce")
     vrank = (ep.rank - root) % p
     mask = 1
     while mask < p:
@@ -187,7 +195,10 @@ def reduce(
         partner = vrank | mask
         if partner < p:
             src = (ep.rank + mask) % p
-            other = yield from ep.recv(src, tag)
+            # reduction partners combine same-shape blocks
+            other = yield from ep.recv(
+                src, tag, expect_nbytes=int(data.nbytes), expect_dtype=str(data.dtype)
+            )
             data = op(data, other)
         mask <<= 1
     return data

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 from ..instrument.timeline import Category, Timeline
 from ..sim.engine import Await, Future, Sleep
-from .message import Message, RecvPost, copy_payload, payload_nbytes
+from .message import Message, RecvPost, copy_payload, payload_dtype, payload_nbytes
 
 __all__ = ["RankEndpoint", "SendRequest", "RecvRequest", "EMPTY_PAYLOAD"]
 
@@ -102,13 +102,18 @@ class RankEndpoint:
     def node(self) -> int:
         return self.world.spec.node_of(self.rank)
 
-    def next_collective_tag(self) -> int:
-        """Fresh tag for one collective operation.
+    def next_collective_tag(self, op: str = "collective") -> int:
+        """Fresh tag for one collective operation named ``op``.
 
         Rank programs are SPMD, so every rank draws the same sequence and
-        tags agree across the job.
+        tags agree across the job.  When the world records a
+        :class:`~repro.instrument.commstats.CommTrace`, the ``(op, tag)``
+        pair is logged so the schedule analyzer can detect cross-rank
+        collective-order divergence.
         """
         self._tag_seq += 16
+        if self.world.trace is not None:
+            self.world.trace.record_collective(self.rank, op, self._tag_seq, self.now)
         return self._tag_seq
 
     # ------------------------------------------------------------------
@@ -155,11 +160,26 @@ class RankEndpoint:
             rendezvous=rendezvous,
             fut_sender=Future() if rendezvous else None,
         )
+        if self.world.trace is not None:
+            self.world.trace.record_send(
+                self.rank, dest, tag, nbytes, payload_dtype(payload), self.now, rendezvous
+            )
         self.world.post_message(msg)
         return SendRequest(endpoint=self, message=msg, issued_at=self.now)
 
-    def irecv(self, source: int, tag: int = 0):
-        """Split-phase receive; returns a :class:`RecvRequest`."""
+    def irecv(
+        self,
+        source: int,
+        tag: int = 0,
+        expect_nbytes: int | None = None,
+        expect_dtype: str | None = None,
+    ):
+        """Split-phase receive; returns a :class:`RecvRequest`.
+
+        ``expect_nbytes``/``expect_dtype`` optionally declare the payload
+        the receiver is prepared for; the runtime sanitizer asserts
+        agreement when the message is matched.
+        """
         if not 0 <= source < self.size:
             raise ValueError(f"bad source rank {source}")
         if source == self.rank:
@@ -167,7 +187,23 @@ class RankEndpoint:
         overhead = self.net.recv_overhead * self._overhead_scale
         self.timeline.add(Category.COMM, overhead)
         yield Sleep(overhead)
-        post = RecvPost(src=source, dst=self.rank, tag=tag, post_time=self.now)
+        post = RecvPost(
+            src=source,
+            dst=self.rank,
+            tag=tag,
+            post_time=self.now,
+            expect_nbytes=expect_nbytes,
+            expect_dtype=expect_dtype,
+        )
+        if self.world.trace is not None:
+            self.world.trace.record_recv(
+                self.rank,
+                source,
+                tag,
+                self.now,
+                -1 if expect_nbytes is None else expect_nbytes,
+                expect_dtype or "",
+            )
         self.world.post_recv(post)
         return RecvRequest(endpoint=self, post=post)
 
@@ -176,15 +212,29 @@ class RankEndpoint:
         req = yield from self.isend(dest, payload, tag)
         yield from req.wait()
 
-    def recv(self, source: int, tag: int = 0):
+    def recv(
+        self,
+        source: int,
+        tag: int = 0,
+        expect_nbytes: int | None = None,
+        expect_dtype: str | None = None,
+    ):
         """Blocking receive; returns the payload."""
-        req = yield from self.irecv(source, tag)
+        req = yield from self.irecv(source, tag, expect_nbytes, expect_dtype)
         payload = yield from req.wait()
         return payload
 
-    def sendrecv(self, dest: int, payload, source: int, tag: int = 0):
+    def sendrecv(
+        self,
+        dest: int,
+        payload,
+        source: int,
+        tag: int = 0,
+        expect_nbytes: int | None = None,
+        expect_dtype: str | None = None,
+    ):
         """Simultaneous exchange (deadlock-free via split phases)."""
-        rreq = yield from self.irecv(source, tag)
+        rreq = yield from self.irecv(source, tag, expect_nbytes, expect_dtype)
         sreq = yield from self.isend(dest, payload, tag)
         incoming = yield from rreq.wait()
         yield from sreq.wait()

@@ -9,7 +9,7 @@ import numpy as np
 from ..cluster.state import TransferPlan
 from ..sim.engine import Future
 
-__all__ = ["Message", "RecvPost", "payload_nbytes", "copy_payload"]
+__all__ = ["Message", "RecvPost", "payload_nbytes", "payload_dtype", "copy_payload"]
 
 Payload = "np.ndarray | bytes"
 
@@ -21,6 +21,13 @@ def payload_nbytes(payload) -> int:
     if isinstance(payload, (bytes, bytearray)):
         return len(payload)
     raise TypeError(f"unsupported payload type {type(payload).__name__}")
+
+
+def payload_dtype(payload) -> str:
+    """Dtype label of a payload: the numpy dtype name, or ``"bytes"``."""
+    if isinstance(payload, np.ndarray):
+        return str(payload.dtype)
+    return "bytes"
 
 
 def copy_payload(payload):
@@ -52,12 +59,19 @@ class Message:
 
 @dataclass
 class RecvPost:
-    """A posted receive waiting for its matching message."""
+    """A posted receive waiting for its matching message.
+
+    ``expect_nbytes``/``expect_dtype`` are the receiver's optional
+    declaration of the payload it is prepared for; the runtime sanitizer
+    (:mod:`repro.analysis.sanitizer`) asserts agreement at match time.
+    """
 
     src: int
     dst: int
     tag: int
     post_time: float
+    expect_nbytes: int | None = None
+    expect_dtype: str | None = None
     fut: Future = field(default_factory=Future)  # resolves with the Message
 
     @property

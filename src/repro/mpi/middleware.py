@@ -10,6 +10,7 @@ experiment runner can swap the middleware without touching the physics.
 
 from __future__ import annotations
 
+import abc
 from typing import Callable
 
 import numpy as np
@@ -20,26 +21,33 @@ from .endpoint import RankEndpoint
 __all__ = ["Middleware", "MPIMiddleware"]
 
 
-class Middleware:
-    """Interface: every method is a generator to be driven with yield-from."""
+class Middleware(abc.ABC):
+    """Interface: every method is a generator to be driven with yield-from.
+
+    A proper ABC: subclasses must implement every operation, and the
+    abstract declarations carry no dead ``yield`` bodies.  The analyzer's
+    lint pass (:mod:`repro.analysis.lint`) knows these names as the
+    generator-collective protocol: any call site must use ``yield from``
+    or the operation silently never runs (rule REP101).
+    """
 
     name = "abstract"
 
+    @abc.abstractmethod
     def barrier(self, ep: RankEndpoint):
-        raise NotImplementedError
-        yield  # pragma: no cover
+        """Generator: block until every rank has entered the barrier."""
 
+    @abc.abstractmethod
     def allreduce(self, ep: RankEndpoint, array: np.ndarray, op: Callable = np.add):
-        raise NotImplementedError
-        yield  # pragma: no cover
+        """Generator: combine ``array`` across ranks; returns the result."""
 
+    @abc.abstractmethod
     def allgatherv(self, ep: RankEndpoint, block: np.ndarray):
-        raise NotImplementedError
-        yield  # pragma: no cover
+        """Generator: gather per-rank blocks everywhere; returns the list."""
 
+    @abc.abstractmethod
     def alltoallv(self, ep: RankEndpoint, send_blocks: list):
-        raise NotImplementedError
-        yield  # pragma: no cover
+        """Generator: personalized exchange; returns the received blocks."""
 
 
 class MPIMiddleware(Middleware):

@@ -32,14 +32,38 @@ __all__ = ["MPIWorld"]
 
 
 class MPIWorld:
-    """Matching engine + endpoints for one simulated MPI job."""
+    """Matching engine + endpoints for one simulated MPI job.
 
-    def __init__(self, sim: Simulator, spec: ClusterSpec) -> None:
+    ``sanitize=True`` installs a :class:`repro.analysis.sanitizer.Sanitizer`
+    that asserts size/dtype agreement on every matched message and
+    validates every transfer window; ``trace`` (a
+    :class:`~repro.instrument.commstats.CommTrace`) records every
+    send/recv/collective event for the schedule analyzer.  Both are
+    passive: they never charge virtual time or draw random numbers, so
+    sanitized/traced runs are bit-identical to plain ones.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: ClusterSpec,
+        *,
+        sanitize: bool = False,
+        trace=None,
+    ) -> None:
         from .endpoint import RankEndpoint  # local import to avoid a cycle
 
         self.sim = sim
         self.spec = spec
-        self.state = ClusterState(spec)
+        self.trace = trace
+        self.sanitizer = None
+        plan_validator = None
+        if sanitize:
+            from ..analysis.sanitizer import Sanitizer  # local import, avoids a cycle
+
+            self.sanitizer = Sanitizer()
+            plan_validator = self.sanitizer.check_plan
+        self.state = ClusterState(spec, plan_validator=plan_validator)
         self._msgs: dict[tuple[int, int, int], deque[Message]] = {}
         self._recvs: dict[tuple[int, int, int], deque[RecvPost]] = {}
         self.endpoints = [RankEndpoint(self, r) for r in range(spec.n_ranks)]
@@ -67,6 +91,8 @@ class MPIWorld:
 
     # ------------------------------------------------------------------
     def _match(self, msg: Message, post: RecvPost) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.check_match(msg, post)
         ready = (
             msg.sender_ready
             if not msg.rendezvous

@@ -50,6 +50,8 @@ def run_parallel_md(
     middleware: str | Middleware = "mpi",
     config: MDRunConfig | None = None,
     cost: MachineCostModel = PIII_1GHZ,
+    sanitize: bool = False,
+    trace=None,
 ) -> ParallelRunResult:
     """Simulate one parallel CHARMM MD run and collect its timelines.
 
@@ -67,6 +69,16 @@ def run_parallel_md(
         Steps/dt/seed; defaults to the paper's 10-step measurement run.
     cost:
         Machine cost model (defaults to the calibrated 1 GHz PIII).
+    sanitize:
+        Run under the communication sanitizer
+        (:mod:`repro.analysis.sanitizer`): every matched message, transfer
+        window and timeline is invariant-checked; the first violation
+        raises.  Passive — timings are bit-identical to a plain run.
+    trace:
+        Optional :class:`~repro.instrument.commstats.CommTrace`; when
+        given, every send/recv/collective event is recorded for the
+        schedule analyzer and the trace is attached to
+        ``result.extra["comm_trace"]``.
     """
     config = config or MDRunConfig()
     mw = middleware if isinstance(middleware, Middleware) else make_middleware(middleware)
@@ -76,7 +88,7 @@ def run_parallel_md(
 
     decomp = AtomDecomposition(system.n_atoms, cluster.n_ranks)
     sim = Simulator()
-    world = MPIWorld(sim, cluster)
+    world = MPIWorld(sim, cluster, sanitize=sanitize, trace=trace)
 
     procs = []
     for rank in range(cluster.n_ranks):
@@ -94,9 +106,11 @@ def run_parallel_md(
 
     sim.run()
     world.assert_drained()
+    if world.sanitizer is not None:
+        world.sanitizer.check_final(world)
 
     outcomes: list[RankOutcome] = [p.result for p in procs]
-    return ParallelRunResult(
+    result = ParallelRunResult(
         spec=cluster,
         config=config,
         energies=outcomes[0].energies,
@@ -105,3 +119,6 @@ def run_parallel_md(
         final_positions=outcomes[0].final_positions,
         middleware=mw.name,
     )
+    if trace is not None:
+        result.extra["comm_trace"] = trace
+    return result

@@ -1,0 +1,15 @@
+# repro-analyze: skip-file — golden bad program for REP102
+"""Yields from data-moving collectives but discards their results.
+
+An allreduce whose combined value is thrown away means every rank keeps
+its own partial forces — the physics silently diverges across ranks.
+"""
+
+
+def rank_program(ep, mw, collectives):
+    yield from mw.allreduce(ep, None)  # REP102: combined value discarded
+    yield from collectives.allgatherv(ep, None)  # REP102
+    forces = yield from mw.allreduce(ep, None)  # correct — assigned
+    yield from mw.barrier(ep)  # correct — barrier returns nothing
+    yield from ep.recv(0)  # correct — receive-and-ignore sync idiom
+    return forces

@@ -1,0 +1,20 @@
+# repro-analyze: skip-file — golden bad program for REP101
+"""A rank program that *calls* protocol generators without yield-from.
+
+Every call below creates a generator object and throws it away: the
+communication silently never happens and the run produces wrong timings
+instead of a crash.  The lint pass must flag each one.
+"""
+
+
+def rank_program(ep, mw, collectives):
+    ep.compute(1.0)  # REP101: generator never driven
+    ep.send(1, b"x", tag=3)  # REP101
+    mw.barrier(ep)  # REP101
+    collectives.allreduce(ep, None)  # REP101
+    yield from ep.compute(0.5)  # correct — must NOT be flagged
+
+
+def correct_program(ep, sim):
+    sim.spawn(ep.compute(1.0))  # handed to a driver — must NOT be flagged
+    yield from ep.send(1, b"x")

@@ -1,0 +1,14 @@
+# repro-analyze: skip-file — golden bad program for REP103
+"""Unseeded randomness: irreproducible Figure-7 variability statistics."""
+
+import random
+
+import numpy as np
+
+
+def sample_efficiency():
+    rng = np.random.default_rng()  # REP103: no seed
+    noise = np.random.normal(0.0, 1.0)  # REP103: legacy global generator
+    jitter = random.uniform(0.0, 1.0)  # REP103: stdlib process-global state
+    good = np.random.default_rng(2002)  # correct — seeded
+    return rng, noise, jitter, good

@@ -1,0 +1,13 @@
+# repro-analyze: skip-file — golden bad program for REP104
+"""Host wall-clock reads inside virtual-time code."""
+
+import time
+from datetime import datetime
+
+
+def rank_program(ep):
+    t0 = time.time()  # REP104: host clock, not the simulator clock
+    t1 = time.perf_counter()  # REP104
+    stamp = datetime.now()  # REP104
+    yield from ep.compute(1.0)
+    return t0, t1, stamp, ep.now  # ep.now is the correct clock

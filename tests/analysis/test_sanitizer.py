@@ -1,0 +1,133 @@
+"""Runtime sanitizer: each invariant, plus passivity on real workloads."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Sanitizer, SanitizerError
+from repro.cluster import ClusterSpec, score_gigabit_ethernet
+from repro.cluster.state import TransferPlan
+from repro.instrument.timeline import Category
+from repro.mpi import MPIWorld
+from repro.parallel import MDRunConfig, run_parallel_md
+from repro.sim import Simulator
+
+
+def _spec(n_ranks=2, seed=1):
+    return ClusterSpec(n_ranks=n_ranks, network=score_gigabit_ethernet(), seed=seed)
+
+
+def _run_sanitized(program, n_ranks=2):
+    sim = Simulator()
+    world = MPIWorld(sim, _spec(n_ranks), sanitize=True)
+    for r in range(n_ranks):
+        sim.spawn(program(world.endpoints[r]), name=f"r{r}")
+    sim.run()
+    return world
+
+
+class TestMessageInvariants:
+    def test_size_mismatch_rep301(self):
+        def prog(ep):
+            if ep.rank == 0:
+                yield from ep.send(1, np.ones(10), tag=2)
+            else:
+                yield from ep.recv(0, tag=2, expect_nbytes=4)
+
+        with pytest.raises(SanitizerError, match="REP301"):
+            _run_sanitized(prog)
+
+    def test_dtype_mismatch_rep302(self):
+        def prog(ep):
+            if ep.rank == 0:
+                yield from ep.send(1, np.ones(10, dtype=np.float64), tag=2)
+            else:
+                yield from ep.recv(0, tag=2, expect_dtype="int32")
+
+        with pytest.raises(SanitizerError, match="REP302"):
+            _run_sanitized(prog)
+
+    def test_agreeing_expectations_pass(self):
+        def prog(ep):
+            if ep.rank == 0:
+                yield from ep.send(1, np.ones(10), tag=2)
+            else:
+                data = yield from ep.recv(
+                    0, tag=2, expect_nbytes=80, expect_dtype="float64"
+                )
+                np.testing.assert_array_equal(data, np.ones(10))
+
+        world = _run_sanitized(prog)
+        world.sanitizer.check_final(world)  # also clean at shutdown
+
+
+class TestPlanInvariants:
+    def _plan(self, **kw):
+        base = dict(start=0.0, end=1.0, nbytes=100, efficiency=0.5, intranode=False)
+        base.update(kw)
+        return TransferPlan(**base)
+
+    def test_valid_plan_passes(self):
+        Sanitizer().check_plan(self._plan(), ready_time=0.0)
+
+    def test_negative_window_rep303(self):
+        with pytest.raises(SanitizerError, match="REP303"):
+            Sanitizer().check_plan(self._plan(start=5.0, end=4.0), ready_time=0.0)
+
+    def test_start_before_ready_rep303(self):
+        with pytest.raises(SanitizerError, match="REP303"):
+            Sanitizer().check_plan(self._plan(start=0.0, end=1.0), ready_time=2.0)
+
+    def test_bad_efficiency_rep303(self):
+        with pytest.raises(SanitizerError, match="REP303"):
+            Sanitizer().check_plan(self._plan(efficiency=0.0), ready_time=0.0)
+
+    def test_non_strict_accumulates(self):
+        san = Sanitizer(strict=False)
+        san.check_plan(self._plan(start=5.0, end=4.0), ready_time=0.0)
+        san.check_plan(self._plan(efficiency=2.0), ready_time=0.0)
+        assert [d.rule for d in san.violations] == ["REP303", "REP303"]
+
+
+class TestFinalInvariants:
+    def test_overbooked_timeline_rep304(self):
+        def prog(ep):
+            yield from ep.compute(1.0)
+
+        world = _run_sanitized(prog)
+        # book a virtual second that never existed on the clock
+        world.endpoints[0].timeline.add(Category.COMP, 1e9)
+        with pytest.raises(SanitizerError, match="REP304"):
+            world.sanitizer.check_final(world)
+
+    def test_unclean_shutdown_rep305(self):
+        def prog(ep):
+            if ep.rank == 0:
+                yield from ep.isend(1, b"x", tag=3)  # eager; never received
+
+        world = _run_sanitized(prog)
+        with pytest.raises(SanitizerError, match="REP305"):
+            world.sanitizer.check_final(world)
+
+
+class TestPassivity:
+    """Sanitizing must not perturb the measurement — bit-identical totals."""
+
+    @pytest.mark.parametrize("middleware", ["mpi", "cmpi"])
+    def test_sanitized_run_matches_plain(self, peptide_system, middleware):
+        system, positions = peptide_system
+        config = MDRunConfig(n_steps=2, dt=0.0004)
+        spec = _spec(n_ranks=2, seed=7)
+        plain = run_parallel_md(
+            system, positions, spec, middleware=middleware, config=config
+        )
+        sanitized = run_parallel_md(
+            system, positions, spec, middleware=middleware, config=config,
+            sanitize=True,
+        )
+        phases = {p for tl in plain.timelines for p in tl.phases}
+        for phase in sorted(phases):
+            a, b = plain.component(phase), sanitized.component(phase)
+            assert (a.comp, a.comm, a.sync) == (b.comp, b.comm, b.sync), phase
+        np.testing.assert_array_equal(
+            plain.final_positions, sanitized.final_positions
+        )

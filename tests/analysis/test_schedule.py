@@ -1,0 +1,181 @@
+"""Schedule analyzer: synthetic traces and end-to-end buggy runs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_trace
+from repro.cluster import ClusterSpec, score_gigabit_ethernet
+from repro.instrument.commstats import CommTrace
+from repro.mpi import MPIWorld, collectives
+from repro.sim import SimulationError, Simulator
+
+
+def _run_traced(n_ranks, program, seed=1, expect_deadlock=False):
+    """Drive one program per rank with a trace attached; return the trace."""
+    sim = Simulator()
+    trace = CommTrace()
+    world = MPIWorld(
+        sim,
+        ClusterSpec(n_ranks=n_ranks, network=score_gigabit_ethernet(), seed=seed),
+        trace=trace,
+    )
+    for r in range(n_ranks):
+        sim.spawn(program(world.endpoints[r]), name=f"r{r}")
+    if expect_deadlock:
+        with pytest.raises(SimulationError):
+            sim.run()
+    else:
+        sim.run()
+    return trace
+
+
+def _rules(diags):
+    return [d.rule for d in diags]
+
+
+class TestSyntheticTraces:
+    def test_clean_matched_traffic(self):
+        trace = CommTrace()
+        trace.record_send(0, 1, 5, nbytes=8, dtype="float64", time=0.0)
+        trace.record_recv(1, 0, 5, time=0.0)
+        assert analyze_trace(trace, 2) == []
+
+    def test_unmatched_send_rep201(self):
+        trace = CommTrace()
+        trace.record_send(0, 1, 5, nbytes=8, dtype="float64", time=0.0)
+        diags = analyze_trace(trace, 2)
+        assert _rules(diags) == ["REP201"]
+        assert diags[0].ranks == (0, 1)
+        assert diags[0].tag == 5
+
+    def test_unmatched_rendezvous_send_reports_blocked_sender(self):
+        trace = CommTrace()
+        trace.record_send(
+            0, 1, 5, nbytes=1 << 20, dtype="float64", time=0.0, rendezvous=True
+        )
+        (diag,) = analyze_trace(trace, 2)
+        assert diag.rule == "REP201"
+        assert "blocked" in diag.message
+
+    def test_unmatched_recv_rep202(self):
+        trace = CommTrace()
+        trace.record_recv(1, 0, 7, time=0.0)
+        diags = analyze_trace(trace, 2)
+        assert "REP202" in _rules(diags)
+
+    def test_fifo_matching_leaves_last_sends_unmatched(self):
+        trace = CommTrace()
+        trace.record_send(0, 1, 5, nbytes=8, dtype="float64", time=0.0)
+        trace.record_send(0, 1, 5, nbytes=8, dtype="float64", time=1.0)
+        trace.record_recv(1, 0, 5, time=0.5)
+        diags = [d for d in analyze_trace(trace, 2) if d.rule == "REP201"]
+        assert len(diags) == 1
+        assert "1 unmatched" in diags[0].message
+
+    def test_tag_collision_rep203_is_a_warning(self):
+        trace = CommTrace()
+        trace.record_send(0, 1, 5, nbytes=8, dtype="float64", time=0.0)
+        trace.record_send(0, 1, 5, nbytes=8, dtype="float64", time=0.1)
+        trace.record_recv(1, 0, 5, time=0.2)
+        trace.record_recv(1, 0, 5, time=0.3)
+        diags = analyze_trace(trace, 2)
+        assert _rules(diags) == ["REP203"]
+        assert diags[0].severity == "warning"
+
+    def test_collective_range_tags_never_collide(self):
+        from repro.mpi.endpoint import COLLECTIVE_TAG_BASE
+
+        tag = COLLECTIVE_TAG_BASE + 16
+        trace = CommTrace()
+        trace.record_send(0, 1, tag, nbytes=8, dtype="float64", time=0.0)
+        trace.record_send(0, 1, tag, nbytes=8, dtype="float64", time=0.1)
+        trace.record_recv(1, 0, tag, time=0.2)
+        trace.record_recv(1, 0, tag, time=0.3)
+        assert analyze_trace(trace, 2) == []
+
+    def test_collective_order_divergence_rep204(self):
+        trace = CommTrace()
+        trace.record_collective(0, "allreduce", 100, time=0.0)
+        trace.record_collective(1, "barrier", 100, time=0.0)
+        diags = analyze_trace(trace, 2)
+        assert _rules(diags) == ["REP204"]
+        assert "position 0" in diags[0].message
+
+    def test_identical_collective_sequences_are_clean(self):
+        trace = CommTrace()
+        for rank in (0, 1):
+            trace.record_collective(rank, "allreduce", 100, time=0.0)
+            trace.record_collective(rank, "allgatherv", 116, time=1.0)
+        assert analyze_trace(trace, 2) == []
+
+    def test_wait_for_cycle_rep205(self):
+        trace = CommTrace()
+        trace.record_recv(0, 1, 3, time=0.0)  # rank 0 waits for rank 1
+        trace.record_recv(1, 0, 3, time=0.0)  # rank 1 waits for rank 0
+        diags = analyze_trace(trace, 2)
+        rules = _rules(diags)
+        assert "REP205" in rules
+        cycle = next(d for d in diags if d.rule == "REP205")
+        assert cycle.ranks == (0, 1)
+        assert "deadlock" in cycle.message
+
+    def test_errors_rank_before_warnings(self):
+        trace = CommTrace()
+        trace.record_send(0, 1, 5, nbytes=8, dtype="float64", time=0.0)
+        trace.record_send(0, 1, 5, nbytes=8, dtype="float64", time=0.1)
+        diags = analyze_trace(trace, 2)
+        severities = [d.severity for d in diags]
+        assert severities == sorted(severities, key=lambda s: s != "error")
+
+
+class TestEndToEnd:
+    def test_clean_collective_run_is_clean(self):
+        def prog(ep):
+            data = yield from collectives.allreduce(ep, np.ones(4))
+            yield from collectives.barrier(ep)
+            return data
+
+        trace = _run_traced(4, prog)
+        assert len(trace) > 0
+        assert analyze_trace(trace, 4) == []
+
+    def test_forgotten_receive_diagnosed(self):
+        big = np.zeros(100_000)  # 800 KB — rendezvous on this network
+
+        def prog(ep):
+            if ep.rank == 0:
+                yield from ep.isend(1, big, tag=9)
+            else:
+                yield from ep.compute(1.0)  # never posts the receive
+
+        trace = _run_traced(2, prog)
+        diags = analyze_trace(trace, 2)
+        assert _rules(diags) == ["REP201"]
+        assert diags[0].tag == 9
+
+    def test_mutual_recv_deadlock_diagnosed(self):
+        def prog(ep):
+            other = 1 - ep.rank
+            payload = yield from ep.recv(other, tag=4)  # nobody ever sends
+            return payload
+
+        trace = _run_traced(2, prog, expect_deadlock=True)
+        diags = analyze_trace(trace, 2)
+        assert "REP205" in _rules(diags)
+
+    def test_divergent_collective_order_detected_from_trace(self):
+        """The silent SPMD killer: ranks disagree on which collective runs.
+
+        At p=2 both operations draw the same tag from the SPMD sequence,
+        so the simulator may cross-match them and produce wrong timings
+        with no crash — only the trace reveals the divergence.
+        """
+        trace = CommTrace()
+        trace.record_collective(0, "allreduce", 1048592, time=0.0)
+        trace.record_collective(1, "barrier", 1048592, time=0.0)
+        trace.record_collective(0, "allgatherv", 1048608, time=1.0)
+        trace.record_collective(1, "allgatherv", 1048608, time=1.0)
+        diags = analyze_trace(trace, 2)
+        assert _rules(diags) == ["REP204"]
+        assert "rank 0: allreduce" in diags[0].message
+        assert "rank 1: barrier" in diags[0].message

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cluster import ClusterSpec, score_gigabit_ethernet, tcp_gigabit_ethernet
+from repro.cluster import ClusterSpec, tcp_gigabit_ethernet
 from repro.cmpi import CMPIMiddleware
 from repro.mpi import MPIMiddleware, MPIWorld
 from repro.sim import Simulator
@@ -64,7 +64,7 @@ class TestCorrectness:
 
     def test_alltoallv_validates_block_count(self):
         def prog(ep):
-            yield from MW.alltoallv(ep, [np.zeros(1)])
+            yield from MW.alltoallv(ep, [np.zeros(1)])  # noqa: REP102 — raises before returning
 
         with pytest.raises(ValueError):
             _run(2, prog)

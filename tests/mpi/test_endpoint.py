@@ -101,7 +101,9 @@ class TestBlockingSendRecv:
         sim, world = _world()
 
         def prog(ep):
-            other = yield from ep.sendrecv(1 - ep.rank, np.array([float(ep.rank)]), 1 - ep.rank, tag=3)
+            other = yield from ep.sendrecv(
+                1 - ep.rank, np.array([float(ep.rank)]), 1 - ep.rank, tag=3
+            )
             return other[0]
 
         results = _run(sim, world, [prog, prog])

@@ -1,6 +1,5 @@
 """Cost model: unit costs, FFT units, calibration invariants."""
 
-import math
 
 import pytest
 

@@ -6,7 +6,7 @@ import pytest
 from repro.cluster import ClusterSpec, score_gigabit_ethernet
 from repro.mpi import MPIMiddleware, MPIWorld
 from repro.parallel import AtomDecomposition, ParallelPME, PIII_1GHZ
-from repro.pme import PME, exclusion_correction, self_energy
+from repro.pme import PME, self_energy
 from repro.sim import Simulator
 
 

@@ -12,7 +12,6 @@ These tests classify the recorded transfers by size and count them
 against the analytic expectations.
 """
 
-import numpy as np
 import pytest
 
 from repro.cluster import ClusterSpec, score_gigabit_ethernet
