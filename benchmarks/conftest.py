@@ -1,9 +1,14 @@
 """Shared benchmark fixtures.
 
 All figure benchmarks share one :class:`CharacterizationRunner` over the
-paper's 3552-atom workload, so each design point is simulated exactly once
-per benchmark session (several figures slice the same design).  Every
-benchmark writes the regenerated rows/series to ``benchmarks/reports/``.
+paper's 3552-atom workload, backed by one persistent content-addressed
+result store (``benchmarks/.repro-cache/``): each design point is
+simulated exactly once per benchmark session — and, across sessions,
+never resimulated until the workload, run config, cost model or schema
+changes.  The campaign engine (``bench_full_factorial``) shares the same
+store, so ``repro campaign`` sweeps and figure regeneration feed each
+other.  Every benchmark writes the regenerated rows/series to
+``benchmarks/reports/``.
 """
 
 from __future__ import annotations
@@ -12,14 +17,32 @@ import pathlib
 
 import pytest
 
+from repro.campaign import CampaignEngine, ResultStore
 from repro.experiments import default_runner
+from repro.parallel import MDRunConfig
 
 REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+CACHE_DIR = pathlib.Path(__file__).parent / ".repro-cache"
 
 
 @pytest.fixture(scope="session")
-def figure_runner():
-    return default_runner(n_steps=10)
+def figure_store():
+    store = ResultStore(CACHE_DIR)
+    yield store
+    store.close()
+
+
+@pytest.fixture(scope="session")
+def figure_runner(figure_store):
+    return default_runner(n_steps=10, store=figure_store)
+
+
+@pytest.fixture(scope="session")
+def figure_engine(figure_store):
+    """Campaign engine over the same workload and store as the runner."""
+    return CampaignEngine(
+        workload="myoglobin-pme", config=MDRunConfig(n_steps=10), store=figure_store
+    )
 
 
 @pytest.fixture(scope="session")

@@ -13,6 +13,11 @@ Rules (see :mod:`repro.analysis.rules` for the registry):
 * **REP101** — a protocol generator (``ep.compute``/``ep.send``/
   ``mw.allreduce``/``collectives.barrier``/``req.wait``/...) called
   without ``yield from``;
+* **REP105** — a protocol generator assigned to a local name that the
+  enclosing scope never consumes (no ``yield from``, no driver hand-off,
+  no read at all).  Assignment alone is deferred judgement, not
+  consumption: ``g = ep.compute(1.0)`` is fine when ``sim.spawn(g)`` or
+  ``yield from g`` follows, and flagged when nothing ever reads ``g``;
 * **REP102** — a data-moving collective (``allreduce``, ``allgatherv``,
   ``alltoallv``, ``bcast``, ``recv``) yielded from as a bare statement,
   discarding the result every caller depends on;
@@ -116,6 +121,9 @@ class _Visitor(ast.NodeVisitor):
         self.diags: list[Diagnostic] = []
         self._parents: list[ast.AST] = []
         self._classes: list[str] = []
+        # dataflow scopes: pending protocol generators stored in locals,
+        # and every name the scope (or a scope nested in it) reads
+        self._scopes: list[dict] = [{"pending": {}, "loaded": set()}]
 
     # -- traversal ------------------------------------------------------
     def visit(self, node: ast.AST) -> None:
@@ -124,6 +132,43 @@ class _Visitor(ast.NodeVisitor):
             super().visit(node)
         finally:
             self._parents.pop()
+
+    def finish(self) -> None:
+        """Flush the module scope after the walk (REP105 at top level)."""
+        while self._scopes:
+            self._flush_scope()
+
+    def _flush_scope(self) -> None:
+        scope = self._scopes.pop()
+        for name, (node, label) in scope["pending"].items():
+            if name not in scope["loaded"]:
+                self._emit(
+                    "REP105",
+                    node,
+                    f"'{name} = {label}(...)' stores a generator nothing ever "
+                    f"consumes; 'yield from {name}' (or hand it to sim.spawn)",
+                )
+
+    def _visit_scope(self, node: ast.AST) -> None:
+        self._scopes.append({"pending": {}, "loaded": set()})
+        try:
+            self.generic_visit(node)
+        finally:
+            self._flush_scope()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_scope(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            # a read anywhere in the live scope chain consumes the name
+            # (covers yield-from, driver calls and closure captures alike)
+            for scope in self._scopes:
+                scope["loaded"].add(node.id)
+        self.generic_visit(node)
 
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
         bases = [b for base in node.bases if (b := _dotted(base)) is not None]
@@ -178,6 +223,26 @@ class _Visitor(ast.NodeVisitor):
                     return func.id
         return None
 
+    @staticmethod
+    def _assign_target(parent: ast.AST | None, call: ast.Call) -> str | None:
+        """Local name this call's generator is stored under, or None."""
+        if (
+            isinstance(parent, ast.Assign)
+            and parent.value is call
+            and len(parent.targets) == 1
+            and isinstance(parent.targets[0], ast.Name)
+        ):
+            return parent.targets[0].id
+        if (
+            isinstance(parent, ast.AnnAssign)
+            and parent.value is call
+            and isinstance(parent.target, ast.Name)
+        ):
+            return parent.target.id
+        if isinstance(parent, ast.NamedExpr) and isinstance(parent.target, ast.Name):
+            return parent.target.id
+        return None
+
     def _is_driven(self) -> bool:
         """Is the current call handed to a generator driver (sim.spawn)?"""
         # parents[-1] is the Call itself
@@ -206,6 +271,10 @@ class _Visitor(ast.NodeVisitor):
                         f"result of collective '{label}' is discarded; every rank "
                         "depends on the combined value — assign it",
                     )
+            elif (target := self._assign_target(parent, node)) is not None:
+                # assignment defers judgement to scope-level dataflow:
+                # flagged at scope exit only if the name is never read
+                self._scopes[-1]["pending"][target] = (node, label)
             elif not self._is_driven():
                 self._emit(
                     "REP101",
@@ -311,6 +380,7 @@ def lint_source(
         ]
     visitor = _Visitor(path)
     visitor.visit(tree)
+    visitor.finish()
 
     lines = source.splitlines()
     out = []

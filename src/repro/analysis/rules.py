@@ -60,6 +60,12 @@ _RULE_LIST = [
         ERROR,
         "wall-clock call inside virtual-time code",
     ),
+    Rule(
+        "REP105",
+        "lint",
+        ERROR,
+        "protocol generator stored in a local that is never driven or consumed",
+    ),
     # ---- message-schedule analysis ------------------------------------
     Rule("REP201", "schedule", ERROR, "unmatched send at finalize"),
     Rule("REP202", "schedule", ERROR, "unmatched receive at finalize"),
@@ -71,6 +77,12 @@ _RULE_LIST = [
     ),
     Rule("REP204", "schedule", ERROR, "collective order diverges across ranks"),
     Rule("REP205", "schedule", ERROR, "rendezvous wait-for cycle (deadlock)"),
+    Rule(
+        "REP206",
+        "schedule",
+        ERROR,
+        "dual-processor interrupt-driven run missing the SMP per-message overhead",
+    ),
     # ---- runtime sanitizer --------------------------------------------
     Rule("REP301", "sanitizer", ERROR, "matched message size disagreement"),
     Rule("REP302", "sanitizer", ERROR, "matched message dtype disagreement"),

@@ -16,7 +16,13 @@ the exact failure modes the paper's MPI-vs-CMPI comparison hinges on:
   divergence either deadlocks or — worse — cross-matches two different
   operations and produces wrong timings without any crash;
 * **REP205** — rendezvous wait-for cycles: blocked senders/receivers
-  forming a cycle across ranks, the classic message-passing deadlock.
+  forming a cycle across ranks, the classic message-passing deadlock;
+* **REP206** — missing SMP overhead: on dual-processor nodes with an
+  interrupt-driven network (the paper's TCP/IP dual case, Sec. 4.4)
+  every per-message host overhead must carry the stack-contention
+  multiplier.  Opt in by passing ``network=`` and ``cpus_per_node=``
+  describing the run the trace came from; each send/recv event's
+  recorded ``overhead`` is then checked against the cost model.
 
 :func:`analyze_trace` returns a ranked list of
 :class:`~repro.analysis.rules.Diagnostic` — errors first, then warnings,
@@ -25,6 +31,7 @@ ordered by rule and tag — so the most actionable finding leads.
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 
 from ..instrument.commstats import CommTrace
@@ -182,10 +189,64 @@ def _wait_cycles(excess_sends: dict, excess_recvs: dict) -> list[Diagnostic]:
     return diags
 
 
+def _smp_overheads(trace: CommTrace, network, cpus_per_node: int) -> list[Diagnostic]:
+    """Assert the SMP per-message cost multiplier on dual-CPU runs.
+
+    Only applies when the platform pays it at all: two CPUs per node and
+    an interrupt-driven protocol stack.  Every send must have charged
+    ``(send_overhead + host_cost(nbytes)) * multiplier`` and every
+    receive post ``recv_overhead * multiplier``; anything else means the
+    run silently used uni-processor message costs and its dual-node
+    timings are wrong.
+    """
+    if cpus_per_node != 2 or not network.uses_interrupts:
+        return []
+    mult = network.smp_overhead_multiplier
+    bad: dict[str, list] = {}
+    for ev in trace.events:
+        if ev.kind == "send":
+            expected = (network.send_overhead + network.host_cost(ev.nbytes)) * mult
+        elif ev.kind == "recv":
+            expected = network.recv_overhead * mult
+        else:
+            continue
+        if not math.isclose(ev.overhead, expected, rel_tol=1e-9, abs_tol=0.0):
+            entry = bad.setdefault(ev.kind, [0, ev, expected])
+            entry[0] += 1
+    diags = []
+    for kind in sorted(bad):
+        count, ev, expected = bad[kind]
+        diags.append(
+            Diagnostic(
+                rule="REP206",
+                severity=ERROR,
+                message=(
+                    f"{count} {kind} event(s) without the SMP per-message "
+                    f"overhead on a dual-processor interrupt-driven network: "
+                    f"e.g. rank {ev.rank} tag {ev.tag} charged "
+                    f"{ev.overhead:.4g} s, cost model expects {expected:.4g} s "
+                    f"(uni-processor cost x {mult})"
+                ),
+                ranks=(ev.rank,),
+                tag=ev.tag,
+            )
+        )
+    return diags
+
+
 def analyze_trace(
-    trace: CommTrace, n_ranks: int, tag_base: int = COLLECTIVE_TAG_BASE
+    trace: CommTrace,
+    n_ranks: int,
+    tag_base: int = COLLECTIVE_TAG_BASE,
+    network=None,
+    cpus_per_node: int | None = None,
 ) -> list[Diagnostic]:
-    """Diagnose a recorded communication schedule; ranked, errors first."""
+    """Diagnose a recorded communication schedule; ranked, errors first.
+
+    ``network`` and ``cpus_per_node`` optionally describe the platform
+    the trace was recorded on; when both are given the dual-processor
+    SMP overhead assertion (REP206) runs as well.
+    """
     diags: list[Diagnostic] = []
 
     excess_sends, excess_recvs = _unmatched(trace)
@@ -223,4 +284,6 @@ def analyze_trace(
     diags.extend(_tag_collisions(trace, tag_base))
     diags.extend(_collective_divergence(trace, n_ranks))
     diags.extend(_wait_cycles(excess_sends, excess_recvs))
+    if network is not None and cpus_per_node is not None:
+        diags.extend(_smp_overheads(trace, network, cpus_per_node))
     return _rank_diagnoses(diags)

@@ -1,0 +1,57 @@
+"""Campaign engine: persistent, parallel, resumable design-point sweeps.
+
+The paper's characterization is a full factorial sweep whose points are
+independent — the classic embarrassingly-parallel shape.  This package
+owns the execution of such sweeps end to end:
+
+* :mod:`repro.campaign.keys` — canonical content-addressed cache keys
+  over (workload fingerprint, design point, run config, cost model,
+  schema version);
+* :mod:`repro.campaign.store` — the persistent JSON-lines result store
+  under ``.repro-cache/`` with atomic writes and corruption-tolerant
+  loading;
+* :mod:`repro.campaign.engine` — cache partitioning plus a
+  ``multiprocessing`` fan-out with per-point timeout, bounded retry and
+  deterministic seeding; completed records stream back into the store,
+  so a killed campaign resumes where it stopped;
+* :mod:`repro.campaign.manifest` — campaign provenance and per-point
+  status, as a machine-readable JSON manifest and a live progress line;
+* :mod:`repro.campaign.workloads` — named, rebuild-anywhere workload
+  registry so worker processes receive names, not pickled systems.
+
+CLI: ``python -m repro campaign run|status|gc|verify``.
+"""
+
+from .engine import CampaignEngine, CampaignResult, execute_point
+from .keys import (
+    SCHEMA_VERSION,
+    cache_key,
+    config_fingerprint,
+    cost_fingerprint,
+    point_seed,
+    workload_fingerprint,
+)
+from .manifest import CampaignManifest, PointStatus, progress_line
+from .store import ResultStore, StoreEntry, shared_memory_store
+from .workloads import build_workload, register_workload, workload_names
+
+__all__ = [
+    "build_workload",
+    "cache_key",
+    "CampaignEngine",
+    "CampaignManifest",
+    "CampaignResult",
+    "config_fingerprint",
+    "cost_fingerprint",
+    "execute_point",
+    "point_seed",
+    "PointStatus",
+    "progress_line",
+    "register_workload",
+    "ResultStore",
+    "SCHEMA_VERSION",
+    "shared_memory_store",
+    "StoreEntry",
+    "workload_fingerprint",
+    "workload_names",
+]

@@ -1,0 +1,424 @@
+"""The campaign runner: parallel, resumable design-point execution.
+
+A *campaign* is any iterable of :class:`DesignPoint` over one named
+workload.  The engine partitions points into cache hits and misses
+against the :class:`ResultStore`, fans the misses out over a
+``multiprocessing`` worker pool (design points are independent — the
+classic embarrassingly-parallel sweep shape), and streams every
+completed record straight back into the store, so a killed campaign
+resumes exactly where it stopped.  Each point gets a per-point timeout
+(the worker is killed, not abandoned), bounded retries with exponential
+backoff, and the same deterministic crc32-derived platform seed the
+:class:`CharacterizationRunner` uses — an engine-run record is
+bit-identical to a runner-run one.
+
+Wall-clock reads in this module time the *harness itself* (scheduling,
+per-point elapsed time for the manifest), never the simulation — hence
+the ``noqa: REP104`` markers on those lines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import queue as queue_mod
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..core.design import DesignPoint
+from ..core.responses import ResponseRecord
+from ..parallel.costmodel import PIII_1GHZ, MachineCostModel
+from ..parallel.pmd import MDRunConfig
+from ..parallel.run import run_parallel_md
+from . import manifest as mf
+from .keys import SCHEMA_VERSION, cache_key, point_seed, workload_fingerprint
+from .store import ResultStore, record_from_dict, record_to_dict
+from .workloads import build_workload
+
+__all__ = ["CampaignEngine", "CampaignResult", "execute_point"]
+
+
+def execute_point(
+    workload: str,
+    point: DesignPoint,
+    config: MDRunConfig,
+    cost: MachineCostModel,
+    base_seed: int,
+    sanitize: bool = False,
+) -> ResponseRecord:
+    """Run one design point from scratch, in whatever process this is.
+
+    This is the single execution path shared by the inline engine, the
+    worker processes and ``verify`` — and it performs exactly the calls
+    :meth:`CharacterizationRunner.run_point` makes, so records agree
+    bit-for-bit however a point was produced.
+    """
+    system, positions = build_workload(workload)
+    spec = point.config.cluster_spec(point.n_ranks, seed=point_seed(base_seed, point))
+    result = run_parallel_md(
+        system,
+        positions,
+        spec,
+        middleware=point.config.middleware,
+        config=config,
+        cost=cost,
+        sanitize=sanitize,
+    )
+    return ResponseRecord.from_run(point, result)
+
+
+def _worker_main(task: dict, out_queue) -> None:
+    """Worker-process entry: run one point, post the record (or the error)."""
+    try:
+        record = execute_point(
+            task["workload"],
+            task["point"],
+            task["config"],
+            task["cost"],
+            task["base_seed"],
+            sanitize=task["sanitize"],
+        )
+        out_queue.put((task["key"], "ok", record_to_dict(record), None))
+    except BaseException as exc:  # the parent decides whether to retry
+        out_queue.put((task["key"], "error", None, f"{type(exc).__name__}: {exc}"))
+
+
+@dataclass
+class CampaignResult:
+    """What one :meth:`CampaignEngine.run` call produced."""
+
+    manifest: mf.CampaignManifest
+    #: one record per input point, in input order (None for failed/timeout)
+    records: list[ResponseRecord | None]
+
+    @property
+    def ok(self) -> bool:
+        c = self.manifest.counts
+        return c["failed"] == 0 and c["timeout"] == 0 and c["pending"] == 0
+
+
+@dataclass
+class _Task:
+    key: str
+    index: int
+    point: DesignPoint
+    attempts: int = 0
+    not_before: float = 0.0
+    elapsed: float = 0.0
+
+
+@dataclass
+class CampaignEngine:
+    """Executes design-point campaigns over one named workload.
+
+    Parameters
+    ----------
+    workload:
+        A name from :mod:`repro.campaign.workloads`.
+    store:
+        Result store; defaults to a fresh memory-only store.  Hand every
+        engine and runner the same persistent store and they share work.
+    n_workers:
+        ``0`` executes inline (no subprocesses, no timeout enforcement);
+        ``n >= 1`` fans out over ``n`` single-point worker processes.
+    timeout:
+        Per-point wall-time budget in seconds (workers only).  An
+        overrunning worker is terminated, and the point retried until
+        ``retries`` is exhausted, then marked ``timeout``.
+    retries:
+        Extra attempts after the first, for failed or timed-out points.
+    backoff:
+        Base of the exponential retry delay (seconds).
+    """
+
+    workload: str = "myoglobin-pme"
+    config: MDRunConfig = field(default_factory=MDRunConfig)
+    cost: MachineCostModel = PIII_1GHZ
+    base_seed: int = 2002
+    store: ResultStore = field(default_factory=ResultStore)
+    n_workers: int = 0
+    timeout: float | None = None
+    retries: int = 1
+    backoff: float = 0.25
+    sanitize: bool = False
+
+    _fingerprint: str | None = field(default=None, init=False, repr=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def fingerprint(self) -> str:
+        if self._fingerprint is None:
+            system, positions = build_workload(self.workload)
+            self._fingerprint = workload_fingerprint(system, positions)
+        return self._fingerprint
+
+    def key_for(self, point: DesignPoint) -> str:
+        return cache_key(self.fingerprint, point, self.config, self.cost, self.base_seed)
+
+    def _campaign_id(self, keys: list[str]) -> str:
+        h = hashlib.sha256()
+        for k in sorted(keys):
+            h.update(k.encode())
+        return h.hexdigest()[:12]
+
+    def _meta(self, point: DesignPoint, elapsed: float, attempts: int) -> dict:
+        return {
+            "workload": self.workload,
+            "label": point.label(),
+            "elapsed": elapsed,
+            "attempts": attempts,
+            "git_rev": mf.git_revision(),
+        }
+
+    # ------------------------------------------------------------------
+    def run(self, points, progress=None) -> CampaignResult:
+        """Execute a campaign; cache hits cost nothing, misses fan out.
+
+        ``progress`` is an optional callable receiving one human-readable
+        line after every resolved point.
+        """
+        points = list(points)
+        keys = [self.key_for(p) for p in points]
+        man = mf.CampaignManifest(
+            campaign_id=self._campaign_id(keys),
+            workload=self.workload,
+            created_at=mf.timestamp(),
+            git_rev=mf.git_revision(),
+            host=mf.host_info(),
+            schema=SCHEMA_VERSION,
+            points=[
+                mf.PointStatus(label=p.label(), key=k) for p, k in zip(points, keys)
+            ],
+        )
+        by_key = {k: i for i, k in enumerate(keys)}
+        records: list[ResponseRecord | None] = [None] * len(points)
+
+        t_start = time.monotonic()  # noqa: REP104 — harness wall time
+        misses: list[_Task] = []
+        for i, (point, key) in enumerate(zip(points, keys)):
+            cached = self.store.get(key)
+            if cached is not None:
+                records[i] = cached
+                man.points[i].status = "hit"
+            elif key in by_key and by_key[key] != i:
+                # duplicate point in the input: resolved by the first copy
+                continue
+            else:
+                misses.append(_Task(key=key, index=i, point=point))
+
+        def note() -> None:
+            man.total_wall = time.monotonic() - t_start  # noqa: REP104
+            if self.store.root is not None:
+                man.write(self._manifest_path(man.campaign_id))
+            if progress is not None:
+                c = man.counts
+                progress(
+                    mf.progress_line(
+                        man.campaign_id, man.n_points - c["pending"], man.n_points, c
+                    )
+                )
+
+        note()
+        if self.n_workers <= 0:
+            self._run_inline(misses, man, records, note)
+        else:
+            self._run_pool(misses, man, records, note)
+
+        # duplicate inputs share the first copy's outcome
+        for i, key in enumerate(keys):
+            if records[i] is None and self.store.get(key) is not None:
+                records[i] = self.store.get(key)
+                if man.points[i].status == "pending":
+                    man.points[i].status = "hit"
+        note()
+        return CampaignResult(manifest=man, records=records)
+
+    # ------------------------------------------------------------------
+    def _resolve(
+        self,
+        man: mf.CampaignManifest,
+        records: list,
+        task: _Task,
+        status: str,
+        record: ResponseRecord | None,
+        error: str | None,
+    ) -> None:
+        ps = man.points[task.index]
+        ps.status = status
+        ps.attempts = task.attempts
+        ps.wall_time = task.elapsed
+        ps.error = error
+        if record is not None:
+            records[task.index] = record
+            self.store.put(
+                task.key, record, self._meta(task.point, task.elapsed, task.attempts)
+            )
+
+    def _run_inline(self, misses, man, records, note) -> None:
+        for task in misses:
+            last_error = None
+            while task.attempts <= self.retries:
+                task.attempts += 1
+                t0 = time.monotonic()  # noqa: REP104 — harness wall time
+                try:
+                    record = execute_point(
+                        self.workload, task.point, self.config, self.cost,
+                        self.base_seed, sanitize=self.sanitize,
+                    )
+                except Exception as exc:
+                    task.elapsed = time.monotonic() - t0  # noqa: REP104
+                    last_error = f"{type(exc).__name__}: {exc}"
+                    continue
+                task.elapsed = time.monotonic() - t0  # noqa: REP104
+                self._resolve(man, records, task, "ran", record, None)
+                break
+            else:
+                self._resolve(man, records, task, "failed", None, last_error)
+            note()
+
+    def _run_pool(self, misses, man, records, note) -> None:
+        ctx = self._mp_context()
+        out_queue = ctx.Queue()
+        pending: deque[_Task] = deque(misses)
+        live: dict[str, tuple] = {}  # key -> (process, started, task)
+
+        def launch(task: _Task) -> None:
+            task.attempts += 1
+            payload = {
+                "key": task.key,
+                "workload": self.workload,
+                "point": task.point,
+                "config": self.config,
+                "cost": self.cost,
+                "base_seed": self.base_seed,
+                "sanitize": self.sanitize,
+            }
+            proc = ctx.Process(target=_worker_main, args=(payload, out_queue), daemon=True)
+            proc.start()
+            live[task.key] = (proc, time.monotonic(), task)  # noqa: REP104
+
+        def retire(key: str, status: str, record_doc, error) -> None:
+            proc, started, task = live.pop(key)
+            task.elapsed = time.monotonic() - started  # noqa: REP104
+            proc.join(timeout=5)
+            if status == "ok":
+                self._resolve(man, records, task, "ran", record_from_dict(record_doc), None)
+            elif task.attempts <= self.retries:
+                delay = self.backoff * (2 ** (task.attempts - 1))
+                task.not_before = time.monotonic() + delay  # noqa: REP104
+                pending.append(task)
+                return
+            else:
+                final = "timeout" if status == "timeout" else "failed"
+                self._resolve(man, records, task, final, None, error)
+            note()
+
+        while pending or live:
+            now = time.monotonic()  # noqa: REP104 — harness wall time
+            while pending and len(live) < self.n_workers:
+                if pending[0].not_before > now:
+                    break
+                launch(pending.popleft())
+
+            try:
+                key, status, record_doc, error = out_queue.get(timeout=0.05)
+            except queue_mod.Empty:
+                pass
+            else:
+                if key in live:
+                    retire(key, "ok" if status == "ok" else "failed", record_doc, error)
+                continue
+
+            now = time.monotonic()  # noqa: REP104
+            for key in list(live):
+                if key not in live:
+                    continue
+                proc, started, task = live[key]
+                if self.timeout is not None and now - started > self.timeout:
+                    proc.terminate()
+                    retire(key, "timeout", None, f"timed out after {self.timeout} s")
+                elif not proc.is_alive():
+                    # died without posting; give its message a moment to land
+                    try:
+                        k2, s2, doc2, err2 = out_queue.get(timeout=0.5)
+                    except queue_mod.Empty:
+                        retire(
+                            key, "crashed", None,
+                            f"worker exited with code {proc.exitcode}",
+                        )
+                    else:
+                        if k2 in live:
+                            retire(k2, "ok" if s2 == "ok" else "failed", doc2, err2)
+            if not live and pending and pending[0].not_before > now:
+                time.sleep(min(0.05, pending[0].not_before - now))
+
+    @staticmethod
+    def _mp_context():
+        """Fork where available (shares the built workload pages); else spawn."""
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+    def _manifest_path(self, campaign_id: str):
+        assert self.store.root is not None
+        return self.store.root / "manifests" / f"{campaign_id}.json"
+
+    # ------------------------------------------------------------------
+    def verify(self, sample: int = 4, seed: int = 0) -> list[dict]:
+        """Re-run a sample of cached points; diff responses bit-for-bit.
+
+        Only entries addressable by *this* engine (same workload, config,
+        cost model and base seed) are eligible.  Returns one dict per
+        mismatching field; an empty list means every sampled record
+        reproduced exactly.
+        """
+        import numpy as np
+
+        eligible = []
+        for entry in self.store.entries():
+            point = self._point_from_record(entry.record)
+            if self.key_for(point) == entry.key:
+                eligible.append((entry, point))
+        eligible.sort(key=lambda pair: pair[0].key)
+        rng = np.random.default_rng(seed)
+        if len(eligible) > sample:
+            idx = rng.choice(len(eligible), size=sample, replace=False)
+            eligible = [eligible[i] for i in sorted(idx)]
+
+        mismatches = []
+        for entry, point in eligible:
+            fresh = execute_point(
+                self.workload, point, self.config, self.cost, self.base_seed
+            )
+            stored, rerun = record_to_dict(entry.record), record_to_dict(fresh)
+            for name in stored:
+                if stored[name] != rerun[name] and not (
+                    isinstance(stored[name], float)
+                    and isinstance(rerun[name], float)
+                    and np.isnan(stored[name])
+                    and np.isnan(rerun[name])
+                ):
+                    mismatches.append(
+                        {
+                            "key": entry.key,
+                            "label": point.label(),
+                            "field": name,
+                            "stored": stored[name],
+                            "rerun": rerun[name],
+                        }
+                    )
+        return mismatches
+
+    @staticmethod
+    def _point_from_record(record: ResponseRecord) -> DesignPoint:
+        from ..core.factors import PlatformConfig
+
+        return DesignPoint(
+            config=PlatformConfig(
+                network=record.network,
+                middleware=record.middleware,
+                cpus_per_node=record.cpus_per_node,
+            ),
+            n_ranks=record.n_ranks,
+            replicate=record.replicate,
+        )

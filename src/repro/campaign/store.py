@@ -1,0 +1,213 @@
+"""Persistent content-addressed result store.
+
+Layout under the store root (``.repro-cache/`` by default)::
+
+    .repro-cache/
+        shard-<pid>.jsonl       one append-only shard per writing process
+        shard-compact.jsonl     product of ``gc()``
+        manifests/<id>.json     campaign manifests (see campaign.manifest)
+
+Each shard line is one JSON document::
+
+    {"key": "<sha256>", "schema": 1, "record": {...}, "meta": {...}}
+
+Durability model: a writer appends whole lines and flushes them to the
+OS after every put, so a killed campaign loses at most the line being
+written.  The loader tolerates exactly that failure: a line that does
+not parse (truncated tail of a crashed shard) is skipped with a warning
+and every earlier line survives.  ``gc()`` rewrites the surviving
+entries into one compact shard via an atomic rename, dropping corrupt
+tails, stale schema versions and superseded duplicates.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Iterator
+
+from ..core.responses import ResponseRecord
+from .keys import SCHEMA_VERSION
+
+__all__ = ["ResultStore", "StoreEntry", "shared_memory_store"]
+
+_RECORD_FIELDS = [f.name for f in fields(ResponseRecord)]
+
+
+def record_to_dict(record: ResponseRecord) -> dict:
+    return {name: getattr(record, name) for name in _RECORD_FIELDS}
+
+
+def record_from_dict(doc: dict) -> ResponseRecord:
+    return ResponseRecord(**{name: doc[name] for name in _RECORD_FIELDS})
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One cached result: its address, the record, and run metadata."""
+
+    key: str
+    record: ResponseRecord
+    meta: dict
+    schema: int = SCHEMA_VERSION
+
+
+class ResultStore:
+    """Content-addressed store of design-point responses.
+
+    ``root=None`` gives a memory-only store (same interface, nothing
+    persisted) — the default backing of in-process runner sharing.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else None
+        self._index: dict[str, StoreEntry] = {}
+        self._shard_file = None
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._load()
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        assert self.root is not None
+        for shard in sorted(self.root.glob("*.jsonl")):
+            for lineno, line in enumerate(shard.read_text().splitlines(), start=1):
+                if not line.strip():
+                    continue
+                try:
+                    doc = json.loads(line)
+                    entry = StoreEntry(
+                        key=doc["key"],
+                        record=record_from_dict(doc["record"]),
+                        meta=doc.get("meta", {}),
+                        schema=doc.get("schema", -1),
+                    )
+                except (ValueError, KeyError, TypeError):
+                    warnings.warn(
+                        f"{shard.name}:{lineno}: corrupt store line skipped "
+                        "(truncated write from an interrupted campaign?)",
+                        stacklevel=2,
+                    )
+                    continue
+                if entry.schema == SCHEMA_VERSION:
+                    self._index[entry.key] = entry
+
+    def _shard(self):
+        assert self.root is not None
+        if self._shard_file is None or self._shard_file.closed:
+            path = self.root / f"shard-{os.getpid()}.jsonl"
+            self._shard_file = open(path, "a", encoding="utf-8")
+        return self._shard_file
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> ResponseRecord | None:
+        entry = self._index.get(key)
+        return entry.record if entry is not None else None
+
+    def entry(self, key: str) -> StoreEntry | None:
+        return self._index.get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def entries(self) -> Iterator[StoreEntry]:
+        yield from self._index.values()
+
+    def put(self, key: str, record: ResponseRecord, meta: dict | None = None) -> None:
+        """Insert (or supersede) one result; persists immediately."""
+        entry = StoreEntry(key=key, record=record, meta=dict(meta or {}))
+        self._index[key] = entry
+        if self.root is not None:
+            line = json.dumps(
+                {
+                    "key": entry.key,
+                    "schema": entry.schema,
+                    "record": record_to_dict(entry.record),
+                    "meta": entry.meta,
+                }
+            )
+            f = self._shard()
+            f.write(line + "\n")
+            f.flush()
+            os.fsync(f.fileno())
+
+    # ------------------------------------------------------------------
+    def gc(self) -> tuple[int, int]:
+        """Compact shards into one; returns ``(kept, dropped)`` line counts.
+
+        Drops corrupt tails, entries written under another schema
+        version, and duplicate lines superseded by a later put.
+        """
+        if self.root is None:
+            return (len(self._index), 0)
+        shards = sorted(self.root.glob("*.jsonl"))
+        total_lines = 0
+        for shard in shards:
+            total_lines += sum(1 for line in shard.read_text().splitlines() if line.strip())
+        if self._shard_file is not None and not self._shard_file.closed:
+            self._shard_file.close()
+            self._shard_file = None
+
+        tmp = self.root / "shard-compact.jsonl.tmp"
+        with open(tmp, "w", encoding="utf-8") as f:
+            for entry in self._index.values():
+                f.write(
+                    json.dumps(
+                        {
+                            "key": entry.key,
+                            "schema": entry.schema,
+                            "record": record_to_dict(entry.record),
+                            "meta": entry.meta,
+                        }
+                    )
+                    + "\n"
+                )
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, self.root / "shard-compact.jsonl")
+        for shard in shards:
+            if shard.name != "shard-compact.jsonl":
+                shard.unlink(missing_ok=True)
+        kept = len(self._index)
+        return (kept, total_lines - kept)
+
+    def close(self) -> None:
+        if self._shard_file is not None and not self._shard_file.closed:
+            self._shard_file.close()
+        self._shard_file = None
+
+    def describe(self) -> dict:
+        """Store statistics for ``repro campaign status``."""
+        n_shards = nbytes = 0
+        if self.root is not None:
+            for shard in self.root.glob("*.jsonl"):
+                n_shards += 1
+                nbytes += shard.stat().st_size
+        return {
+            "root": str(self.root) if self.root is not None else None,
+            "entries": len(self._index),
+            "shards": n_shards,
+            "bytes": nbytes,
+            "schema": SCHEMA_VERSION,
+        }
+
+
+_PROCESS_STORE: ResultStore | None = None
+
+
+def shared_memory_store() -> ResultStore:
+    """The process-wide in-memory store runners share by default.
+
+    Two :class:`CharacterizationRunner` instances over the same workload
+    resolve to the same keys here, so neither repeats the other's work.
+    """
+    global _PROCESS_STORE
+    if _PROCESS_STORE is None:
+        _PROCESS_STORE = ResultStore(None)
+    return _PROCESS_STORE

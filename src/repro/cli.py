@@ -9,6 +9,10 @@ Usage::
     python -m repro workload                     # describe the benchmark system
     python -m repro analyze src tests            # communication-correctness lint
     python -m repro analyze --sanitize-run       # sanitized end-to-end runs
+    python -m repro campaign run --design full --workers 4   # cached sweep
+    python -m repro campaign status              # store + manifest overview
+    python -m repro campaign verify --sample 4   # re-run cached points, diff
+    python -m repro campaign gc                  # compact the result store
 """
 
 from __future__ import annotations
@@ -72,6 +76,55 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--steps", type=int, default=2, help="MD steps for --sanitize-run (default 2)"
     )
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="cached, parallel, resumable design-point sweeps",
+    )
+    csub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    def _common(p):
+        p.add_argument(
+            "--store", default=".repro-cache", help="result-store directory"
+        )
+        p.add_argument(
+            "--workload", default="myoglobin-pme",
+            help="named workload (see repro.campaign.workloads)",
+        )
+        p.add_argument("--steps", type=int, default=10, help="MD steps per run")
+        p.add_argument("--seed", type=int, default=2002, help="base platform seed")
+
+    crun = csub.add_parser("run", help="execute a design-point campaign")
+    _common(crun)
+    crun.add_argument(
+        "--design", default="sweep", choices=("sweep", "paper", "full"),
+        help="sweep: focal point only; paper: one-factor-at-a-time; full: all 12 cases",
+    )
+    crun.add_argument(
+        "--ranks", default="1,2,4,8", help="comma-separated processor counts"
+    )
+    crun.add_argument("--replicates", type=int, default=1)
+    crun.add_argument("--workers", type=int, default=0, help="0 = run inline")
+    crun.add_argument(
+        "--timeout", type=float, default=None, help="per-point wall-time limit (s)"
+    )
+    crun.add_argument("--retries", type=int, default=1)
+    crun.add_argument(
+        "--sanitize-run", action="store_true",
+        help="execute every point under the runtime sanitizer (timings unchanged)",
+    )
+
+    cstatus = csub.add_parser("status", help="store statistics and campaign manifests")
+    cstatus.add_argument("--store", default=".repro-cache")
+
+    cgc = csub.add_parser("gc", help="compact shards, drop corrupt/stale entries")
+    cgc.add_argument("--store", default=".repro-cache")
+
+    cverify = csub.add_parser(
+        "verify", help="re-run a sample of cached points and diff bit-for-bit"
+    )
+    _common(cverify)
+    cverify.add_argument("--sample", type=int, default=4)
 
     return parser
 
@@ -205,7 +258,7 @@ def _analyze_sanitize_run(n_steps: int) -> int:
     """
     from .analysis import SanitizerError, analyze_trace
     from .analysis.rules import ERROR
-    from .cluster import ClusterSpec, score_gigabit_ethernet
+    from .cluster import ClusterSpec, NodeSpec, score_gigabit_ethernet, tcp_gigabit_ethernet
     from .instrument.commstats import CommTrace
     from .md import CutoffScheme, MDSystem, default_forcefield
     from .parallel import MDRunConfig, run_parallel_md
@@ -256,6 +309,28 @@ def _analyze_sanitize_run(n_steps: int) -> int:
                 f"  {mw} p={ranks}: {len(trace)} events, "
                 f"0 sanitizer violations, {status}"
             )
+
+    # dual-processor interrupt-driven case: the trace must show the SMP
+    # per-message cost multiplier on every send/recv (REP206)
+    net = tcp_gigabit_ethernet()
+    spec = ClusterSpec(
+        n_ranks=4, network=net, node=NodeSpec(cpus_per_node=2), seed=7
+    )
+    trace = CommTrace()
+    run_parallel_md(
+        system, pos, spec, middleware="mpi", config=config,
+        sanitize=True, trace=trace,
+    )
+    diags = analyze_trace(trace, 4, network=net, cpus_per_node=2)
+    errors = [d for d in diags if d.severity == ERROR]
+    for d in diags:
+        print("  " + d.format())
+    if errors:
+        failures += 1
+    print(
+        f"  mpi p=4 dual tcp-gige: {len(trace)} events, SMP overhead "
+        f"{'asserted' if not errors else 'VIOLATED'}"
+    )
     print(f"analyze: sanitized runs {'passed' if failures == 0 else 'FAILED'}")
     return failures
 
@@ -265,6 +340,103 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     if args.sanitize_run:
         failures += _analyze_sanitize_run(args.steps)
     return 1 if failures else 0
+
+
+def _campaign_engine(args: argparse.Namespace, n_workers: int = 0, **kw):
+    from .campaign import CampaignEngine, ResultStore
+    from .parallel import MDRunConfig
+
+    return CampaignEngine(
+        workload=args.workload,
+        config=MDRunConfig(n_steps=args.steps),
+        base_seed=args.seed,
+        store=ResultStore(args.store),
+        n_workers=n_workers,
+        **kw,
+    )
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    if args.campaign_command == "run":
+        from .core.design import DesignPoint, full_factorial, one_factor_at_a_time
+        from .core.factors import FOCAL_POINT, PAPER_FACTOR_SPACE
+
+        try:
+            levels = tuple(int(p) for p in args.ranks.split(","))
+        except ValueError:
+            print(f"error: bad --ranks {args.ranks!r}", file=sys.stderr)
+            return 2
+        if args.design == "full":
+            points = full_factorial(
+                PAPER_FACTOR_SPACE, processor_levels=levels, replicates=args.replicates
+            )
+        elif args.design == "paper":
+            points = one_factor_at_a_time(PAPER_FACTOR_SPACE, processor_levels=levels)
+        else:
+            points = [
+                DesignPoint(config=FOCAL_POINT, n_ranks=p, replicate=r)
+                for p in levels
+                for r in range(args.replicates)
+            ]
+        try:
+            engine = _campaign_engine(
+                args,
+                n_workers=args.workers,
+                timeout=args.timeout,
+                retries=args.retries,
+                sanitize=args.sanitize_run,
+            )
+            result = engine.run(points, progress=print)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(result.manifest.summary_line())
+        return 0 if result.ok else 1
+
+    if args.campaign_command == "status":
+        from .campaign import CampaignManifest, ResultStore
+
+        store = ResultStore(args.store)
+        stats = store.describe()
+        print(
+            f"store {stats['root']}: {stats['entries']} entries in "
+            f"{stats['shards']} shard(s), {stats['bytes']} bytes, "
+            f"schema v{stats['schema']}"
+        )
+        manifest_dir = Path(args.store) / "manifests"
+        for path in sorted(manifest_dir.glob("*.json")):
+            try:
+                print("  " + CampaignManifest.read(path).summary_line())
+            except (ValueError, KeyError):
+                print(f"  {path.name}: unreadable manifest", file=sys.stderr)
+        return 0
+
+    if args.campaign_command == "gc":
+        from .campaign import ResultStore
+
+        kept, dropped = ResultStore(args.store).gc()
+        print(f"gc: kept {kept} entr{'y' if kept == 1 else 'ies'}, dropped {dropped}")
+        return 0
+
+    if args.campaign_command == "verify":
+        try:
+            engine = _campaign_engine(args)
+            mismatches = engine.verify(sample=args.sample)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for m in mismatches:
+            print(
+                f"  MISMATCH {m['label']} field {m['field']}: "
+                f"stored {m['stored']!r} != rerun {m['rerun']!r}"
+            )
+        status = "ok" if not mismatches else "FAILED"
+        print(f"verify: sampled cached points re-ran bit-identically: {status}")
+        return 0 if not mismatches else 1
+
+    raise AssertionError("unreachable")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -278,6 +450,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_workload(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     raise AssertionError("unreachable")
 
 

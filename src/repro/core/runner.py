@@ -2,17 +2,24 @@
 
 This is the paper's measurement harness: for each design point it runs
 the 10-step MD energy calculation on the simulated platform and records
-the response variables.  Results are memoized per runner instance so the
-figure drivers can share runs (several figures slice the same design).
+the response variables.  Results are memoized through the campaign
+layer's content-addressed store (:mod:`repro.campaign.store`): response
+records are keyed by (workload fingerprint, design point, run config,
+cost model, schema version), so any two runners over the same workload —
+in the same process or via a shared persistent store, across processes —
+resolve to the same entries and never duplicate work.  Full
+:class:`ParallelRunResult` objects are additionally memoized per process
+for callers that need timelines and transfers, not just responses.
 """
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..campaign.keys import cache_key, point_seed, workload_fingerprint
+from ..campaign.store import ResultStore, shared_memory_store
 from ..md.system import MDSystem
 from ..parallel.costmodel import PIII_1GHZ, MachineCostModel
 from ..parallel.pmd import MDRunConfig
@@ -23,6 +30,11 @@ from .factors import PlatformConfig
 from .responses import ResponseRecord
 
 __all__ = ["CharacterizationRunner"]
+
+#: Process-wide memo of full run results, keyed by the campaign cache key.
+#: Shared across runner instances so two runners over the same workload
+#: never re-simulate a design point within one process.
+_RUN_MEMO: dict[str, ParallelRunResult] = {}
 
 
 @dataclass
@@ -42,6 +54,11 @@ class CharacterizationRunner:
         Machine cost model.
     base_seed:
         Per-point seeds are derived deterministically from this.
+    store:
+        Response-record store.  Defaults to the process-wide in-memory
+        store; pass a persistent :class:`ResultStore` to share records
+        across processes (warm-cache figure regeneration then performs
+        zero MD work).
     """
 
     system: MDSystem
@@ -49,39 +66,36 @@ class CharacterizationRunner:
     config: MDRunConfig = field(default_factory=MDRunConfig)
     cost: MachineCostModel = PIII_1GHZ
     base_seed: int = 2002
+    store: ResultStore | None = None
 
-    _cache: dict[tuple, ParallelRunResult] = field(default_factory=dict, init=False)
+    _fingerprint: str | None = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.store is None:
+            self.store = shared_memory_store()
 
     # ------------------------------------------------------------------
-    def _point_seed(self, point: DesignPoint) -> int:
-        """Deterministic, distinct seed per design point and replicate.
+    @property
+    def fingerprint(self) -> str:
+        """Content hash of this runner's workload (computed once)."""
+        if self._fingerprint is None:
+            self._fingerprint = workload_fingerprint(self.system, self.positions)
+        return self._fingerprint
 
-        Uses a stable digest, not ``hash()``: string hashing is randomized
-        per process (PYTHONHASHSEED), which would give every run of the
-        same experiment different platform noise.
-        """
-        key = (
-            point.config.network,
-            point.config.middleware,
-            point.config.cpus_per_node,
-            point.n_ranks,
-            point.replicate,
-        )
-        digest = zlib.crc32(repr(key).encode())
-        return (self.base_seed + digest) % (2**31 - 1)
+    def point_key(self, point: DesignPoint) -> str:
+        """The content address of one design point's response record."""
+        return cache_key(self.fingerprint, point, self.config, self.cost, self.base_seed)
+
+    def _point_seed(self, point: DesignPoint) -> int:
+        """Deterministic, distinct seed per design point and replicate."""
+        return point_seed(self.base_seed, point)
 
     def run_point(self, point: DesignPoint) -> ParallelRunResult:
-        """Execute (or recall) one design point."""
-        key = (
-            point.config.network,
-            point.config.middleware,
-            point.config.cpus_per_node,
-            point.n_ranks,
-            point.replicate,
-        )
-        if key not in self._cache:
+        """Execute (or recall) one design point's full run result."""
+        key = self.point_key(point)
+        if key not in _RUN_MEMO:
             spec = point.config.cluster_spec(point.n_ranks, seed=self._point_seed(point))
-            self._cache[key] = run_parallel_md(
+            _RUN_MEMO[key] = run_parallel_md(
                 self.system,
                 self.positions,
                 spec,
@@ -89,12 +103,22 @@ class CharacterizationRunner:
                 config=self.config,
                 cost=self.cost,
             )
-        return self._cache[key]
+        return _RUN_MEMO[key]
 
     # ------------------------------------------------------------------
+    def run_record(self, point: DesignPoint) -> ResponseRecord:
+        """One response row, through the store: hits perform no MD work."""
+        key = self.point_key(point)
+        cached = self.store.get(key)
+        if cached is not None:
+            return cached
+        record = ResponseRecord.from_run(point, self.run_point(point))
+        self.store.put(key, record, {"label": point.label(), "source": "runner"})
+        return record
+
     def measure(self, points: list[DesignPoint]) -> list[ResponseRecord]:
         """Run a whole design; returns one response row per point."""
-        return [ResponseRecord.from_run(p, self.run_point(p)) for p in points]
+        return [self.run_record(p) for p in points]
 
     def sweep(
         self, config: PlatformConfig, processor_levels: tuple[int, ...] = (1, 2, 4, 8)

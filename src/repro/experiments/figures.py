@@ -59,13 +59,20 @@ class FigureResult:
         return groups
 
 
-def default_runner(n_steps: int = 10) -> CharacterizationRunner:
-    """A runner over the paper's 3552-atom benchmark system."""
+def default_runner(n_steps: int = 10, store=None) -> CharacterizationRunner:
+    """A runner over the paper's 3552-atom benchmark system.
+
+    ``store`` optionally names a persistent
+    :class:`~repro.campaign.store.ResultStore` so regenerated figures
+    share design-point results with campaign runs (and with each other,
+    across processes); warm-cache regeneration then performs no MD work.
+    """
     mg = myoglobin_workload()
     return CharacterizationRunner(
         system=myoglobin_system("pme"),
         positions=mg.positions,
         config=MDRunConfig(n_steps=n_steps),
+        store=store,
     )
 
 

@@ -1,12 +1,17 @@
-"""Instrumentation: per-rank timelines and communication-rate statistics."""
+"""Instrumentation: timelines, communication statistics, work counters."""
 
-from .commstats import MIN_DATA_BYTES, CommSpeedStats, communication_speeds
+from .commstats import MIN_DATA_BYTES, CommEvent, CommSpeedStats, CommTrace, communication_speeds
+from .counters import FORCE_EVALUATIONS, EventCounter
 from .timeline import Category, PhaseTotals, Timeline
 
 __all__ = [
     "Category",
+    "CommEvent",
     "CommSpeedStats",
+    "CommTrace",
     "communication_speeds",
+    "EventCounter",
+    "FORCE_EVALUATIONS",
     "MIN_DATA_BYTES",
     "PhaseTotals",
     "Timeline",

@@ -85,7 +85,11 @@ class CommEvent:
     collectives it is ``-1`` and ``op`` names the operation.  ``nbytes``
     and ``dtype`` describe the payload for sends and the *expected*
     payload for receives (``-1`` / ``""`` when the receiver declares no
-    expectation).
+    expectation).  ``overhead`` is the per-message host overhead the
+    calling rank charged for this operation (seconds of virtual time) —
+    on dual-processor nodes with interrupt-driven networks it must carry
+    the SMP stack-contention multiplier, which the schedule analyzer
+    asserts (REP206).
     """
 
     kind: str
@@ -98,6 +102,7 @@ class CommEvent:
     time: float
     seq: int
     rendezvous: bool = False
+    overhead: float = 0.0
 
     @property
     def key(self) -> tuple[int, int, int]:
@@ -125,10 +130,12 @@ class CommTrace:
         dtype: str,
         time: float,
         rendezvous: bool = False,
+        overhead: float = 0.0,
     ) -> None:
         self._record(
             kind="send", rank=rank, peer=dst, tag=tag, nbytes=nbytes,
             dtype=dtype, op="", time=time, rendezvous=rendezvous,
+            overhead=overhead,
         )
 
     def record_recv(
@@ -139,10 +146,11 @@ class CommTrace:
         time: float,
         nbytes: int = -1,
         dtype: str = "",
+        overhead: float = 0.0,
     ) -> None:
         self._record(
             kind="recv", rank=rank, peer=src, tag=tag, nbytes=nbytes,
-            dtype=dtype, op="", time=time,
+            dtype=dtype, op="", time=time, overhead=overhead,
         )
 
     def record_collective(self, rank: int, op: str, tag: int, time: float) -> None:

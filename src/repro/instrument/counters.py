@@ -1,0 +1,40 @@
+"""Process-wide work counters for cache-effectiveness assertions.
+
+The campaign store promises that warm-cache figure regeneration does
+*zero* MD work.  That promise is only testable if the MD layer counts
+its own work: :data:`FORCE_EVALUATIONS` increments on every non-bonded
+kernel evaluation (the irreducible unit of MD force work — every serial
+or parallel energy step performs at least one).  Tests snapshot the
+counter, run a driver, and assert the delta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EventCounter", "FORCE_EVALUATIONS"]
+
+
+@dataclass
+class EventCounter:
+    """A named monotonic event count with snapshot/delta support."""
+
+    name: str
+    count: int = 0
+
+    def increment(self, n: int = 1) -> None:
+        self.count += n
+
+    def reset(self) -> None:
+        self.count = 0
+
+    def snapshot(self) -> int:
+        return self.count
+
+    def delta(self, since: int) -> int:
+        return self.count - since
+
+
+#: Incremented once per non-bonded kernel evaluation (see
+#: :meth:`repro.md.nonbonded.NonbondedKernel.compute`).
+FORCE_EVALUATIONS = EventCounter("force_evaluations")

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.special import erfc
 
+from ..instrument.counters import FORCE_EVALUATIONS
 from .box import PeriodicBox
 from .cutoff import CutoffScheme, shift_function, switch_function
 from .forcefield import ForceField
@@ -103,6 +104,7 @@ class NonbondedKernel:
         ``pairs`` may include the neighbour-list skin; pairs beyond
         ``scheme.r_cut`` are filtered here.
         """
+        FORCE_EVALUATIONS.increment()
         n = len(positions)
         forces = np.zeros((n, 3), dtype=np.float64)
         if len(pairs) == 0:

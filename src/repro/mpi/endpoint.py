@@ -162,7 +162,8 @@ class RankEndpoint:
         )
         if self.world.trace is not None:
             self.world.trace.record_send(
-                self.rank, dest, tag, nbytes, payload_dtype(payload), self.now, rendezvous
+                self.rank, dest, tag, nbytes, payload_dtype(payload), self.now,
+                rendezvous, overhead=overhead,
             )
         self.world.post_message(msg)
         return SendRequest(endpoint=self, message=msg, issued_at=self.now)
@@ -203,6 +204,7 @@ class RankEndpoint:
                 self.now,
                 -1 if expect_nbytes is None else expect_nbytes,
                 expect_dtype or "",
+                overhead=overhead,
             )
         self.world.post_recv(post)
         return RecvRequest(endpoint=self, post=post)

@@ -1,0 +1,30 @@
+# repro-analyze: skip-file — golden bad program for REP105
+"""Rank programs that *store* protocol generators without driving them.
+
+Assigning ``ep.compute(...)`` to a local is deferred judgement, not an
+error: the lint tracks the name through the enclosing scope and flags it
+only when nothing ever consumes it — then the stored generator silently
+never runs, exactly like a dropped call.
+"""
+
+
+def leaky_program(ep, mw):
+    g = ep.compute(1.0)  # REP105: stored, never consumed
+    pending = mw.allreduce(ep, None)  # REP105: stored, never consumed
+    yield from ep.send(1, b"x", tag=3)
+
+
+def correct_program(ep, sim):
+    ok = ep.compute(1.0)
+    yield from ok  # consumed — must NOT be flagged
+    handle = ep.isend(1, b"y", tag=2)
+    sim.spawn(handle)  # handed to a driver — must NOT be flagged
+
+
+def closure_program(ep, sim):
+    work = ep.compute(2.0)
+
+    def run():
+        yield from work  # captured by a closure — must NOT be flagged
+
+    sim.spawn(run())

@@ -32,6 +32,49 @@ class TestDroppedGenerator:
                 assert lineno not in flagged, line
 
 
+class TestStoredGenerator:
+    def test_stored_never_consumed_flagged(self):
+        diags = _lint_fixture("bad_stored_generator.py")
+        assert _rules(diags) == ["REP105"] * 2
+        messages = " ".join(d.message for d in diags)
+        assert "'g = " in messages and "'pending = " in messages
+
+    def test_consumed_spawned_and_captured_locals_are_clean(self):
+        diags = _lint_fixture("bad_stored_generator.py")
+        flagged = {d.line for d in diags}
+        source = (FIXTURES / "bad_stored_generator.py").read_text()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            if "must NOT be flagged" in line:
+                assert lineno not in flagged, line
+
+    def test_assignment_no_longer_misfires_rep101(self):
+        src = (
+            "def f(ep, sim):\n"
+            "    g = ep.compute(1.0)\n"
+            "    sim.spawn(g)\n"
+        )
+        assert lint_source(src) == []
+
+    def test_reassignment_without_read_still_flags_last(self):
+        src = (
+            "def f(ep):\n"
+            "    g = ep.compute(1.0)\n"
+            "    g = ep.compute(2.0)\n"
+            "    yield from g\n"
+        )
+        # the first store is shadowed before any read; conservative
+        # name-level dataflow treats the later read as consuming 'g'
+        assert lint_source(src) == []
+
+    def test_module_level_store_flagged(self):
+        src = "g = ep.compute(1.0)\n"
+        assert _rules(lint_source(src)) == ["REP105"]
+
+    def test_noqa_suppresses_rep105(self):
+        src = "def f(ep):\n    g = ep.compute(1.0)  # noqa: REP105\n"
+        assert lint_source(src) == []
+
+
 class TestDiscardedResult:
     def test_discarded_collectives_flagged(self):
         diags = _lint_fixture("bad_discarded_result.py")

@@ -4,19 +4,24 @@ import numpy as np
 import pytest
 
 from repro.analysis import analyze_trace
-from repro.cluster import ClusterSpec, score_gigabit_ethernet
+from repro.cluster import ClusterSpec, NodeSpec, score_gigabit_ethernet, tcp_gigabit_ethernet
 from repro.instrument.commstats import CommTrace
 from repro.mpi import MPIWorld, collectives
 from repro.sim import SimulationError, Simulator
 
 
-def _run_traced(n_ranks, program, seed=1, expect_deadlock=False):
+def _run_traced(n_ranks, program, seed=1, expect_deadlock=False, network=None, cpus=1):
     """Drive one program per rank with a trace attached; return the trace."""
     sim = Simulator()
     trace = CommTrace()
     world = MPIWorld(
         sim,
-        ClusterSpec(n_ranks=n_ranks, network=score_gigabit_ethernet(), seed=seed),
+        ClusterSpec(
+            n_ranks=n_ranks,
+            network=network or score_gigabit_ethernet(),
+            node=NodeSpec(cpus_per_node=cpus),
+            seed=seed,
+        ),
         trace=trace,
     )
     for r in range(n_ranks):
@@ -162,6 +167,55 @@ class TestEndToEnd:
         trace = _run_traced(2, prog, expect_deadlock=True)
         diags = analyze_trace(trace, 2)
         assert "REP205" in _rules(diags)
+
+    def test_dual_processor_events_carry_smp_multiplier(self):
+        """The paper's dual-CPU TCP case: every per-message overhead in
+        the trace must be the uni-processor cost times the SMP
+        stack-contention multiplier, asserted from trace events."""
+
+        def prog(ep):
+            data = yield from collectives.allreduce(ep, np.ones(64))
+            yield from collectives.barrier(ep)
+            return data
+
+        net = tcp_gigabit_ethernet()
+        dual = _run_traced(4, prog, network=net, cpus=2)
+        uni = _run_traced(4, prog, network=net, cpus=1)
+        assert analyze_trace(dual, 4, network=net, cpus_per_node=2) == []
+
+        mult = net.smp_overhead_multiplier
+        dual_msgs = [e for e in dual.events if e.kind in ("send", "recv")]
+        uni_msgs = [e for e in uni.events if e.kind in ("send", "recv")]
+        assert dual_msgs and len(dual_msgs) == len(uni_msgs)
+        dual_by_key = sorted(dual_msgs, key=lambda e: (e.kind, e.key, e.seq))
+        uni_by_key = sorted(uni_msgs, key=lambda e: (e.kind, e.key, e.seq))
+        for d, u in zip(dual_by_key, uni_by_key):
+            assert (d.kind, d.key, d.nbytes) == (u.kind, u.key, u.nbytes)
+            assert d.overhead == pytest.approx(u.overhead * mult)
+            assert d.overhead > u.overhead
+
+    def test_uni_cost_dual_trace_flagged_rep206(self):
+        net = tcp_gigabit_ethernet()
+        trace = CommTrace()
+        trace.record_send(
+            0, 1, 5, nbytes=1024, dtype="float64", time=0.0,
+            overhead=net.send_overhead + net.host_cost(1024),  # no multiplier
+        )
+        trace.record_recv(1, 0, 5, time=0.0, overhead=net.recv_overhead)
+        diags = analyze_trace(trace, 2, network=net, cpus_per_node=2)
+        assert _rules(diags) == ["REP206", "REP206"]
+        assert all("SMP" in d.message for d in diags)
+
+    def test_smp_assertion_only_applies_where_the_cost_exists(self):
+        trace = CommTrace()
+        trace.record_send(0, 1, 5, nbytes=8, dtype="float64", time=0.0)
+        trace.record_recv(1, 0, 5, time=0.0)
+        # uni-processor nodes: no SMP cost to assert
+        assert analyze_trace(trace, 2, network=tcp_gigabit_ethernet(), cpus_per_node=1) == []
+        # OS-bypass network (no interrupts): exempt even on dual nodes
+        assert analyze_trace(trace, 2, network=score_gigabit_ethernet(), cpus_per_node=2) == []
+        # platform not described: the check never runs
+        assert analyze_trace(trace, 2) == []
 
     def test_divergent_collective_order_detected_from_trace(self):
         """The silent SPMD killer: ranks disagree on which collective runs.

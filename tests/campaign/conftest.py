@@ -1,0 +1,29 @@
+"""Campaign-layer fixtures: tiny engines over a persistent tmp store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import CampaignEngine, ResultStore
+from repro.core.design import DesignPoint
+from repro.core.factors import FOCAL_POINT
+from repro.parallel import MDRunConfig
+
+#: Cheap run configuration every campaign test shares (2 MD steps over
+#: the tiny solvated peptide — sub-second per point).
+TINY_CONFIG = MDRunConfig(n_steps=2, dt=0.0004)
+
+
+def tiny_engine(store_root=None, **kw) -> CampaignEngine:
+    kw.setdefault("workload", "peptide-tiny")
+    kw.setdefault("config", TINY_CONFIG)
+    return CampaignEngine(store=ResultStore(store_root), **kw)
+
+
+def tiny_points(ranks=(1, 2)) -> list[DesignPoint]:
+    return [DesignPoint(config=FOCAL_POINT, n_ranks=p) for p in ranks]
+
+
+@pytest.fixture()
+def store_root(tmp_path):
+    return tmp_path / "cache"

@@ -1,0 +1,135 @@
+"""Result-store durability: crashes, corruption, compaction, reopening."""
+
+import json
+
+import pytest
+
+from repro.campaign import ResultStore
+from repro.campaign.keys import SCHEMA_VERSION
+from repro.campaign.store import record_from_dict, record_to_dict
+
+from .conftest import tiny_engine, tiny_points
+
+
+def _populated(store_root, ranks=(1, 2)):
+    """A store on disk holding one tiny campaign's records."""
+    engine = tiny_engine(store_root)
+    result = engine.run(tiny_points(ranks))
+    assert result.ok
+    engine.store.close()
+    return [engine.key_for(p) for p in tiny_points(ranks)]
+
+
+class TestRoundTrip:
+    def test_reopened_store_serves_the_same_records(self, store_root):
+        keys = _populated(store_root)
+        engine = tiny_engine(store_root)
+        records = [r for r in engine.run(tiny_points()).records]
+        reopened = ResultStore(store_root)
+        assert len(reopened) == len(keys)
+        for key, record in zip(keys, records):
+            assert record_to_dict(reopened.get(key)) == record_to_dict(record)
+
+    def test_record_dict_roundtrip(self, store_root):
+        _populated(store_root, ranks=(1,))
+        (entry,) = ResultStore(store_root).entries()
+        assert record_from_dict(record_to_dict(entry.record)) == entry.record
+
+    def test_memory_only_store(self):
+        engine = tiny_engine(None)
+        result = engine.run(tiny_points(ranks=(1,)))
+        assert result.ok
+        assert engine.store.root is None
+        assert len(engine.store) == 1
+        assert engine.store.gc() == (1, 0)
+
+
+class TestCrashTolerance:
+    def test_truncated_tail_skipped_with_warning(self, store_root):
+        """The atomic-write promise: a crash mid-append loses at most the
+        final line, and loading warns instead of failing."""
+        keys = _populated(store_root)
+        (shard,) = store_root.glob("shard-*.jsonl")
+        whole = shard.read_text()
+        # simulate a kill during the third append: half a JSON document
+        shard.write_text(whole + whole.splitlines()[0][: len(whole) // 4])
+
+        with pytest.warns(UserWarning, match="corrupt store line skipped"):
+            store = ResultStore(store_root)
+        assert len(store) == len(keys)
+        for key in keys:
+            assert key in store
+
+    def test_resume_completes_only_the_missing_points(self, store_root):
+        """A killed campaign resumes: finished points are hits, only the
+        points the crash lost are executed."""
+        engine = tiny_engine(store_root)
+        interrupted = engine.run(tiny_points(ranks=(1,)))  # "killed" after 1 point
+        assert [p.status for p in interrupted.manifest.points] == ["ran"]
+        engine.store.close()
+
+        resumed = tiny_engine(store_root).run(tiny_points(ranks=(1, 2, 4)))
+        assert resumed.ok
+        statuses = [p.status for p in resumed.manifest.points]
+        assert statuses == ["hit", "ran", "ran"]
+
+    def test_resume_after_corruption_reruns_lost_points(self, store_root):
+        keys = _populated(store_root)
+        (shard,) = store_root.glob("shard-*.jsonl")
+        lines = shard.read_text().splitlines()
+        shard.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][:20])
+
+        with pytest.warns(UserWarning):
+            engine = tiny_engine(store_root)
+        result = engine.run(tiny_points())
+        assert result.ok
+        statuses = {p.key: p.status for p in result.manifest.points}
+        assert statuses[keys[0]] == "hit"
+        assert statuses[keys[1]] == "ran"  # the corrupted line's point
+
+
+class TestGc:
+    def test_gc_compacts_to_one_shard(self, store_root):
+        _populated(store_root)
+        store = ResultStore(store_root)
+        # superseded duplicate: same key written twice
+        entry = next(store.entries())
+        store.put(entry.key, entry.record, {"superseded": True})
+        store.close()
+
+        store = ResultStore(store_root)
+        kept, dropped = store.gc()
+        assert kept == 2
+        assert dropped >= 1
+        shards = sorted(p.name for p in store_root.glob("*.jsonl"))
+        assert shards == ["shard-compact.jsonl"]
+        assert len(ResultStore(store_root)) == 2
+
+    def test_gc_drops_stale_schema_and_corrupt_lines(self, store_root):
+        keys = _populated(store_root, ranks=(1,))
+        (shard,) = store_root.glob("shard-*.jsonl")
+        doc = json.loads(shard.read_text().splitlines()[0])
+        doc["schema"] = SCHEMA_VERSION - 1
+        doc["key"] = "0" * 64
+        with open(shard, "a") as f:
+            f.write(json.dumps(doc) + "\n")
+            f.write("{ not json\n")
+
+        with pytest.warns(UserWarning):
+            store = ResultStore(store_root)
+        assert "0" * 64 not in store  # stale schema never hits
+        kept, dropped = store.gc()
+        assert kept == 1
+        assert dropped == 2
+        assert keys[0] in ResultStore(store_root)
+
+
+class TestDescribe:
+    def test_statistics(self, store_root):
+        _populated(store_root)
+        stats = ResultStore(store_root).describe()
+        assert stats["entries"] == 2
+        assert stats["shards"] == 1
+        assert stats["bytes"] > 0
+        assert stats["schema"] == SCHEMA_VERSION
+        assert stats["root"] == str(store_root)

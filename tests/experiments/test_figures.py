@@ -78,11 +78,11 @@ class TestDriverStructure:
 
     def test_runner_cache_shared_across_figures(self, small_runner):
         """Figure 4 reuses Figure 3's runs (same design points)."""
-        n_before = len(small_runner._cache)
+        n_before = len(small_runner.store)
         figure3(small_runner)
-        n_mid = len(small_runner._cache)
+        n_mid = len(small_runner.store)
         from repro.experiments import figure4
 
         figure4(small_runner)
-        assert len(small_runner._cache) == n_mid
+        assert len(small_runner.store) == n_mid
         assert n_mid >= n_before

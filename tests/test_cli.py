@@ -20,6 +20,20 @@ class TestParser:
         args = build_parser().parse_args(["figures", "--all", "--steps", "3"])
         assert args.all and args.steps == 3
 
+    def test_campaign_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign"])
+
+    def test_campaign_run_defaults(self):
+        args = build_parser().parse_args(["campaign", "run"])
+        assert args.campaign_command == "run"
+        assert args.store == ".repro-cache"
+        assert args.workload == "myoglobin-pme"
+        assert args.design == "sweep"
+        assert args.ranks == "1,2,4,8"
+        assert args.workers == 0
+        assert not args.sanitize_run
+
 
 class TestCommands:
     def test_figures_listing(self, capsys):
@@ -46,3 +60,52 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "myrinet" in out
         assert "comp %" in out
+
+
+class TestCampaignCommand:
+    def _args(self, tmp_path, *extra):
+        return [
+            "--store", str(tmp_path / "cache"),
+            "--workload", "peptide-tiny",
+            "--steps", "2",
+            *extra,
+        ]
+
+    def test_run_status_verify_gc_cycle(self, tmp_path, capsys):
+        run_args = ["campaign", "run", *self._args(tmp_path, "--ranks", "1,2")]
+        assert main(run_args) == 0
+        out = capsys.readouterr().out
+        assert "2 ran" in out and "0 failed" in out
+
+        # warm re-run: everything is a cache hit
+        assert main(run_args) == 0
+        assert "2 hit, 0 ran" in capsys.readouterr().out
+
+        assert main(["campaign", "status", "--store", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "2 entries" in out
+        assert "campaign" in out  # the manifest summary line
+
+        assert main(["campaign", "verify", *self._args(tmp_path, "--sample", "1")]) == 0
+        assert "bit-identically: ok" in capsys.readouterr().out
+
+        assert main(["campaign", "gc", "--store", str(tmp_path / "cache")]) == 0
+        assert "kept 2" in capsys.readouterr().out
+
+    def test_run_bad_ranks_errors(self, tmp_path, capsys):
+        assert main(["campaign", "run", *self._args(tmp_path, "--ranks", "one,two")]) == 2
+        assert "bad --ranks" in capsys.readouterr().err
+
+    def test_run_unknown_workload_errors(self, tmp_path, capsys):
+        args = [
+            "campaign", "run", "--store", str(tmp_path / "cache"),
+            "--workload", "nope", "--ranks", "1",
+        ]
+        assert main(args) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_failed_point_returns_nonzero(self, tmp_path, capsys):
+        # 32 uni-CPU ranks exceed the 16-node cluster: the point fails
+        args = ["campaign", "run", *self._args(tmp_path, "--ranks", "1,32", "--retries", "0")]
+        assert main(args) == 1
+        assert "1 failed" in capsys.readouterr().out
