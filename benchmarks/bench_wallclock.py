@@ -1,0 +1,129 @@
+"""Real-seconds benchmark of the characterization run: the perf trajectory.
+
+Unlike the figure benchmarks (which regenerate the paper's *virtual*
+timings), this script measures **wall-clock** — how fast the simulator
+itself executes the p = 1 and p = 8 myoglobin-PME 10-step runs.  It
+seeds and then guards the repo's performance trajectory:
+
+* ``python benchmarks/bench_wallclock.py``
+      measure and (re)write ``BENCH_wallclock.json`` at the repo root —
+      the committed baseline future PRs regress against;
+* ``python benchmarks/bench_wallclock.py --check BENCH_wallclock.json``
+      measure and exit non-zero if the p = 8 run is more than ``--factor``
+      (default 1.25x) slower than the committed baseline (the CI gate).
+
+The workload build is excluded from the timing; each point is run
+``--repeats`` times and the minimum is kept (the usual best-of-N guard
+against scheduler noise).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_wallclock.json"
+
+WORKLOAD = "myoglobin-pme"
+N_STEPS = 10
+RANK_COUNTS = (1, 8)
+SCHEMA = 1
+
+
+def measure(repeats: int, shared_compute: bool = True) -> dict[str, float]:
+    """Best-of-``repeats`` wall seconds per rank count."""
+    from repro.campaign.workloads import build_workload
+    from repro.cluster import ClusterSpec, tcp_gigabit_ethernet
+    from repro.parallel import MDRunConfig, run_parallel_md
+
+    system, positions = build_workload(WORKLOAD)
+    config = MDRunConfig(n_steps=N_STEPS)
+    seconds: dict[str, float] = {}
+    for p in RANK_COUNTS:
+        spec = ClusterSpec(n_ranks=p, network=tcp_gigabit_ethernet())
+        # untimed warm-up: populates the process-level lru_caches (cell
+        # pairs, B-spline moduli, influence function) so the first timed
+        # repeat is not charged for one-off setup
+        run_parallel_md(
+            system, positions, spec, config=config, shared_compute=shared_compute
+        )
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            run_parallel_md(
+                system, positions, spec, config=config, shared_compute=shared_compute
+            )
+            best = min(best, time.perf_counter() - t0)
+        seconds[f"p{p}"] = round(best, 4)
+    return seconds
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help=f"where to write the measurement (default {DEFAULT_OUTPUT}; in "
+        "--check mode, only written when given explicitly)",
+    )
+    parser.add_argument(
+        "--check", type=Path, default=None, metavar="BASELINE",
+        help="compare against a committed baseline instead of writing one",
+    )
+    parser.add_argument(
+        "--factor", type=float, default=1.25,
+        help="allowed p=8 slowdown vs the baseline in --check mode (default 1.25)",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--with-shared-off", action="store_true",
+        help="also measure with the shared-compute cache disabled (A/B context)",
+    )
+    args = parser.parse_args(argv)
+
+    seconds = measure(args.repeats)
+    doc = {
+        "schema": SCHEMA,
+        "workload": WORKLOAD,
+        "n_steps": N_STEPS,
+        "network": "tcp-gige",
+        "middleware": "mpi",
+        "repeats": args.repeats,
+        "seconds": seconds,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    if args.with_shared_off:
+        doc["seconds_shared_off"] = measure(args.repeats, shared_compute=False)
+    for key, value in seconds.items():
+        print(f"  {key}: {value:.3f} s wall")
+    if "seconds_shared_off" in doc:
+        for key, value in doc["seconds_shared_off"].items():
+            print(f"  {key} (shared-compute off): {value:.3f} s wall")
+
+    if args.check is not None:
+        if args.output is not None:  # fresh measurement for trend tracking
+            args.output.write_text(json.dumps(doc, indent=2) + "\n")
+            print(f"wrote {args.output}")
+        baseline = json.loads(args.check.read_text())
+        base_p8 = float(baseline["seconds"]["p8"])
+        limit = base_p8 * args.factor
+        status = "ok" if seconds["p8"] <= limit else "REGRESSION"
+        print(
+            f"check: p8 {seconds['p8']:.3f} s vs baseline {base_p8:.3f} s "
+            f"(limit {limit:.3f} s at {args.factor:.2f}x): {status}"
+        )
+        return 0 if status == "ok" else 1
+
+    output = args.output if args.output is not None else DEFAULT_OUTPUT
+    output.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

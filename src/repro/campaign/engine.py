@@ -46,13 +46,17 @@ def execute_point(
     cost: MachineCostModel,
     base_seed: int,
     sanitize: bool = False,
+    shared_compute: bool = True,
 ) -> ResponseRecord:
     """Run one design point from scratch, in whatever process this is.
 
     This is the single execution path shared by the inline engine, the
     worker processes and ``verify`` — and it performs exactly the calls
     :meth:`CharacterizationRunner.run_point` makes, so records agree
-    bit-for-bit however a point was produced.
+    bit-for-bit however a point was produced.  ``shared_compute``
+    constructs one :class:`~repro.parallel.shared.SharedComputeCache` per
+    point inside :func:`run_parallel_md`; it changes wall-clock only, so
+    it participates in neither the cache key nor the record.
     """
     system, positions = build_workload(workload)
     spec = point.config.cluster_spec(point.n_ranks, seed=point_seed(base_seed, point))
@@ -64,6 +68,7 @@ def execute_point(
         config=config,
         cost=cost,
         sanitize=sanitize,
+        shared_compute=shared_compute,
     )
     return ResponseRecord.from_run(point, result)
 
@@ -78,6 +83,7 @@ def _worker_main(task: dict, out_queue) -> None:
             task["cost"],
             task["base_seed"],
             sanitize=task["sanitize"],
+            shared_compute=task.get("shared_compute", True),
         )
         out_queue.put((task["key"], "ok", record_to_dict(record), None))
     except BaseException as exc:  # the parent decides whether to retry
@@ -130,6 +136,11 @@ class CampaignEngine:
         Extra attempts after the first, for failed or timed-out points.
     backoff:
         Base of the exponential retry delay (seconds).
+    shared_compute:
+        Deduplicate replicated-data work across simulated ranks inside
+        each point (one :class:`~repro.parallel.shared.SharedComputeCache`
+        per point).  Wall-clock only — records are bit-identical either
+        way, so this is not part of the cache key.
     """
 
     workload: str = "myoglobin-pme"
@@ -142,6 +153,7 @@ class CampaignEngine:
     retries: int = 1
     backoff: float = 0.25
     sanitize: bool = False
+    shared_compute: bool = True
 
     _fingerprint: str | None = field(default=None, init=False, repr=False)
 
@@ -265,6 +277,7 @@ class CampaignEngine:
                     record = execute_point(
                         self.workload, task.point, self.config, self.cost,
                         self.base_seed, sanitize=self.sanitize,
+                        shared_compute=self.shared_compute,
                     )
                 except Exception as exc:
                     task.elapsed = time.monotonic() - t0  # noqa: REP104
@@ -293,6 +306,7 @@ class CampaignEngine:
                 "cost": self.cost,
                 "base_seed": self.base_seed,
                 "sanitize": self.sanitize,
+                "shared_compute": self.shared_compute,
             }
             proc = ctx.Process(target=_worker_main, args=(payload, out_queue), daemon=True)
             proc.start()
@@ -364,13 +378,18 @@ class CampaignEngine:
         return self.store.root / "manifests" / f"{campaign_id}.json"
 
     # ------------------------------------------------------------------
-    def verify(self, sample: int = 4, seed: int = 0) -> list[dict]:
+    def verify(self, sample: int = 4, seed: int = 0, n_workers: int = 0) -> list[dict]:
         """Re-run a sample of cached points; diff responses bit-for-bit.
 
         Only entries addressable by *this* engine (same workload, config,
         cost model and base seed) are eligible.  Returns one dict per
         mismatching field; an empty list means every sampled record
         reproduced exactly.
+
+        ``n_workers`` fans the re-runs out over worker processes exactly
+        like :meth:`run` does for misses (verification is embarrassingly
+        parallel over sampled points); ``0`` re-runs inline.  A worker
+        that dies or errors surfaces as a ``__rerun__`` mismatch.
         """
         import numpy as np
 
@@ -385,11 +404,22 @@ class CampaignEngine:
             idx = rng.choice(len(eligible), size=sample, replace=False)
             eligible = [eligible[i] for i in sorted(idx)]
 
+        fresh_by_key, rerun_errors = self._rerun_points(eligible, n_workers)
+
         mismatches = []
         for entry, point in eligible:
-            fresh = execute_point(
-                self.workload, point, self.config, self.cost, self.base_seed
-            )
+            if entry.key in rerun_errors:
+                mismatches.append(
+                    {
+                        "key": entry.key,
+                        "label": point.label(),
+                        "field": "__rerun__",
+                        "stored": None,
+                        "rerun": rerun_errors[entry.key],
+                    }
+                )
+                continue
+            fresh = fresh_by_key[entry.key]
             stored, rerun = record_to_dict(entry.record), record_to_dict(fresh)
             for name in stored:
                 if stored[name] != rerun[name] and not (
@@ -408,6 +438,78 @@ class CampaignEngine:
                         }
                     )
         return mismatches
+
+    def _rerun_points(
+        self, pairs: list[tuple], n_workers: int
+    ) -> tuple[dict[str, ResponseRecord], dict[str, str]]:
+        """Re-execute (entry, point) pairs; return records and errors by key.
+
+        Reuses the engine's worker-process plumbing (:func:`_worker_main`
+        over a result queue); no timeout or retries — verification re-runs
+        points that already executed successfully once.
+        """
+        fresh: dict[str, ResponseRecord] = {}
+        errors: dict[str, str] = {}
+        if n_workers <= 0:
+            for entry, point in pairs:
+                fresh[entry.key] = execute_point(
+                    self.workload, point, self.config, self.cost, self.base_seed,
+                    shared_compute=self.shared_compute,
+                )
+            return fresh, errors
+
+        ctx = self._mp_context()
+        out_queue = ctx.Queue()
+        todo = deque(pairs)
+        live: dict[str, object] = {}  # key -> process
+
+        def settle(key: str, status: str, doc, err) -> None:
+            proc = live.pop(key, None)
+            if proc is not None:
+                proc.join(timeout=5)
+            if status == "ok":
+                fresh[key] = record_from_dict(doc)
+            else:
+                errors[key] = err
+
+        while todo or live:
+            while todo and len(live) < n_workers:
+                entry, point = todo.popleft()
+                payload = {
+                    "key": entry.key,
+                    "workload": self.workload,
+                    "point": point,
+                    "config": self.config,
+                    "cost": self.cost,
+                    "base_seed": self.base_seed,
+                    "sanitize": False,
+                    "shared_compute": self.shared_compute,
+                }
+                proc = ctx.Process(
+                    target=_worker_main, args=(payload, out_queue), daemon=True
+                )
+                proc.start()
+                live[entry.key] = proc
+            try:
+                key, status, doc, err = out_queue.get(timeout=0.05)
+            except queue_mod.Empty:
+                for key in list(live):
+                    proc = live.get(key)
+                    if proc is None or proc.is_alive():
+                        continue
+                    # died without posting; give its message a moment to land
+                    try:
+                        k2, s2, d2, e2 = out_queue.get(timeout=0.5)
+                    except queue_mod.Empty:
+                        settle(
+                            key, "error", None,
+                            f"worker exited with code {proc.exitcode}",
+                        )
+                    else:
+                        settle(k2, s2, d2, e2)
+            else:
+                settle(key, status, doc, err)
+        return fresh, errors
 
     @staticmethod
     def _point_from_record(record: ResponseRecord) -> DesignPoint:

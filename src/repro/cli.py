@@ -11,7 +11,7 @@ Usage::
     python -m repro analyze --sanitize-run       # sanitized end-to-end runs
     python -m repro campaign run --design full --workers 4   # cached sweep
     python -m repro campaign status              # store + manifest overview
-    python -m repro campaign verify --sample 4   # re-run cached points, diff
+    python -m repro campaign verify --sample 4 --workers 4   # re-run cached points, diff
     python -m repro campaign gc                  # compact the result store
 """
 
@@ -113,6 +113,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--sanitize-run", action="store_true",
         help="execute every point under the runtime sanitizer (timings unchanged)",
     )
+    crun.add_argument(
+        "--no-shared-compute", action="store_true",
+        help=(
+            "disable the per-point shared-compute cache (replicated-data work "
+            "deduplication across simulated ranks); results are bit-identical, "
+            "only slower — useful for A/B-ing the optimization"
+        ),
+    )
 
     cstatus = csub.add_parser("status", help="store statistics and campaign manifests")
     cstatus.add_argument("--store", default=".repro-cache")
@@ -125,6 +133,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _common(cverify)
     cverify.add_argument("--sample", type=int, default=4)
+    cverify.add_argument(
+        "--workers", type=int, default=0,
+        help="fan verification re-runs out over N worker processes (0 = inline)",
+    )
 
     return parser
 
@@ -387,6 +399,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 timeout=args.timeout,
                 retries=args.retries,
                 sanitize=args.sanitize_run,
+                shared_compute=not args.no_shared_compute,
             )
             result = engine.run(points, progress=print)
         except ValueError as exc:
@@ -423,7 +436,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.campaign_command == "verify":
         try:
             engine = _campaign_engine(args)
-            mismatches = engine.verify(sample=args.sample)
+            mismatches = engine.verify(sample=args.sample, n_workers=args.workers)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["EventCounter", "FORCE_EVALUATIONS"]
+__all__ = ["EventCounter", "FORCE_EVALUATIONS", "NEIGHBOR_BUILDS"]
 
 
 @dataclass
@@ -38,3 +38,9 @@ class EventCounter:
 #: Incremented once per non-bonded kernel evaluation (see
 #: :meth:`repro.md.nonbonded.NonbondedKernel.compute`).
 FORCE_EVALUATIONS = EventCounter("force_evaluations")
+
+#: Incremented once per *real* neighbour-list construction (see
+#: :meth:`repro.md.neighborlist.NeighborList.build`).  The shared-compute
+#: layer (:mod:`repro.parallel.shared`) promises one real build per rebuild
+#: event regardless of the simulated rank count; tests assert the delta.
+NEIGHBOR_BUILDS = EventCounter("neighbor_builds")

@@ -23,11 +23,23 @@ class PeriodicBox:
 
     def __post_init__(self) -> None:
         if min(self.lx, self.ly, self.lz) <= 0:
-            raise ValueError(f"box edges must be positive, got {self.lengths}")
+            raise ValueError(
+                f"box edges must be positive, got ({self.lx}, {self.ly}, {self.lz})"
+            )
+        # min_image/wrap run on every force evaluation; precompute the edge
+        # vector (and its reciprocal, so the hot path multiplies instead of
+        # divides) once.  Read-only so the cached arrays cannot be mutated
+        # through the `lengths` property.
+        lengths = np.array([self.lx, self.ly, self.lz], dtype=np.float64)
+        lengths.setflags(write=False)
+        inv = 1.0 / lengths
+        inv.setflags(write=False)
+        object.__setattr__(self, "_lengths", lengths)
+        object.__setattr__(self, "_inv_lengths", inv)
 
     @property
     def lengths(self) -> np.ndarray:
-        return np.array([self.lx, self.ly, self.lz], dtype=np.float64)
+        return self._lengths
 
     @property
     def volume(self) -> float:
@@ -46,13 +58,18 @@ class PeriodicBox:
         Wrapped displacements, same shape; each component in
         ``[-L/2, L/2)`` for the corresponding edge ``L``.
         """
-        lengths = self.lengths
-        return dr - lengths * np.round(dr / lengths)
+        # in-place chain: one temporary instead of five
+        shift = dr * self._inv_lengths
+        shift += 0.5
+        np.floor(shift, out=shift)
+        shift *= self._lengths
+        np.subtract(dr, shift, out=shift)
+        return shift
 
     def wrap(self, positions: np.ndarray) -> np.ndarray:
         """Wrap absolute positions into ``[0, L)`` per component."""
-        lengths = self.lengths
-        wrapped = positions - lengths * np.floor(positions / lengths)
+        lengths = self._lengths
+        wrapped = positions - lengths * np.floor(positions * self._inv_lengths)
         # rounding can land a tiny negative exactly on L; fold it to 0
         return np.where(wrapped >= lengths, 0.0, wrapped)
 

@@ -13,9 +13,11 @@ more than ``skin / 2`` since the build (:meth:`NeighborList.needs_rebuild`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
+from ..instrument.counters import NEIGHBOR_BUILDS
 from .box import PeriodicBox
 from .cutoff import CutoffScheme
 
@@ -62,8 +64,16 @@ def _neighbour_cell_pairs(n_cells: np.ndarray) -> np.ndarray:
     Includes the self pair (c, c).  With very small grids (fewer than three
     cells along an axis) different offsets alias to the same neighbour, so
     the result is deduplicated.
+
+    The box and cutoff are fixed for the lifetime of a list, so the grid —
+    and therefore this O(cells x 27) set loop — never changes between
+    rebuilds; the result is memoized on the grid tuple.
     """
-    nx, ny, nz = (int(v) for v in n_cells)
+    return _neighbour_cell_pairs_cached(*(int(v) for v in n_cells))
+
+
+@lru_cache(maxsize=32)
+def _neighbour_cell_pairs_cached(nx: int, ny: int, nz: int) -> np.ndarray:
     coords = np.array(
         [(x, y, z) for x in range(nx) for y in range(ny) for z in range(nz)],
         dtype=np.int64,
@@ -80,7 +90,9 @@ def _neighbour_cell_pairs(n_cells: np.ndarray) -> np.ndarray:
         nb_lin = nb[:, 0] * ny * nz + nb[:, 1] * nz + nb[:, 2]
         for a, b in zip(lin, nb_lin):
             pairs.add((min(int(a), int(b)), max(int(a), int(b))))
-    return np.array(sorted(pairs), dtype=np.int64)
+    out = np.array(sorted(pairs), dtype=np.int64)
+    out.setflags(write=False)  # shared across builds via the memo
+    return out
 
 
 def _encode(pairs: np.ndarray, n_atoms: int) -> np.ndarray:
@@ -128,6 +140,7 @@ class NeighborList:
 
         Returns the new ``pairs`` array of shape (n_pairs, 2), ``i < j``.
         """
+        NEIGHBOR_BUILDS.increment()
         positions = np.asarray(positions, dtype=np.float64)
         n = len(positions)
         if self._excl_codes is None:
@@ -211,6 +224,26 @@ class NeighborList:
         if self.last_ensure_rebuilt:
             self.build(positions)
         return self.pairs
+
+    def adopt(
+        self,
+        pairs: np.ndarray,
+        ref_positions: np.ndarray | None,
+        last_candidates: int,
+        rebuilt: bool,
+    ) -> None:
+        """Take over the outcome of an identical build performed elsewhere.
+
+        Used by the shared-compute layer (:mod:`repro.parallel.shared`):
+        with replicated coordinates every rank's build is bit-identical, so
+        mirror ranks adopt the building rank's pair list and reference
+        positions instead of recomputing them.  ``n_builds`` counts *real*
+        builds only and is deliberately not touched.
+        """
+        self.pairs = pairs
+        self._ref_positions = ref_positions
+        self.last_candidates = last_candidates
+        self.last_ensure_rebuilt = rebuilt
 
     @property
     def n_pairs(self) -> int:

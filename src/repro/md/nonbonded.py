@@ -43,12 +43,18 @@ class PairEnergies:
 
 
 def _scatter_forces(
-    forces: np.ndarray, idx: np.ndarray, contrib: np.ndarray, sign: float
+    forces: np.ndarray, i: np.ndarray, j: np.ndarray, contrib: np.ndarray
 ) -> None:
-    """Accumulate per-pair force vectors onto per-atom forces via bincount."""
+    """Accumulate pair forces (+contrib on ``i``, -contrib on ``j``) in place.
+
+    ``bincount`` wants contiguous 1-D weights; one transposed copy of the
+    contribution matrix up front beats six strided column extractions.
+    """
     n = len(forces)
+    c = np.ascontiguousarray(contrib.T)
     for dim in range(3):
-        forces[:, dim] += sign * np.bincount(idx, weights=contrib[:, dim], minlength=n)
+        forces[:, dim] += np.bincount(i, weights=c[dim], minlength=n)
+        forces[:, dim] -= np.bincount(j, weights=c[dim], minlength=n)
 
 
 class NonbondedKernel:
@@ -68,6 +74,10 @@ class NonbondedKernel:
         ``"shift"`` or ``"ewald"``.
     ewald_alpha:
         Ewald splitting parameter (1/A); required when ``elec_mode="ewald"``.
+    lj_tables:
+        Optional precomputed ``(eps, rmin_half)`` per-atom tables — the
+        tables are identical on every replicated-data rank, so the shared
+        compute layer builds them once and hands them to each kernel.
     """
 
     def __init__(
@@ -79,6 +89,7 @@ class NonbondedKernel:
         scheme: CutoffScheme,
         elec_mode: str = "shift",
         ewald_alpha: float | None = None,
+        lj_tables: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> None:
         if elec_mode not in ("shift", "ewald"):
             raise ValueError(f"unknown elec_mode {elec_mode!r}")
@@ -89,7 +100,9 @@ class NonbondedKernel:
         self.elec_mode = elec_mode
         self.ewald_alpha = ewald_alpha
         self.charges = np.asarray(charges, dtype=np.float64)
-        self.eps, self.rmin_half = forcefield.lj_tables(type_names)
+        if lj_tables is None:
+            lj_tables = forcefield.lj_tables(type_names)
+        self.eps, self.rmin_half = lj_tables
         if len(self.charges) != len(self.eps):
             raise ValueError("charges and type_names disagree on atom count")
         #: number of pair interactions evaluated in the last call (cost model)
@@ -151,7 +164,6 @@ class NonbondedKernel:
         # --- scatter -----------------------------------------------------
         de_total = de_lj + de_el
         fvec = (-de_total * inv_r)[:, None] * dr  # force on atom i
-        _scatter_forces(forces, i, fvec, +1.0)
-        _scatter_forces(forces, j, fvec, -1.0)
+        _scatter_forces(forces, i, j, fvec)
 
         return PairEnergies(float(np.sum(e_lj_pair)), float(np.sum(e_el_pair))), forces

@@ -16,6 +16,7 @@ from .pmd import (
 from .ppme import ParallelPME, ParallelPMEResult
 from .result import ParallelRunResult
 from .run import make_middleware, rank_system_clone, run_parallel_md
+from .shared import SharedComputeCache
 
 __all__ = [
     "AtomDecomposition",
@@ -38,6 +39,7 @@ __all__ = [
     "RankOutcome",
     "run_parallel_md",
     "serial_reference_run",
+    "SharedComputeCache",
     "SlabDecomposition",
     "slice_bonded_tables",
     "vector_to_energy",

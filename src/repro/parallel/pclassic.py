@@ -19,6 +19,7 @@ from ..md.nonbonded import NonbondedKernel
 from ..md.system import MDSystem
 from .costmodel import MachineCostModel
 from .decomposition import AtomDecomposition, slice_bonded_tables
+from .shared import SharedComputeCache
 
 __all__ = ["ParallelClassic"]
 
@@ -44,12 +45,20 @@ class ParallelClassic:
         decomp: AtomDecomposition,
         rank: int,
         cost: MachineCostModel,
+        shared: SharedComputeCache | None = None,
     ) -> None:
         self.system = system
         self.decomp = decomp
         self.rank = rank
         self.cost = cost
         self.tables = slice_bonded_tables(system.bonded_tables, decomp, rank)
+        # the per-atom LJ tables are identical on every rank: build once
+        lj_tables = None
+        if shared is not None:
+            lj_tables = shared.once(
+                "lj-tables",
+                lambda: system.forcefield.lj_tables(system.topology.type_names),
+            )
         # a private kernel so per-rank pair counters do not interleave
         self.kernel = NonbondedKernel(
             system.forcefield,
@@ -59,6 +68,7 @@ class ParallelClassic:
             system.scheme,
             elec_mode=system.nonbonded.elec_mode,
             ewald_alpha=system.nonbonded.ewald_alpha,
+            lj_tables=lj_tables,
         )
 
     def compute(self, positions: np.ndarray, pairs: np.ndarray) -> ClassicResult:

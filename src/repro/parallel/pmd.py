@@ -33,6 +33,7 @@ from .costmodel import MachineCostModel
 from .decomposition import AtomDecomposition
 from .pclassic import ParallelClassic
 from .ppme import ParallelPME
+from .shared import SharedComputeCache
 
 __all__ = [
     "MDRunConfig",
@@ -89,13 +90,17 @@ def rank_program(
     config: MDRunConfig,
     positions0: np.ndarray,
     velocities0: np.ndarray,
+    shared: SharedComputeCache | None = None,
 ):
     """Generator driven by the simulator; returns a :class:`RankOutcome`.
 
     ``system`` must be this rank's private clone (it owns mutable
     neighbour-list state); ``positions0``/``velocities0`` are the shared
     initial conditions — velocities follow the leapfrog convention
-    (v at t - dt/2).
+    (v at t - dt/2).  ``shared``, when given, is the run-wide
+    :class:`SharedComputeCache` deduplicating replicated-data work across
+    ranks; physics, trajectories and virtual timelines are bit-identical
+    with or without it.
     """
     tl = ep.timeline
     lo, hi = decomp.atom_range(ep.rank)
@@ -103,7 +108,7 @@ def rank_program(
     velocities = velocities0[lo:hi].copy()
     masses = system.masses[lo:hi, None]
 
-    classic = ParallelClassic(system, decomp, ep.rank, cost)
+    classic = ParallelClassic(system, decomp, ep.rank, cost, shared=shared)
     ppme: ParallelPME | None = None
     if system.uses_pme:
         ppme = ParallelPME(
@@ -115,6 +120,7 @@ def rank_program(
             n_ranks=ep.size,
             rank=ep.rank,
             cost=cost,
+            shared=shared,
         )
 
     nl: NeighborList = system.neighbor_list
@@ -125,7 +131,12 @@ def rank_program(
         with tl.phase("classic"):
             if config.barrier_per_step:
                 yield from mw.barrier(ep)
-            pairs = nl.ensure(positions)
+            if shared is not None:
+                # positions generation counter == step index: coordinates
+                # only change at the step-end allgather
+                pairs = shared.neighbor_pairs(nl, positions, _step)
+            else:
+                pairs = nl.ensure(positions)
             if nl.last_ensure_rebuilt:
                 yield from ep.compute(cost.neighbor_build(nl.last_candidates))
             res = classic.compute(positions, pairs)
@@ -136,7 +147,7 @@ def rank_program(
         # ---- PME energy calculation -------------------------------------
         if ppme is not None:
             with tl.phase("pme"):
-                pres = yield from ppme.reciprocal(ep, mw, positions)
+                pres = yield from ppme.reciprocal(ep, mw, positions, generation=_step)
                 forces = forces + pres.forces
                 energies = energies + EnergyBreakdown(
                     pme_reciprocal=pres.reciprocal_energy,

@@ -32,6 +32,7 @@ from ..pme.pme import PME
 from .costmodel import MachineCostModel
 from .decomposition import AtomDecomposition
 from .pfft import DistributedFFT
+from .shared import SharedComputeCache
 
 __all__ = ["ParallelPME", "ParallelPMEResult"]
 
@@ -65,6 +66,10 @@ class ParallelPME:
         Job geometry.
     cost:
         Machine cost model.
+    shared:
+        Optional run-wide :class:`SharedComputeCache`; when given, the
+        B-spline stencil and the once-per-run setup (total self energy)
+        are computed by the first rank and reused by every other.
     """
 
     def __init__(
@@ -77,6 +82,7 @@ class ParallelPME:
         n_ranks: int,
         rank: int,
         cost: MachineCostModel,
+        shared: SharedComputeCache | None = None,
     ) -> None:
         self.pme = pme
         self.box = box
@@ -84,25 +90,51 @@ class ParallelPME:
         self.n_ranks = n_ranks
         self.cost = cost
         self.charges = charges
+        self.shared = shared
         self.fft = DistributedFFT(pme.grid_shape, n_ranks, rank, cost)
         # private mesh so per-rank workload counters do not interleave
         self.mesh = ChargeMesh(box, pme.grid_shape, pme.order)
         # exclusion slice: contiguous block of the (sorted) exclusion table
         bounds = np.linspace(0, len(exclusions), n_ranks + 1).astype(int)
         self.my_exclusions = exclusions[bounds[rank] : bounds[rank + 1]]
-        self.self_energy_share = self_energy(charges, pme.alpha) / n_ranks
+        if shared is not None:
+            e_self_total = shared.once(
+                "pme-self-energy", lambda: self_energy(charges, pme.alpha)
+            )
+        else:
+            e_self_total = self_energy(charges, pme.alpha)
+        self.self_energy_share = e_self_total / n_ranks
         # psi restricted to the y-slab this rank owns after the forward FFT
         y0, cy = self.fft.my_y_range
         self.psi_slab = pme.psi[:, y0 : y0 + cy, :]
 
     # ------------------------------------------------------------------
-    def reciprocal(self, ep: RankEndpoint, mw: Middleware, positions: np.ndarray):
-        """Generator: the full PME phase for one step; returns the result."""
+    def _stencil_for(self, positions: np.ndarray, generation: int | None):
+        if self.shared is not None and generation is not None:
+            return self.shared.pme_stencil(self.mesh, positions, generation)
+        return self.mesh.stencil(positions)
+
+    def reciprocal(
+        self,
+        ep: RankEndpoint,
+        mw: Middleware,
+        positions: np.ndarray,
+        generation: int | None = None,
+    ):
+        """Generator: the full PME phase for one step; returns the result.
+
+        ``generation`` is the step driver's positions generation counter;
+        it keys the shared stencil, which is computed once per step and
+        reused across the spread and interpolate directions of all ranks.
+        """
         kx, ky, kz = self.pme.grid_shape
         x_range = self.fft.my_x_range
+        stencil = self._stencil_for(positions, generation)
 
         # 1. spread all charges onto owned planes
-        q_slab = self.mesh.spread(positions, self.charges, x_range=x_range)
+        q_slab = self.mesh.spread(
+            positions, self.charges, x_range=x_range, stencil=stencil
+        )
         assert self.mesh.last_workload is not None
         yield from ep.compute(self.cost.spread(self.mesh.last_workload.scattered_points))
 
@@ -121,7 +153,7 @@ class ParallelPME:
 
         # 5. partial force interpolation from owned planes
         forces = self.mesh.interpolate_forces(
-            positions, self.charges, phi, x_range=x_range
+            positions, self.charges, phi, x_range=x_range, stencil=stencil
         )
         assert self.mesh.last_workload is not None
         yield from ep.compute(self.cost.spread(self.mesh.last_workload.scattered_points))

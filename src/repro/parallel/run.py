@@ -18,6 +18,7 @@ from .costmodel import PIII_1GHZ, MachineCostModel
 from .decomposition import AtomDecomposition
 from .pmd import MDRunConfig, RankOutcome, rank_program
 from .result import ParallelRunResult
+from .shared import SharedComputeCache
 
 __all__ = ["run_parallel_md", "make_middleware", "rank_system_clone"]
 
@@ -52,6 +53,7 @@ def run_parallel_md(
     cost: MachineCostModel = PIII_1GHZ,
     sanitize: bool = False,
     trace=None,
+    shared_compute: bool = True,
 ) -> ParallelRunResult:
     """Simulate one parallel CHARMM MD run and collect its timelines.
 
@@ -79,6 +81,12 @@ def run_parallel_md(
         given, every send/recv/collective event is recorded for the
         schedule analyzer and the trace is attached to
         ``result.extra["comm_trace"]``.
+    shared_compute:
+        Deduplicate replicated-data computations (neighbour-list builds,
+        PME stencils, once-per-run setup) across the simulated ranks via
+        a run-wide :class:`SharedComputeCache`.  A wall-clock
+        optimization only: energies, trajectories and virtual timelines
+        are bit-identical with it on or off.  Default on.
     """
     config = config or MDRunConfig()
     mw = middleware if isinstance(middleware, Middleware) else make_middleware(middleware)
@@ -89,6 +97,7 @@ def run_parallel_md(
     decomp = AtomDecomposition(system.n_atoms, cluster.n_ranks)
     sim = Simulator()
     world = MPIWorld(sim, cluster, sanitize=sanitize, trace=trace)
+    shared = SharedComputeCache() if shared_compute else None
 
     procs = []
     for rank in range(cluster.n_ranks):
@@ -101,6 +110,7 @@ def run_parallel_md(
             config=config,
             positions0=positions,
             velocities0=velocities,
+            shared=shared,
         )
         procs.append(sim.spawn(gen, name=f"rank{rank}"))
 

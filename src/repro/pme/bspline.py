@@ -14,6 +14,8 @@ function.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 __all__ = ["mn_values", "bspline_weights", "bspline_moduli"]
@@ -74,6 +76,7 @@ def bspline_weights(frac: np.ndarray, order: int) -> tuple[np.ndarray, np.ndarra
     return w, dw
 
 
+@lru_cache(maxsize=64)
 def bspline_moduli(grid_size: int, order: int) -> np.ndarray:
     """Squared Euler-spline moduli ``|b(m)|^2`` for one FFT axis.
 
@@ -82,6 +85,9 @@ def bspline_moduli(grid_size: int, order: int) -> np.ndarray:
     The numerator has unit modulus, so only the denominator matters.
     For even ``order`` the denominator never vanishes; odd orders would
     require special handling at ``m = K/2`` and are rejected.
+
+    Pure in its integer arguments, so the per-axis setup is memoized; the
+    returned array is read-only and shared between callers.
     """
     if order % 2 != 0:
         raise ValueError("only even B-spline orders are supported (PME standard)")
@@ -95,4 +101,6 @@ def bspline_moduli(grid_size: int, order: int) -> np.ndarray:
     mod2 = np.abs(denom) ** 2
     if np.any(mod2 < 1e-10):
         raise FloatingPointError("vanishing Euler spline denominator")
-    return 1.0 / mod2
+    out = 1.0 / mod2
+    out.setflags(write=False)
+    return out

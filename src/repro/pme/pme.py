@@ -20,6 +20,7 @@ weights.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -38,9 +39,20 @@ def influence_function(
 
     Includes the Coulomb constant, the volume factor and the B-spline
     moduli; ``psi[0, 0, 0]`` is zero (tinfoil boundary conditions).
+
+    The setup is pure in (box, mesh, order, alpha) and those are fixed for
+    an NVT/NVE run, so the result is memoized and returned read-only —
+    repeated system construction (campaign workers, tests) reuses it.
     """
     if alpha <= 0:
         raise ValueError("alpha must be positive")
+    return _influence_function_cached(box, tuple(int(k) for k in grid_shape), order, alpha)
+
+
+@lru_cache(maxsize=8)
+def _influence_function_cached(
+    box: PeriodicBox, grid_shape: tuple[int, int, int], order: int, alpha: float
+) -> np.ndarray:
     kx, ky, kz = grid_shape
     mx = np.fft.fftfreq(kx) * kx
     my = np.fft.fftfreq(ky) * ky
@@ -62,7 +74,9 @@ def influence_function(
     bz = bspline_moduli(kz, order)
     b = bx[:, None, None] * by[None, :, None] * bz[None, None, :]
 
-    return COULOMB_CONSTANT / (np.pi * box.volume) * f * b
+    psi = COULOMB_CONSTANT / (np.pi * box.volume) * f * b
+    psi.setflags(write=False)
+    return psi
 
 
 @dataclass(frozen=True)
@@ -107,11 +121,13 @@ class PME:
     # ------------------------------------------------------------------
     def reciprocal(self, positions: np.ndarray, charges: np.ndarray) -> ReciprocalResult:
         """Reciprocal-space energy and forces for the given configuration."""
-        q_grid = self.mesh.spread(positions, charges)
+        # one B-spline stencil serves both the spread and the interpolation
+        stencil = self.mesh.stencil(positions)
+        q_grid = self.mesh.spread(positions, charges, stencil=stencil)
         s = np.fft.fftn(q_grid)
         energy = 0.5 * float(np.sum(self.psi * np.abs(s) ** 2))
         phi = self.total_points * np.fft.ifftn(self.psi * s).real
-        forces = self.mesh.interpolate_forces(positions, charges, phi)
+        forces = self.mesh.interpolate_forces(positions, charges, phi, stencil=stencil)
         return ReciprocalResult(energy=energy, forces=forces)
 
     # ------------------------------------------------------------------

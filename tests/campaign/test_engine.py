@@ -137,6 +137,24 @@ class TestVerify:
         tiny_engine(store_root).run(tiny_points())
         assert tiny_engine(store_root).verify(sample=2) == []
 
+    def test_parallel_verify_clean(self, store_root):
+        """Satellite: ``verify`` can fan the re-runs out over workers."""
+        engine = tiny_engine(store_root)
+        engine.run(tiny_points())
+        assert engine.verify(sample=2, n_workers=2) == []
+
+    def test_parallel_verify_detects_tampering(self, store_root):
+        engine = tiny_engine(store_root)
+        result = engine.run(tiny_points(ranks=(2,)))
+        key = engine.key_for(tiny_points(ranks=(2,))[0])
+        record = result.records[0]
+        tampered = type(record)(
+            **{**record_to_dict(record), "wall_time": record.wall_time * 1.5}
+        )
+        engine.store.put(key, tampered)
+        mismatches = engine.verify(sample=2, n_workers=2)
+        assert {m["field"] for m in mismatches} == {"wall_time"}
+
     def test_tampered_record_detected(self, store_root):
         engine = tiny_engine(store_root)
         result = engine.run(tiny_points(ranks=(2,)))

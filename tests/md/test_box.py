@@ -37,6 +37,21 @@ def test_min_image_preserves_small_displacements():
     assert np.allclose(box.min_image(dr), dr)
 
 
+def test_min_image_half_open_interval():
+    """Exactly +L/2 maps to -L/2: the floor form picks the half-open side."""
+    box = PeriodicBox(10.0, 10.0, 10.0)
+    dr = np.array([[5.0, -5.0, 0.0]])
+    assert np.allclose(box.min_image(dr), [[-5.0, -5.0, 0.0]])
+
+
+def test_min_image_does_not_mutate_input():
+    box = PeriodicBox(10.0, 10.0, 10.0)
+    dr = np.array([[9.0, 0.0, 0.0]])
+    keep = dr.copy()
+    box.min_image(dr)
+    assert np.array_equal(dr, keep)
+
+
 def test_wrap_into_box():
     box = PeriodicBox(10.0, 10.0, 10.0)
     pos = np.array([[12.0, -3.0, 25.0]])

@@ -111,6 +111,42 @@ class TestRebuild:
         nl.build(pos)
         assert nl.needs_rebuild(pos)
 
+    def test_adopt_mirrors_builder_state(self):
+        """A mirroring list behaves exactly like one that built locally."""
+        box = PeriodicBox(12, 12, 12)
+        pos = np.array([[1.0, 1, 1], [3.0, 1, 1], [5.0, 5, 5]])
+        scheme = CutoffScheme(r_cut=4.0, skin=2.0)
+        builder = NeighborList(box, scheme)
+        pairs = builder.ensure(pos)
+
+        mirror = NeighborList(box, scheme)
+        mirror.adopt(pairs, builder._ref_positions, builder.last_candidates, True)
+        assert mirror.pairs is pairs
+        assert mirror.last_ensure_rebuilt and mirror.last_candidates == builder.last_candidates
+        assert mirror.n_builds == 0  # adopt is not a real build
+        # rebuild decisions now track the builder's reference positions
+        assert not mirror.needs_rebuild(pos + 0.4)
+        moved = pos.copy()
+        moved[0, 0] += 1.2
+        assert mirror.needs_rebuild(moved)
+
+
+class TestCellPairMemo:
+    def test_same_grid_returns_cached_object(self):
+        from repro.md.neighborlist import _neighbour_cell_pairs
+
+        a = _neighbour_cell_pairs(np.array([4, 5, 6]))
+        b = _neighbour_cell_pairs(np.array([4, 5, 6]))
+        assert a is b  # lru_cache hit, no recomputation
+        assert not a.flags.writeable  # shared result must be immutable
+
+    def test_distinct_grids_differ(self):
+        from repro.md.neighborlist import _neighbour_cell_pairs
+
+        a = _neighbour_cell_pairs(np.array([4, 5, 6]))
+        c = _neighbour_cell_pairs(np.array([4, 5, 7]))
+        assert a is not c
+
     def test_candidate_counter_set(self):
         rng = np.random.default_rng(0)
         box = PeriodicBox(15, 15, 15)

@@ -1,0 +1,108 @@
+"""The shared-compute cache is a pure wall-clock optimization.
+
+Three guarantees, each load-bearing for the replicated-data dedup layer
+(:mod:`repro.parallel.shared`):
+
+1. energies and trajectories are *bit-identical* with the cache on or
+   off (not merely close — adopted results are the builder's arrays);
+2. every rank's virtual timeline is bit-identical on or off — the cache
+   must change who performs a numpy computation, never what any rank
+   charges;
+3. it actually deduplicates: one real neighbour-list build per rebuild
+   event regardless of the simulated rank count, proven by the
+   process-wide :data:`~repro.instrument.counters.NEIGHBOR_BUILDS`
+   counter.
+"""
+
+from dataclasses import asdict
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, tcp_gigabit_ethernet
+from repro.instrument.counters import NEIGHBOR_BUILDS
+from repro.md import CutoffScheme, MDSystem
+from repro.parallel import MDRunConfig, SharedComputeCache, run_parallel_md
+
+CFG = MDRunConfig(n_steps=4, dt=0.0004)
+
+
+def _run(system, pos, p, shared_compute):
+    spec = ClusterSpec(n_ranks=p, network=tcp_gigabit_ethernet())
+    return run_parallel_md(
+        system, pos, spec, config=CFG, shared_compute=shared_compute
+    )
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("p", [2, 8])
+    def test_energies_and_trajectory(self, peptide_system, p):
+        system, pos = peptide_system
+        on = _run(system, pos, p, True)
+        off = _run(system, pos, p, False)
+        assert np.array_equal(on.final_positions, off.final_positions)
+        assert len(on.energies) == len(off.energies)
+        for a, b in zip(on.energies, off.energies):
+            assert asdict(a) == asdict(b)  # exact, field by field
+
+    def test_virtual_timelines_p4(self, peptide_system):
+        system, pos = peptide_system
+        on = _run(system, pos, 4, True)
+        off = _run(system, pos, 4, False)
+        for t_on, t_off in zip(on.timelines, off.timelines):
+            assert set(t_on.phases) == set(t_off.phases)
+            for phase in t_on.phases:
+                assert t_on.phase_totals(phase) == t_off.phase_totals(phase)
+            assert t_on.total_seconds() == t_off.total_seconds()
+
+
+class TestDeduplication:
+    @pytest.fixture()
+    def rebuild_every_step_system(self, peptide_system):
+        """The peptide system with skin = 0: every step forces a rebuild."""
+        system, pos = peptide_system
+        fresh = MDSystem(
+            system.topology,
+            system.forcefield,
+            system.box,
+            CutoffScheme(r_cut=8.0, skin=0.0),
+            electrostatics="pme",
+            pme_grid=(16, 16, 16),
+        )
+        return fresh, pos
+
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_one_real_build_per_rebuild_event(self, rebuild_every_step_system, p):
+        system, pos = rebuild_every_step_system
+        before = NEIGHBOR_BUILDS.snapshot()
+        _run(system, pos, p, True)
+        # skin = 0 rebuilds at every one of the n_steps steps, but the
+        # cache performs each build exactly once no matter how many ranks
+        assert NEIGHBOR_BUILDS.delta(before) == CFG.n_steps
+
+    def test_without_cache_builds_scale_with_ranks(self, rebuild_every_step_system):
+        system, pos = rebuild_every_step_system
+        p = 3
+        before = NEIGHBOR_BUILDS.snapshot()
+        _run(system, pos, p, False)
+        assert NEIGHBOR_BUILDS.delta(before) == CFG.n_steps * p
+
+    def test_cache_counters(self, peptide_system):
+        system, pos = peptide_system
+        spec = ClusterSpec(n_ranks=4, network=tcp_gigabit_ethernet())
+        shared = SharedComputeCache()
+        # run through the public entry point but keep a handle on the cache
+        from repro.parallel import run as run_mod
+
+        original = run_mod.SharedComputeCache
+        run_mod.SharedComputeCache = lambda: shared
+        try:
+            _run(system, pos, 4, True)
+        finally:
+            run_mod.SharedComputeCache = original
+        assert shared.n_real_builds >= 1
+        # one rank maintains the list per step; the other 3 mirror it
+        assert shared.n_mirrored == 3 * CFG.n_steps
+        # one stencil evaluation per step, hit by the other 3 ranks
+        assert shared.n_stencils == CFG.n_steps
+        assert shared.n_stencil_hits == 3 * CFG.n_steps
