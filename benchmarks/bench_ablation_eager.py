@@ -12,7 +12,7 @@ from conftest import emit
 
 from repro.cluster import ClusterSpec, tcp_gigabit_ethernet
 from repro.core import format_table
-from repro.parallel import MDRunConfig, run_parallel_md
+from repro import MDRunConfig, RunOptions, run_parallel_md
 from repro.workloads import myoglobin_system, myoglobin_workload
 
 THRESHOLDS = [4 * 1024, 64 * 1024, 1024 * 1024]
@@ -29,7 +29,7 @@ def _measure():
             system,
             mg.positions,
             ClusterSpec(n_ranks=8, network=net, seed=23),
-            config=cfg,
+            RunOptions(config=cfg),
         )
         total = res.total_breakdown()
         rows.append([threshold // 1024, total.total, total.comm, total.sync])

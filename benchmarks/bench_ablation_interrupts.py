@@ -12,7 +12,7 @@ from conftest import emit
 
 from repro.cluster import ClusterSpec, NodeSpec, tcp_gigabit_ethernet
 from repro.core import format_table
-from repro.parallel import MDRunConfig, run_parallel_md
+from repro import MDRunConfig, RunOptions, run_parallel_md
 from repro.workloads import myoglobin_system, myoglobin_workload
 
 
@@ -33,7 +33,7 @@ def _measure():
             system,
             mg.positions,
             ClusterSpec(n_ranks=p, network=tcp, node=NodeSpec(cpus_per_node=2), seed=31),
-            config=cfg,
+            RunOptions(config=cfg),
         )
         without = run_parallel_md(
             system,
@@ -41,7 +41,7 @@ def _measure():
             ClusterSpec(
                 n_ranks=p, network=no_irq_penalty, node=NodeSpec(cpus_per_node=2), seed=31
             ),
-            config=cfg,
+            RunOptions(config=cfg),
         )
         rows.append(
             [

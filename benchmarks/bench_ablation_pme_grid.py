@@ -10,7 +10,7 @@ from conftest import emit
 from repro.cluster import ClusterSpec, tcp_gigabit_ethernet
 from repro.core import format_table
 from repro.md import CutoffScheme, MDSystem
-from repro.parallel import MDRunConfig, run_parallel_md
+from repro import MDRunConfig, RunOptions, run_parallel_md
 from repro.workloads import myoglobin_workload
 
 GRIDS = [(48, 24, 32), (64, 32, 40), (80, 36, 48), (96, 48, 64)]
@@ -33,13 +33,13 @@ def _measure():
             system,
             mg.positions,
             ClusterSpec(n_ranks=1, network=tcp_gigabit_ethernet(), seed=17),
-            config=cfg,
+            RunOptions(config=cfg),
         )
         par8 = run_parallel_md(
             system,
             mg.positions,
             ClusterSpec(n_ranks=8, network=tcp_gigabit_ethernet(), seed=17),
-            config=cfg,
+            RunOptions(config=cfg),
         )
         pme8 = par8.component("pme")
         rows.append(

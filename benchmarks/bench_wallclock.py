@@ -37,27 +37,22 @@ SCHEMA = 1
 
 def measure(repeats: int, shared_compute: bool = True) -> dict[str, float]:
     """Best-of-``repeats`` wall seconds per rank count."""
-    from repro.campaign.workloads import build_workload
+    from repro import MDRunConfig, RunOptions, build_workload, run_parallel_md
     from repro.cluster import ClusterSpec, tcp_gigabit_ethernet
-    from repro.parallel import MDRunConfig, run_parallel_md
 
     system, positions = build_workload(WORKLOAD)
-    config = MDRunConfig(n_steps=N_STEPS)
+    options = RunOptions(config=MDRunConfig(n_steps=N_STEPS), shared_compute=shared_compute)
     seconds: dict[str, float] = {}
     for p in RANK_COUNTS:
         spec = ClusterSpec(n_ranks=p, network=tcp_gigabit_ethernet())
         # untimed warm-up: populates the process-level lru_caches (cell
         # pairs, B-spline moduli, influence function) so the first timed
         # repeat is not charged for one-off setup
-        run_parallel_md(
-            system, positions, spec, config=config, shared_compute=shared_compute
-        )
+        run_parallel_md(system, positions, spec, options)
         best = float("inf")
         for _ in range(repeats):
             t0 = time.perf_counter()
-            run_parallel_md(
-                system, positions, spec, config=config, shared_compute=shared_compute
-            )
+            run_parallel_md(system, positions, spec, options)
             best = min(best, time.perf_counter() - t0)
         seconds[f"p{p}"] = round(best, 4)
     return seconds

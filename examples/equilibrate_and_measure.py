@@ -29,7 +29,7 @@ from repro.md import (
     write_pdb,
     write_xyz,
 )
-from repro.workloads import build_water_box
+from repro import build_water_box
 
 
 def main() -> None:

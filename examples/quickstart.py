@@ -18,7 +18,7 @@ from repro.md import (
     default_forcefield,
     kinetic_energy,
 )
-from repro.workloads import build_peptide_in_water
+from repro import build_peptide_in_water
 
 
 def main() -> None:

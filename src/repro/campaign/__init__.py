@@ -17,12 +17,23 @@ owns the execution of such sweeps end to end:
 * :mod:`repro.campaign.manifest` — campaign provenance and per-point
   status, as a machine-readable JSON manifest and a live progress line;
 * :mod:`repro.campaign.workloads` — named, rebuild-anywhere workload
-  registry so worker processes receive names, not pickled systems.
+  registry so worker processes receive names, not pickled systems;
+* :mod:`repro.campaign.leases` — the worker-pull lease board one
+  ``serve`` host publishes and any number of hosts claim from, with
+  expiry-based reclamation of crashed workers' points;
+* :mod:`repro.campaign.federation` — publish / work / merge across
+  hosts, ending in one store bit-identical to a single-host run.
 
-CLI: ``python -m repro campaign run|status|gc|verify``.
+CLI: ``python -m repro campaign run|status|gc|verify|serve|work|merge``.
 """
 
 from .engine import CampaignEngine, CampaignResult, execute_point
+from .federation import (
+    merge_into_store,
+    publish_campaign,
+    verify_stores_match,
+    work_campaign,
+)
 from .keys import (
     SCHEMA_VERSION,
     cache_key,
@@ -31,8 +42,15 @@ from .keys import (
     point_seed,
     workload_fingerprint,
 )
+from .leases import Lease, LeaseBoard, LeaseBoardError
 from .manifest import CampaignManifest, PointStatus, progress_line
-from .store import ResultStore, StoreEntry, shared_memory_store
+from .store import (
+    ResultStore,
+    StoreConflictError,
+    StoreEntry,
+    record_digest,
+    shared_memory_store,
+)
 from .workloads import build_workload, register_workload, workload_names
 
 __all__ = [
@@ -44,14 +62,23 @@ __all__ = [
     "config_fingerprint",
     "cost_fingerprint",
     "execute_point",
+    "Lease",
+    "LeaseBoard",
+    "LeaseBoardError",
+    "merge_into_store",
     "point_seed",
     "PointStatus",
     "progress_line",
+    "publish_campaign",
+    "record_digest",
     "register_workload",
     "ResultStore",
     "SCHEMA_VERSION",
     "shared_memory_store",
+    "StoreConflictError",
     "StoreEntry",
+    "verify_stores_match",
+    "work_campaign",
     "workload_fingerprint",
     "workload_names",
 ]

@@ -30,7 +30,7 @@ from ..core.design import DesignPoint
 from ..core.responses import ResponseRecord
 from ..parallel.costmodel import PIII_1GHZ, MachineCostModel
 from ..parallel.pmd import MDRunConfig
-from ..parallel.run import run_parallel_md
+from ..parallel.run import RunOptions, run_parallel_md
 from . import manifest as mf
 from .keys import SCHEMA_VERSION, cache_key, point_seed, workload_fingerprint
 from .store import ResultStore, record_from_dict, record_to_dict
@@ -60,16 +60,10 @@ def execute_point(
     """
     system, positions = build_workload(workload)
     spec = point.config.cluster_spec(point.n_ranks, seed=point_seed(base_seed, point))
-    result = run_parallel_md(
-        system,
-        positions,
-        spec,
-        middleware=point.config.middleware,
-        config=config,
-        cost=cost,
-        sanitize=sanitize,
-        shared_compute=shared_compute,
+    options = RunOptions.for_point(
+        point, config=config, cost=cost, sanitize=sanitize, shared_compute=shared_compute
     )
+    result = run_parallel_md(system, positions, spec, options)
     return ResponseRecord.from_run(point, result)
 
 
@@ -181,6 +175,7 @@ class CampaignEngine:
             "elapsed": elapsed,
             "attempts": attempts,
             "git_rev": mf.git_revision(),
+            "host": mf.host_info()["node"],
         }
 
     # ------------------------------------------------------------------

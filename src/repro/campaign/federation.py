@@ -1,0 +1,290 @@
+"""Multi-host campaign fan-out: publish, work, merge, audit.
+
+The three verbs of a federated campaign:
+
+* :func:`publish_campaign` — one host enumerates the design points and
+  writes the lease board (:mod:`repro.campaign.leases`);
+* :func:`work_campaign` — any number of hosts pull leases, execute the
+  points through the exact single-host path
+  (:func:`repro.campaign.engine.execute_point`) into their *own* result
+  stores, and mark leases done;
+* :func:`merge_into_store` — the worker stores fold back into one, with
+  per-host provenance recorded in a merge manifest.
+
+Everything rests on determinism: cache keys and per-point platform
+seeds are pure functions of the published campaign description, so any
+host computes the same key for the same point, and any two hosts that
+execute the same point produce bit-identical records.  That is what
+makes merging trivially safe (duplicates dedup, disagreements raise)
+and what :func:`verify_stores_match` audits after a merge.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from pathlib import Path
+from typing import Callable, Iterable
+
+from ..core.design import DesignPoint
+from ..parallel.costmodel import PIII_1GHZ, MachineCostModel
+from ..parallel.pmd import MDRunConfig
+from . import manifest as mf
+from .engine import CampaignEngine, execute_point
+from .keys import SCHEMA_VERSION, cost_fingerprint
+from .leases import Lease, LeaseBoard
+from .store import ResultStore, record_digest
+
+__all__ = [
+    "publish_campaign",
+    "work_campaign",
+    "merge_into_store",
+    "verify_stores_match",
+]
+
+
+# ---------------------------------------------------------------------------
+def publish_campaign(
+    engine: CampaignEngine,
+    points: Iterable[DesignPoint],
+    leases_path: str | Path,
+    now: Callable[[], float] | None = None,
+) -> dict:
+    """Write the lease board for one campaign; returns a summary dict.
+
+    The board carries everything a worker needs to reconstruct the
+    engine *exactly* — workload name, every run-config field, base seed,
+    sanitize flag — plus the cost-model fingerprint so a worker whose
+    build carries a different calibration refuses to run rather than
+    poison the store.  Points already satisfied by the serving store are
+    published as ``done`` (workers skip them).
+    """
+    points = list(points)
+    board = LeaseBoard(leases_path, now=now)
+    campaign = {
+        "schema": SCHEMA_VERSION,
+        "workload": engine.workload,
+        "config": {
+            name: getattr(engine.config, name)
+            for name in ("n_steps", "dt", "temperature", "velocity_seed", "barrier_per_step")
+        },
+        "base_seed": engine.base_seed,
+        "cost": cost_fingerprint(engine.cost),
+        "sanitize": engine.sanitize,
+    }
+    leases = []
+    n_done = 0
+    for point in points:
+        key = engine.key_for(point)
+        state = "done" if key in engine.store else "pending"
+        n_done += state == "done"
+        leases.append(
+            Lease(key=key, label=point.label(), point=point.to_doc(), state=state)
+        )
+    board.publish(campaign, leases)
+    return {
+        "leases": len(leases),
+        "pending": len(leases) - n_done,
+        "done": n_done,
+        "campaign_id": campaign_id_for([lease.key for lease in leases]),
+    }
+
+
+def campaign_id_for(keys: Iterable[str]) -> str:
+    """The same id :class:`CampaignEngine` derives for this point set."""
+    h = hashlib.sha256()
+    for k in sorted(keys):
+        h.update(k.encode())
+    return h.hexdigest()[:12]
+
+
+def engine_for_board(
+    board: LeaseBoard,
+    store: ResultStore,
+    cost: MachineCostModel = PIII_1GHZ,
+) -> CampaignEngine:
+    """Reconstruct the published campaign's engine over a local store.
+
+    Raises ``ValueError`` when this build's cost model does not match
+    the published fingerprint — a mis-calibrated worker would execute
+    runs whose keys disagree with the board, so it must not start.
+    """
+    campaign = board.campaign()
+    if cost_fingerprint(cost) != campaign["cost"]:
+        raise ValueError(
+            "this worker's machine cost model does not match the published "
+            "campaign (fingerprint mismatch) — refusing to execute"
+        )
+    if campaign["schema"] != SCHEMA_VERSION:
+        raise ValueError(
+            f"lease board published under schema v{campaign['schema']}, "
+            f"this build speaks v{SCHEMA_VERSION}"
+        )
+    return CampaignEngine(
+        workload=campaign["workload"],
+        config=MDRunConfig(**campaign["config"]),
+        cost=cost,
+        base_seed=campaign["base_seed"],
+        store=store,
+        sanitize=campaign["sanitize"],
+    )
+
+
+# ---------------------------------------------------------------------------
+def work_campaign(
+    leases_path: str | Path,
+    store: ResultStore,
+    worker: str,
+    ttl: float = 300.0,
+    max_points: int | None = None,
+    cost: MachineCostModel = PIII_1GHZ,
+    now: Callable[[], float] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> dict:
+    """Pull leases and execute them until the board runs dry.
+
+    Each claimed point runs through :func:`execute_point` — the same
+    code path as every single-host mode — and lands in this worker's
+    ``store`` with host/worker provenance in the entry metadata.  The
+    lease's deadline is re-extended (heartbeat) after execution, then
+    marked done; a point that raises is released back to the board.
+
+    Defence in depth: the lease key must equal the key this worker
+    derives for the point.  A mismatch means the board and the build
+    disagree about what a point *is*, and executing would store a record
+    under an address other hosts cannot reproduce.
+    """
+    board = LeaseBoard(leases_path, now=now)
+    engine = engine_for_board(board, store, cost=cost)
+    stats = {"claimed": 0, "executed": 0, "hits": 0, "failed": 0, "lost": 0}
+    while max_points is None or stats["claimed"] < max_points:
+        lease = board.claim(worker, ttl=ttl)
+        if lease is None:
+            break
+        stats["claimed"] += 1
+        point = DesignPoint.from_doc(lease.point)
+        derived = engine.key_for(point)
+        if derived != lease.key:
+            board.release(lease.key, worker)
+            raise ValueError(
+                f"lease {lease.key[:12]}… does not match this build's key "
+                f"{derived[:12]}… for {lease.label!r} — board and worker "
+                "disagree about the campaign"
+            )
+        if lease.key in store:
+            # already satisfied locally (a resumed worker); just settle it
+            stats["hits"] += 1
+            board.complete(lease.key, worker)
+            continue
+        t0 = time.monotonic()  # noqa: REP104 — harness wall time
+        try:
+            record = execute_point(
+                engine.workload, point, engine.config, engine.cost,
+                engine.base_seed, sanitize=engine.sanitize,
+                shared_compute=engine.shared_compute,
+            )
+        except Exception as exc:
+            stats["failed"] += 1
+            board.release(lease.key, worker)
+            if progress is not None:
+                progress(f"{worker}: {lease.label} FAILED ({type(exc).__name__}: {exc})")
+            continue
+        elapsed = time.monotonic() - t0  # noqa: REP104
+        meta = engine._meta(point, elapsed, attempts=lease.attempts + 1)
+        meta["worker"] = worker
+        store.put(lease.key, record, meta)
+        stats["executed"] += 1
+        if board.complete(lease.key, worker):
+            if progress is not None:
+                progress(f"{worker}: {lease.label} done ({elapsed:.2f} s)")
+        else:
+            # our lease expired mid-run and someone reclaimed it; the
+            # record is still valid (deterministic) and merges as a dup
+            stats["lost"] += 1
+            if progress is not None:
+                progress(f"{worker}: {lease.label} done but lease was reclaimed")
+    return stats
+
+
+# ---------------------------------------------------------------------------
+def merge_into_store(
+    dest: ResultStore,
+    sources: Iterable[ResultStore | str | Path],
+    workload: str | None = None,
+) -> dict:
+    """Fold worker stores (or shard files) into ``dest``, with provenance.
+
+    Each source may be a loaded :class:`ResultStore`, a store directory,
+    or a single ``.jsonl`` shard file.  Returns the summed merge stats
+    plus a :class:`~repro.campaign.manifest.CampaignManifest` (under
+    ``"manifest"``) whose points record which host produced which key;
+    when ``dest`` is disk-backed the manifest is also written under
+    ``dest.root/manifests/``.
+    """
+    totals = {"imported": 0, "duplicates": 0, "conflicts": 0, "corrupt": 0,
+              "stale_schema": 0, "sources": 0}
+    for source in sources:
+        totals["sources"] += 1
+        if isinstance(source, ResultStore):
+            stats = dest.merge(source)
+        else:
+            path = Path(source)
+            if path.is_dir():
+                stats = dest.merge(ResultStore(path))
+            else:
+                stats = dest.import_shard(path)
+        for name, value in stats.items():
+            totals[name] = totals.get(name, 0) + value
+
+    entries = sorted(dest.entries(), key=lambda e: e.key)
+    manifest = mf.CampaignManifest(
+        campaign_id="merge-" + campaign_id_for([e.key for e in entries]),
+        workload=workload or _merged_workloads(entries),
+        created_at=mf.timestamp(),
+        git_rev=mf.git_revision(),
+        host=mf.host_info(),
+        schema=SCHEMA_VERSION,
+        points=[
+            mf.PointStatus(
+                label=e.meta.get("label", e.key[:12]),
+                key=e.key,
+                status="ran",
+                attempts=e.meta.get("attempts", 0),
+                wall_time=e.meta.get("elapsed", 0.0),
+                host=e.meta.get("host"),
+            )
+            for e in entries
+        ],
+    )
+    if dest.root is not None:
+        manifest.write(dest.root / "manifests" / f"{manifest.campaign_id}.json")
+    return {**totals, "entries": len(entries), "manifest": manifest}
+
+
+def _merged_workloads(entries) -> str:
+    names = sorted({e.meta.get("workload", "?") for e in entries}) or ["?"]
+    return "+".join(names)
+
+
+def verify_stores_match(a: ResultStore, b: ResultStore) -> list[str]:
+    """Audit two stores for key-for-key, bit-for-bit record equality.
+
+    Returns human-readable discrepancy lines (empty = identical).  This
+    is the post-merge acceptance check: a federated campaign's merged
+    store must match a single-host run of the same campaign exactly.
+    """
+    problems = []
+    keys_a = {e.key for e in a.entries()}
+    keys_b = {e.key for e in b.entries()}
+    for key in sorted(keys_a - keys_b):
+        problems.append(f"key {key[:16]}… only in first store")
+    for key in sorted(keys_b - keys_a):
+        problems.append(f"key {key[:16]}… only in second store")
+    for key in sorted(keys_a & keys_b):
+        da = record_digest(a.entry(key).record)
+        db = record_digest(b.entry(key).record)
+        if da != db:
+            problems.append(
+                f"key {key[:16]}…: record digests differ ({da[:12]}… vs {db[:12]}…)"
+            )
+    return problems

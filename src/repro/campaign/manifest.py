@@ -45,6 +45,8 @@ class PointStatus:
     attempts: int = 0
     wall_time: float = 0.0
     error: str | None = None
+    #: which host produced this point (federated campaigns; None = local)
+    host: str | None = None
 
 
 @dataclass

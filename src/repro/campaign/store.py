@@ -18,21 +18,37 @@ not parse (truncated tail of a crashed shard) is skipped with a warning
 and every earlier line survives.  ``gc()`` rewrites the surviving
 entries into one compact shard via an atomic rename, dropping corrupt
 tails, stale schema versions and superseded duplicates.
+
+Federation: stores merge.  ``export_shard()`` snapshots a store into one
+portable shard file, ``import_shard()`` / ``merge()`` absorb another
+store's entries with content-hash deduplication — an entry whose key is
+already present with an identical record is skipped without writing a
+byte, so replaying the same shard is bit-for-bit idempotent; the same
+key arriving with a *different* record raises :class:`StoreConflictError`
+(content addresses are deterministic, so a collision means corruption or
+a non-reproducible producer, never a legitimate update).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import warnings
 from dataclasses import dataclass, fields
 from pathlib import Path
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from ..core.responses import ResponseRecord
 from .keys import SCHEMA_VERSION
 
-__all__ = ["ResultStore", "StoreEntry", "shared_memory_store"]
+__all__ = [
+    "ResultStore",
+    "StoreConflictError",
+    "StoreEntry",
+    "record_digest",
+    "shared_memory_store",
+]
 
 _RECORD_FIELDS = [f.name for f in fields(ResponseRecord)]
 
@@ -43,6 +59,26 @@ def record_to_dict(record: ResponseRecord) -> dict:
 
 def record_from_dict(doc: dict) -> ResponseRecord:
     return ResponseRecord(**{name: doc[name] for name in _RECORD_FIELDS})
+
+
+def record_digest(record: ResponseRecord) -> str:
+    """Content hash of one response record (canonical JSON, stable).
+
+    Two hosts that executed the same design point deterministically
+    produce the same digest — the federation layer compares these, never
+    floats, when auditing that a merged store matches a single-host run.
+    """
+    doc = record_to_dict(record)
+    return hashlib.sha256(json.dumps(doc, sort_keys=True).encode()).hexdigest()
+
+
+class StoreConflictError(Exception):
+    """Same key, different record: the content address lied.
+
+    Keys hash everything that determines a run's output, so two stores
+    can only disagree about a key if one of them is corrupt or one
+    producer was not reproducible.  Merging refuses to pick a winner.
+    """
 
 
 @dataclass(frozen=True)
@@ -71,29 +107,46 @@ class ResultStore:
             self._load()
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _parse_shard(path: Path, stats: dict | None = None) -> Iterator[StoreEntry]:
+        """Yield the readable entries of one shard file, skipping damage.
+
+        A line that does not parse (the truncated tail of a crashed
+        writer) is skipped with a warning; entries written under another
+        schema version are dropped silently.  ``stats`` (if given)
+        accumulates ``corrupt`` and ``stale_schema`` counts.
+        """
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                doc = json.loads(line)
+                entry = StoreEntry(
+                    key=doc["key"],
+                    record=record_from_dict(doc["record"]),
+                    meta=doc.get("meta", {}),
+                    schema=doc.get("schema", -1),
+                )
+            except (ValueError, KeyError, TypeError):
+                warnings.warn(
+                    f"{path.name}:{lineno}: corrupt store line skipped "
+                    "(truncated write from an interrupted campaign?)",
+                    stacklevel=2,
+                )
+                if stats is not None:
+                    stats["corrupt"] = stats.get("corrupt", 0) + 1
+                continue
+            if entry.schema != SCHEMA_VERSION:
+                if stats is not None:
+                    stats["stale_schema"] = stats.get("stale_schema", 0) + 1
+                continue
+            yield entry
+
     def _load(self) -> None:
         assert self.root is not None
         for shard in sorted(self.root.glob("*.jsonl")):
-            for lineno, line in enumerate(shard.read_text().splitlines(), start=1):
-                if not line.strip():
-                    continue
-                try:
-                    doc = json.loads(line)
-                    entry = StoreEntry(
-                        key=doc["key"],
-                        record=record_from_dict(doc["record"]),
-                        meta=doc.get("meta", {}),
-                        schema=doc.get("schema", -1),
-                    )
-                except (ValueError, KeyError, TypeError):
-                    warnings.warn(
-                        f"{shard.name}:{lineno}: corrupt store line skipped "
-                        "(truncated write from an interrupted campaign?)",
-                        stacklevel=2,
-                    )
-                    continue
-                if entry.schema == SCHEMA_VERSION:
-                    self._index[entry.key] = entry
+            for entry in self._parse_shard(shard):
+                self._index[entry.key] = entry
 
     def _shard(self):
         assert self.root is not None
@@ -124,14 +177,7 @@ class ResultStore:
         entry = StoreEntry(key=key, record=record, meta=dict(meta or {}))
         self._index[key] = entry
         if self.root is not None:
-            line = json.dumps(
-                {
-                    "key": entry.key,
-                    "schema": entry.schema,
-                    "record": record_to_dict(entry.record),
-                    "meta": entry.meta,
-                }
-            )
+            line = self._entry_line(entry)
             f = self._shard()
             f.write(line + "\n")
             f.flush()
@@ -157,17 +203,7 @@ class ResultStore:
         tmp = self.root / "shard-compact.jsonl.tmp"
         with open(tmp, "w", encoding="utf-8") as f:
             for entry in self._index.values():
-                f.write(
-                    json.dumps(
-                        {
-                            "key": entry.key,
-                            "schema": entry.schema,
-                            "record": record_to_dict(entry.record),
-                            "meta": entry.meta,
-                        }
-                    )
-                    + "\n"
-                )
+                f.write(self._entry_line(entry) + "\n")
             f.flush()
             os.fsync(f.fileno())
         os.replace(tmp, self.root / "shard-compact.jsonl")
@@ -176,6 +212,82 @@ class ResultStore:
                 shard.unlink(missing_ok=True)
         kept = len(self._index)
         return (kept, total_lines - kept)
+
+    # ------------------------------------------------------------------
+    # federation: stores merge
+    @staticmethod
+    def _entry_line(entry: StoreEntry) -> str:
+        return json.dumps(
+            {
+                "key": entry.key,
+                "schema": entry.schema,
+                "record": record_to_dict(entry.record),
+                "meta": entry.meta,
+            }
+        )
+
+    def export_shard(self, path: str | Path) -> int:
+        """Snapshot every entry into one portable shard file.
+
+        The write is atomic (temp file + rename), so a reader — or a
+        concurrent ``import_shard`` on another host — never sees a half
+        shard.  Returns the number of entries exported.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as f:
+            for entry in self._index.values():
+                f.write(self._entry_line(entry) + "\n")
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+        return len(self._index)
+
+    def _absorb(self, entries: Iterable[StoreEntry]) -> dict:
+        """Fold foreign entries in; the core of every merge path.
+
+        * unknown key — adopted (and persisted, for a disk-backed store);
+        * known key, identical record — deduplicated: nothing is written,
+          which is what makes replaying a shard bit-for-bit idempotent
+          (the destination's files do not change);
+        * known key, different record — :class:`StoreConflictError`.
+          Nothing is adopted from the offending entry; everything
+          absorbed before it remains (each adoption was already durable).
+        """
+        stats = {"imported": 0, "duplicates": 0, "conflicts": 0}
+        for entry in entries:
+            mine = self._index.get(entry.key)
+            if mine is None:
+                self.put(entry.key, entry.record, entry.meta)
+                stats["imported"] += 1
+            elif record_to_dict(mine.record) == record_to_dict(entry.record):
+                stats["duplicates"] += 1
+            else:
+                stats["conflicts"] += 1
+                raise StoreConflictError(
+                    f"key {entry.key[:12]}… carries a different record than "
+                    "this store's copy (same content address, different "
+                    "content) — refusing to merge"
+                )
+        return stats
+
+    def import_shard(self, path: str | Path) -> dict:
+        """Absorb one shard file; returns merge statistics.
+
+        Tolerates the same damage ``_load`` does — a truncated tail or a
+        corrupt line is skipped (counted under ``corrupt``), every
+        readable entry merges.  Importing the same shard twice changes
+        nothing: the second pass is all duplicates and writes no bytes.
+        """
+        path = Path(path)
+        stats: dict = {}
+        absorbed = self._absorb(self._parse_shard(path, stats))
+        return {**absorbed, **{k: stats.get(k, 0) for k in ("corrupt", "stale_schema")}}
+
+    def merge(self, other: "ResultStore") -> dict:
+        """Absorb every entry of another (already loaded) store."""
+        return self._absorb(other.entries())
 
     def close(self) -> None:
         if self._shard_file is not None and not self._shard_file.closed:

@@ -13,6 +13,9 @@ Usage::
     python -m repro campaign status              # store + manifest overview
     python -m repro campaign verify --sample 4 --workers 4   # re-run cached points, diff
     python -m repro campaign gc                  # compact the result store
+    python -m repro campaign serve --design full --leases leases.json  # publish leases
+    python -m repro campaign work --store host-a --leases leases.json  # pull + execute
+    python -m repro campaign merge --store merged host-a host-b        # fold back
 """
 
 from __future__ import annotations
@@ -76,6 +79,10 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--steps", type=int, default=2, help="MD steps for --sanitize-run (default 2)"
     )
+    analyze.add_argument(
+        "--github", action="store_true",
+        help="also emit GitHub Actions annotations (::error/::warning) per finding",
+    )
 
     campaign = sub.add_parser(
         "campaign",
@@ -94,16 +101,19 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--steps", type=int, default=10, help="MD steps per run")
         p.add_argument("--seed", type=int, default=2002, help="base platform seed")
 
+    def _design(p):
+        p.add_argument(
+            "--design", default="sweep", choices=("sweep", "paper", "full"),
+            help="sweep: focal point only; paper: one-factor-at-a-time; full: all 12 cases",
+        )
+        p.add_argument(
+            "--ranks", default="1,2,4,8", help="comma-separated processor counts"
+        )
+        p.add_argument("--replicates", type=int, default=1)
+
     crun = csub.add_parser("run", help="execute a design-point campaign")
     _common(crun)
-    crun.add_argument(
-        "--design", default="sweep", choices=("sweep", "paper", "full"),
-        help="sweep: focal point only; paper: one-factor-at-a-time; full: all 12 cases",
-    )
-    crun.add_argument(
-        "--ranks", default="1,2,4,8", help="comma-separated processor counts"
-    )
-    crun.add_argument("--replicates", type=int, default=1)
+    _design(crun)
     crun.add_argument("--workers", type=int, default=0, help="0 = run inline")
     crun.add_argument(
         "--timeout", type=float, default=None, help="per-point wall-time limit (s)"
@@ -138,6 +148,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="fan verification re-runs out over N worker processes (0 = inline)",
     )
 
+    cserve = csub.add_parser(
+        "serve", help="publish a lease board other hosts pull points from"
+    )
+    _common(cserve)
+    _design(cserve)
+    cserve.add_argument(
+        "--leases", default=None,
+        help="lease-board file to publish (default: <store>/leases.json)",
+    )
+
+    cwork = csub.add_parser(
+        "work", help="claim leases from a board and execute them into a local store"
+    )
+    cwork.add_argument(
+        "--store", default=".repro-cache", help="this worker's result-store directory"
+    )
+    cwork.add_argument("--leases", required=True, help="published lease-board file")
+    cwork.add_argument(
+        "--worker", default=None, help="worker id (default: <hostname>-<pid>)"
+    )
+    cwork.add_argument(
+        "--ttl", type=float, default=300.0,
+        help="lease time-to-live in seconds; an expired lease is reclaimable",
+    )
+    cwork.add_argument(
+        "--max-points", type=int, default=None, help="stop after claiming N leases"
+    )
+
+    cmerge = csub.add_parser(
+        "merge", help="fold worker stores/shards back into one store, with provenance"
+    )
+    cmerge.add_argument(
+        "sources", nargs="+", help="worker store directories or .jsonl shard files"
+    )
+    cmerge.add_argument(
+        "--store", default=".repro-cache", help="destination store directory"
+    )
+    cmerge.add_argument(
+        "--expect", default=None,
+        help=(
+            "reference store directory; after merging, assert the destination "
+            "matches it key-for-key with bit-identical records (exit 1 otherwise)"
+        ),
+    )
+
     return parser
 
 
@@ -165,12 +220,17 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from .core import PlatformConfig
+    from . import (
+        DesignPoint,
+        MDRunConfig,
+        PlatformConfig,
+        ResponseRecord,
+        RunOptions,
+        myoglobin_system,
+        myoglobin_workload,
+        run_parallel_md,
+    )
     from .core.report import breakdown_table, time_series_table
-    from .core.responses import ResponseRecord
-    from .core.design import DesignPoint
-    from .parallel import MDRunConfig, run_parallel_md
-    from .workloads import myoglobin_system, myoglobin_workload
 
     try:
         config = PlatformConfig(
@@ -185,14 +245,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     print(f"Simulating {spec.describe()}, {args.steps} MD steps...")
     mg = myoglobin_workload()
+    point = DesignPoint(config=config, n_ranks=args.ranks)
     result = run_parallel_md(
         myoglobin_system("pme"),
         mg.positions,
         spec,
-        middleware=args.middleware,
-        config=MDRunConfig(n_steps=args.steps),
+        RunOptions.for_point(point, config=MDRunConfig(n_steps=args.steps)),
     )
-    point = DesignPoint(config=config, n_ranks=args.ranks)
     record = ResponseRecord.from_run(point, result)
     print(time_series_table([record]))
     print()
@@ -209,7 +268,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_workload(_args: argparse.Namespace) -> int:
-    from .workloads import myoglobin_workload
+    from . import myoglobin_workload
 
     mg = myoglobin_workload()
     topo = mg.topology
@@ -231,7 +290,15 @@ def _cmd_workload(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _analyze_lint(paths: list[str]) -> int:
+def _github_annotation(diag) -> str:
+    """One finding as a GitHub Actions workflow command (check annotation)."""
+    level = "error" if diag.severity == "error" else "warning"
+    # workflow-command syntax: property values must escape , and newlines
+    message = str(diag.message).replace("%", "%25").replace("\n", "%0A")
+    return f"::{level} file={diag.path},line={diag.line},title={diag.rule}::{message}"
+
+
+def _analyze_lint(paths: list[str], github: bool = False) -> int:
     """Static layer of ``repro analyze``; returns the error count."""
     from pathlib import Path
 
@@ -249,6 +316,8 @@ def _analyze_lint(paths: list[str]) -> int:
     diags = lint_paths(paths)
     for diag in diags:
         print(diag.format())
+        if github:
+            print(_github_annotation(diag))
     n_files = sum(
         1 if Path(p).is_file() else sum(1 for _ in Path(p).rglob("*.py")) for p in paths
     )
@@ -268,13 +337,18 @@ def _analyze_sanitize_run(n_steps: int) -> int:
     clean schedule diagnosis, and bit-identical comp/comm/sync totals.
     Returns the number of failures.
     """
-    from .analysis import SanitizerError, analyze_trace
+    from . import (
+        MDRunConfig,
+        RunOptions,
+        analyze_trace,
+        build_peptide_in_water,
+        run_parallel_md,
+    )
+    from .analysis import SanitizerError
     from .analysis.rules import ERROR
     from .cluster import ClusterSpec, NodeSpec, score_gigabit_ethernet, tcp_gigabit_ethernet
     from .instrument.commstats import CommTrace
     from .md import CutoffScheme, MDSystem, default_forcefield
-    from .parallel import MDRunConfig, run_parallel_md
-    from .workloads import build_peptide_in_water
 
     ff = default_forcefield()
     topo, pos, box = build_peptide_in_water(n_residues=2, n_waters=12, forcefield=ff)
@@ -288,12 +362,12 @@ def _analyze_sanitize_run(n_steps: int) -> int:
     for mw in ("mpi", "cmpi"):
         for ranks in (2, 4):
             spec = ClusterSpec(n_ranks=ranks, network=score_gigabit_ethernet(), seed=7)
-            plain = run_parallel_md(system, pos, spec, middleware=mw, config=config)
+            options = RunOptions(middleware=mw, config=config)
+            plain = run_parallel_md(system, pos, spec, options)
             trace = CommTrace()
             try:
                 sanitized = run_parallel_md(
-                    system, pos, spec, middleware=mw, config=config,
-                    sanitize=True, trace=trace,
+                    system, pos, spec, options.replace(sanitize=True, trace=trace)
                 )
             except SanitizerError as exc:
                 print(f"  {mw} p={ranks}: sanitizer violation: {exc}")
@@ -330,8 +404,8 @@ def _analyze_sanitize_run(n_steps: int) -> int:
     )
     trace = CommTrace()
     run_parallel_md(
-        system, pos, spec, middleware="mpi", config=config,
-        sanitize=True, trace=trace,
+        system, pos, spec,
+        RunOptions(middleware="mpi", config=config, sanitize=True, trace=trace),
     )
     diags = analyze_trace(trace, 4, network=net, cpus_per_node=2)
     errors = [d for d in diags if d.severity == ERROR]
@@ -348,15 +422,36 @@ def _analyze_sanitize_run(n_steps: int) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    failures = _analyze_lint(list(args.paths))
+    failures = _analyze_lint(list(args.paths), github=args.github)
     if args.sanitize_run:
         failures += _analyze_sanitize_run(args.steps)
     return 1 if failures else 0
 
 
+def _design_points(args: argparse.Namespace):
+    """The design-point list shared by ``campaign run`` and ``serve``."""
+    from .core.design import DesignPoint, full_factorial, one_factor_at_a_time
+    from .core.factors import FOCAL_POINT, PAPER_FACTOR_SPACE
+
+    try:
+        levels = tuple(int(p) for p in args.ranks.split(","))
+    except ValueError:
+        raise ValueError(f"bad --ranks {args.ranks!r}") from None
+    if args.design == "full":
+        return full_factorial(
+            PAPER_FACTOR_SPACE, processor_levels=levels, replicates=args.replicates
+        )
+    if args.design == "paper":
+        return one_factor_at_a_time(PAPER_FACTOR_SPACE, processor_levels=levels)
+    return [
+        DesignPoint(config=FOCAL_POINT, n_ranks=p, replicate=r)
+        for p in levels
+        for r in range(args.replicates)
+    ]
+
+
 def _campaign_engine(args: argparse.Namespace, n_workers: int = 0, **kw):
-    from .campaign import CampaignEngine, ResultStore
-    from .parallel import MDRunConfig
+    from . import CampaignEngine, MDRunConfig, ResultStore
 
     return CampaignEngine(
         workload=args.workload,
@@ -372,27 +467,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     if args.campaign_command == "run":
-        from .core.design import DesignPoint, full_factorial, one_factor_at_a_time
-        from .core.factors import FOCAL_POINT, PAPER_FACTOR_SPACE
-
         try:
-            levels = tuple(int(p) for p in args.ranks.split(","))
-        except ValueError:
-            print(f"error: bad --ranks {args.ranks!r}", file=sys.stderr)
-            return 2
-        if args.design == "full":
-            points = full_factorial(
-                PAPER_FACTOR_SPACE, processor_levels=levels, replicates=args.replicates
-            )
-        elif args.design == "paper":
-            points = one_factor_at_a_time(PAPER_FACTOR_SPACE, processor_levels=levels)
-        else:
-            points = [
-                DesignPoint(config=FOCAL_POINT, n_ranks=p, replicate=r)
-                for p in levels
-                for r in range(args.replicates)
-            ]
-        try:
+            points = _design_points(args)
             engine = _campaign_engine(
                 args,
                 n_workers=args.workers,
@@ -409,7 +485,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         return 0 if result.ok else 1
 
     if args.campaign_command == "status":
-        from .campaign import CampaignManifest, ResultStore
+        from . import CampaignManifest, ResultStore
 
         store = ResultStore(args.store)
         stats = store.describe()
@@ -427,7 +503,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         return 0
 
     if args.campaign_command == "gc":
-        from .campaign import ResultStore
+        from . import ResultStore
 
         kept, dropped = ResultStore(args.store).gc()
         print(f"gc: kept {kept} entr{'y' if kept == 1 else 'ies'}, dropped {dropped}")
@@ -448,6 +524,75 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         status = "ok" if not mismatches else "FAILED"
         print(f"verify: sampled cached points re-ran bit-identically: {status}")
         return 0 if not mismatches else 1
+
+    if args.campaign_command == "serve":
+        from .campaign import publish_campaign
+
+        leases = args.leases or str(Path(args.store) / "leases.json")
+        try:
+            points = _design_points(args)
+            summary = publish_campaign(_campaign_engine(args), points, leases)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"serve: published {summary['leases']} leases to {leases} "
+            f"({summary['pending']} pending, {summary['done']} already done, "
+            f"campaign {summary['campaign_id']})"
+        )
+        return 0
+
+    if args.campaign_command == "work":
+        import os
+        import platform
+
+        from . import ResultStore, work_campaign
+        from .campaign.leases import LeaseBoardError
+
+        worker = args.worker or f"{platform.node()}-{os.getpid()}"
+        try:
+            stats = work_campaign(
+                args.leases,
+                ResultStore(args.store),
+                worker,
+                ttl=args.ttl,
+                max_points=args.max_points,
+                progress=print,
+            )
+        except (ValueError, LeaseBoardError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"work: {worker} claimed {stats['claimed']} "
+            f"({stats['executed']} executed, {stats['hits']} already held, "
+            f"{stats['failed']} failed, {stats['lost']} reclaimed mid-run)"
+        )
+        return 0 if stats["failed"] == 0 else 1
+
+    if args.campaign_command == "merge":
+        from . import ResultStore, merge_into_store
+        from .campaign import StoreConflictError, verify_stores_match
+
+        try:
+            stats = merge_into_store(ResultStore(args.store), args.sources)
+        except (StoreConflictError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        manifest = stats["manifest"]
+        print(
+            f"merge: {stats['imported']} imported, {stats['duplicates']} duplicate, "
+            f"{stats['corrupt']} corrupt line(s) skipped from {stats['sources']} "
+            f"source(s); store now holds {stats['entries']} entries "
+            f"(manifest {manifest.campaign_id})"
+        )
+        if args.expect is not None:
+            problems = verify_stores_match(ResultStore(args.store), ResultStore(args.expect))
+            for line in problems:
+                print(f"  MISMATCH {line}")
+            verdict = "ok" if not problems else "FAILED"
+            print(f"merge: destination matches {args.expect} key-for-key: {verdict}")
+            return 0 if not problems else 1
+        return 0
 
     raise AssertionError("unreachable")
 

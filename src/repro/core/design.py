@@ -29,6 +29,29 @@ class DesignPoint:
     def label(self) -> str:
         return f"{self.config.label()} p={self.n_ranks}"
 
+    # -- wire format (lease boards, worker hand-off) -------------------
+    def to_doc(self) -> dict:
+        """A JSON-able document round-tripping through :meth:`from_doc`."""
+        return {
+            "network": self.config.network,
+            "middleware": self.config.middleware,
+            "cpus_per_node": self.config.cpus_per_node,
+            "n_ranks": self.n_ranks,
+            "replicate": self.replicate,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "DesignPoint":
+        return cls(
+            config=PlatformConfig(
+                network=doc["network"],
+                middleware=doc["middleware"],
+                cpus_per_node=doc["cpus_per_node"],
+            ),
+            n_ranks=doc["n_ranks"],
+            replicate=doc.get("replicate", 0),
+        )
+
 
 def full_factorial(
     space: FactorSpace | None = None,

@@ -24,7 +24,7 @@ from ..md.system import MDSystem
 from ..parallel.costmodel import PIII_1GHZ, MachineCostModel
 from ..parallel.pmd import MDRunConfig
 from ..parallel.result import ParallelRunResult
-from ..parallel.run import run_parallel_md
+from ..parallel.run import RunOptions, run_parallel_md
 from .design import DesignPoint
 from .factors import PlatformConfig
 from .responses import ResponseRecord
@@ -95,14 +95,8 @@ class CharacterizationRunner:
         key = self.point_key(point)
         if key not in _RUN_MEMO:
             spec = point.config.cluster_spec(point.n_ranks, seed=self._point_seed(point))
-            _RUN_MEMO[key] = run_parallel_md(
-                self.system,
-                self.positions,
-                spec,
-                middleware=point.config.middleware,
-                config=self.config,
-                cost=self.cost,
-            )
+            options = RunOptions.for_point(point, config=self.config, cost=self.cost)
+            _RUN_MEMO[key] = run_parallel_md(self.system, self.positions, spec, options)
         return _RUN_MEMO[key]
 
     # ------------------------------------------------------------------

@@ -95,6 +95,57 @@ def _neighbour_cell_pairs_cached(nx: int, ny: int, nz: int) -> np.ndarray:
     return out
 
 
+def _gather_candidates(
+    order: np.ndarray, starts: np.ndarray, cell_pairs: np.ndarray
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Candidate atom pairs for every neighbouring cell pair, vectorized.
+
+    The ragged cartesian products (one per cross-cell pair, sizes
+    ``len_a * len_b``) are flattened with ``repeat``/``cumsum`` index
+    arithmetic instead of a Python loop over cell pairs; within-cell
+    candidates are batched per cell size so one ``triu_indices`` template
+    serves every cell of that population.  Produces exactly the candidate
+    multiset of the per-cell-pair loop it replaces — the candidate count
+    feeds the cost model, so it must not change.
+    """
+    sizes = starts[1:] - starts[:-1]
+    ca, cb = cell_pairs[:, 0], cell_pairs[:, 1]
+    cand_i: list[np.ndarray] = []
+    cand_j: list[np.ndarray] = []
+
+    # within-cell pairs: cells of equal population share one triu template
+    self_cells = ca[(ca == cb) & (sizes[ca] >= 2)]
+    for m in np.unique(sizes[self_cells]):
+        cells = self_cells[sizes[self_cells] == m]
+        block = order[starts[cells][:, None] + np.arange(m)]  # (n_cells, m)
+        iu, ju = np.triu_indices(int(m), k=1)
+        cand_i.append(block[:, iu].ravel())
+        cand_j.append(block[:, ju].ravel())
+
+    # cross-cell pairs: ragged cartesian products, batched per B-cell
+    # size.  Within one batch the B side is rectangular, so the product
+    # reduces to two plain repeats: each A atom repeated ``lb`` times,
+    # and each B row repeated ``la`` times.  Only the A-side gather is
+    # ragged (repeat/cumsum index arithmetic), and it touches one slot
+    # per A atom — not one per candidate — so every per-candidate pass
+    # is a contiguous repeat, with no division in sight.
+    cross = (ca != cb) & (sizes[ca] > 0) & (sizes[cb] > 0)
+    xa, xb = ca[cross], cb[cross]
+    las, lbs = sizes[xa], sizes[xb]
+    for lb in np.unique(lbs):
+        sel = lbs == lb
+        xa_g, xb_g = xa[sel], xb[sel]
+        la_g = las[sel]
+        n_slots = int(la_g.sum())
+        rep = np.repeat(np.arange(len(xa_g)), la_g)
+        offsets = np.concatenate(([0], np.cumsum(la_g)[:-1]))
+        atoms_a = order[starts[xa_g][rep] + (np.arange(n_slots) - offsets[rep])]
+        cand_i.append(np.repeat(atoms_a, int(lb)))
+        block_b = order[starts[xb_g][:, None] + np.arange(int(lb))]  # (g, lb)
+        cand_j.append(np.repeat(block_b, la_g, axis=0).ravel())
+    return cand_i, cand_j
+
+
 def _encode(pairs: np.ndarray, n_atoms: int) -> np.ndarray:
     """Encode (i, j) pairs as i * n_atoms + j for fast membership tests."""
     return pairs[:, 0] * np.int64(n_atoms) + pairs[:, 1]
@@ -165,23 +216,7 @@ class NeighborList:
         # start offset of each cell in the sorted atom order
         starts = np.searchsorted(sorted_cells, np.arange(total_cells + 1))
 
-        cand_i: list[np.ndarray] = []
-        cand_j: list[np.ndarray] = []
-        for ca, cb in _neighbour_cell_pairs(n_cells):
-            atoms_a = order[starts[ca] : starts[ca + 1]]
-            if ca == cb:
-                m = len(atoms_a)
-                if m < 2:
-                    continue
-                iu, ju = np.triu_indices(m, k=1)
-                cand_i.append(atoms_a[iu])
-                cand_j.append(atoms_a[ju])
-            else:
-                atoms_b = order[starts[cb] : starts[cb + 1]]
-                if len(atoms_a) == 0 or len(atoms_b) == 0:
-                    continue
-                cand_i.append(np.repeat(atoms_a, len(atoms_b)))
-                cand_j.append(np.tile(atoms_b, len(atoms_a)))
+        cand_i, cand_j = _gather_candidates(order, starts, _neighbour_cell_pairs(n_cells))
 
         if not cand_i:
             self.last_candidates = 0

@@ -15,7 +15,7 @@ from .pmd import (
 )
 from .ppme import ParallelPME, ParallelPMEResult
 from .result import ParallelRunResult
-from .run import make_middleware, rank_system_clone, run_parallel_md
+from .run import RunOptions, make_middleware, rank_system_clone, run_parallel_md
 from .shared import SharedComputeCache
 
 __all__ = [
@@ -38,6 +38,7 @@ __all__ = [
     "rank_system_clone",
     "RankOutcome",
     "run_parallel_md",
+    "RunOptions",
     "serial_reference_run",
     "SharedComputeCache",
     "SlabDecomposition",

@@ -1,8 +1,21 @@
-"""Run one parallel MD job on a simulated cluster."""
+"""Run one parallel MD job on a simulated cluster.
+
+The public entry point is :func:`run_parallel_md`.  Everything about
+*how* a run executes — middleware, run configuration, cost model,
+sanitizer, tracing, shared-compute deduplication — travels in one frozen
+:class:`RunOptions` value instead of a growing keyword list.  The
+historical keyword form (``run_parallel_md(..., middleware=...,
+config=..., sanitize=...)``) still works through a back-compat shim that
+emits :class:`DeprecationWarning`.
+"""
 
 from __future__ import annotations
 
 import copy
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -20,7 +33,11 @@ from .pmd import MDRunConfig, RankOutcome, rank_program
 from .result import ParallelRunResult
 from .shared import SharedComputeCache
 
-__all__ = ["run_parallel_md", "make_middleware", "rank_system_clone"]
+if TYPE_CHECKING:  # avoid the core -> parallel -> core import cycle
+    from ..core.design import DesignPoint
+    from ..instrument.commstats import CommTrace
+
+__all__ = ["RunOptions", "run_parallel_md", "make_middleware", "rank_system_clone"]
 
 
 def make_middleware(name: str) -> Middleware:
@@ -44,31 +61,16 @@ def rank_system_clone(base: MDSystem) -> MDSystem:
     return clone
 
 
-def run_parallel_md(
-    system: MDSystem,
-    positions: np.ndarray,
-    cluster: ClusterSpec,
-    middleware: str | Middleware = "mpi",
-    config: MDRunConfig | None = None,
-    cost: MachineCostModel = PIII_1GHZ,
-    sanitize: bool = False,
-    trace=None,
-    shared_compute: bool = True,
-) -> ParallelRunResult:
-    """Simulate one parallel CHARMM MD run and collect its timelines.
+@dataclass(frozen=True)
+class RunOptions:
+    """How one parallel MD run executes — the whole knob surface.
 
     Parameters
     ----------
-    system:
-        The (serial) MD system; per-rank clones are derived internally.
-    positions:
-        Initial coordinates, shape (n_atoms, 3).
-    cluster:
-        Platform: rank count, placement, network.
     middleware:
         ``"mpi"``, ``"cmpi"`` or a :class:`Middleware` instance.
     config:
-        Steps/dt/seed; defaults to the paper's 10-step measurement run.
+        Steps/dt/seed; ``None`` means the paper's 10-step measurement run.
     cost:
         Machine cost model (defaults to the calibrated 1 GHz PIII).
     sanitize:
@@ -88,16 +90,123 @@ def run_parallel_md(
         optimization only: energies, trajectories and virtual timelines
         are bit-identical with it on or off.  Default on.
     """
-    config = config or MDRunConfig()
-    mw = middleware if isinstance(middleware, Middleware) else make_middleware(middleware)
+
+    middleware: str | Middleware = "mpi"
+    config: MDRunConfig | None = None
+    cost: MachineCostModel = PIII_1GHZ
+    sanitize: bool = False
+    trace: "CommTrace | None" = None
+    shared_compute: bool = True
+
+    @classmethod
+    def for_point(
+        cls,
+        point: "DesignPoint",
+        *,
+        config: MDRunConfig | None = None,
+        cost: MachineCostModel = PIII_1GHZ,
+        sanitize: bool = False,
+        trace: "CommTrace | None" = None,
+        shared_compute: bool = True,
+    ) -> "RunOptions":
+        """THE :class:`DesignPoint` → :class:`RunOptions` conversion.
+
+        A design point fixes *what* is measured (the platform levels —
+        including the middleware factor); everything else about *how* the
+        run executes is supplied here.  The campaign engine, the CLI
+        ``run`` verb, :class:`~repro.core.runner.CharacterizationRunner`
+        and the benchmarks all build their options through this one
+        classmethod, so a design point means the same run everywhere.
+        """
+        return cls(
+            middleware=point.config.middleware,
+            config=config,
+            cost=cost,
+            sanitize=sanitize,
+            trace=trace,
+            shared_compute=shared_compute,
+        )
+
+    def replace(self, **changes) -> "RunOptions":
+        """A copy with the given fields replaced (options are frozen)."""
+        return dataclasses.replace(self, **changes)
+
+
+_LEGACY_KWARGS = ("middleware", "config", "cost", "sanitize", "trace", "shared_compute")
+
+
+def _coerce_options(options, legacy: dict) -> RunOptions:
+    """Resolve the back-compat surface to one :class:`RunOptions` value."""
+    if isinstance(options, (str, Middleware)):
+        # historical positional middleware: run_parallel_md(sys, pos, spec, "cmpi")
+        legacy = {"middleware": options, **legacy}
+        options = None
+    if legacy:
+        if options is not None:
+            raise TypeError(
+                "run_parallel_md() takes either a RunOptions value or the "
+                f"deprecated keywords {sorted(legacy)}, not both"
+            )
+        unknown = sorted(set(legacy) - set(_LEGACY_KWARGS))
+        if unknown:
+            raise TypeError(f"run_parallel_md() got unexpected keyword(s) {unknown}")
+        warnings.warn(
+            "passing run_parallel_md() execution keywords "
+            f"({', '.join(sorted(legacy))}) is deprecated; "
+            "pass a single RunOptions(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return RunOptions(**legacy)
+    if options is None:
+        return RunOptions()
+    if not isinstance(options, RunOptions):
+        raise TypeError(f"options must be a RunOptions, got {type(options).__name__}")
+    return options
+
+
+def run_parallel_md(
+    system: MDSystem,
+    positions: np.ndarray,
+    cluster: ClusterSpec,
+    options: RunOptions | None = None,
+    **legacy,
+) -> ParallelRunResult:
+    """Simulate one parallel CHARMM MD run and collect its timelines.
+
+    Parameters
+    ----------
+    system:
+        The (serial) MD system; per-rank clones are derived internally.
+    positions:
+        Initial coordinates, shape (n_atoms, 3).
+    cluster:
+        Platform: rank count, placement, network.
+    options:
+        Everything about *how* the run executes (middleware, run config,
+        cost model, sanitizer, tracing, shared compute) — see
+        :class:`RunOptions`.  ``None`` means all defaults.
+
+    The pre-:class:`RunOptions` keyword form (``middleware=``,
+    ``config=``, ``cost=``, ``sanitize=``, ``trace=``,
+    ``shared_compute=``) is still accepted and emits
+    :class:`DeprecationWarning`.
+    """
+    opts = _coerce_options(options, legacy)
+    config = opts.config or MDRunConfig()
+    mw = (
+        opts.middleware
+        if isinstance(opts.middleware, Middleware)
+        else make_middleware(opts.middleware)
+    )
 
     rng = np.random.default_rng(config.velocity_seed)
     velocities = maxwell_boltzmann_velocities(system.masses, config.temperature, rng)
 
     decomp = AtomDecomposition(system.n_atoms, cluster.n_ranks)
     sim = Simulator()
-    world = MPIWorld(sim, cluster, sanitize=sanitize, trace=trace)
-    shared = SharedComputeCache() if shared_compute else None
+    world = MPIWorld(sim, cluster, sanitize=opts.sanitize, trace=opts.trace)
+    shared = SharedComputeCache() if opts.shared_compute else None
 
     procs = []
     for rank in range(cluster.n_ranks):
@@ -106,7 +215,7 @@ def run_parallel_md(
             mw=mw,
             system=rank_system_clone(system),
             decomp=decomp,
-            cost=cost,
+            cost=opts.cost,
             config=config,
             positions0=positions,
             velocities0=velocities,
@@ -129,6 +238,6 @@ def run_parallel_md(
         final_positions=outcomes[0].final_positions,
         middleware=mw.name,
     )
-    if trace is not None:
-        result.extra["comm_trace"] = trace
+    if opts.trace is not None:
+        result.extra["comm_trace"] = opts.trace
     return result

@@ -8,7 +8,7 @@ from repro.cluster import ClusterSpec, score_gigabit_ethernet
 from repro.cluster.state import TransferPlan
 from repro.instrument.timeline import Category
 from repro.mpi import MPIWorld
-from repro.parallel import MDRunConfig, run_parallel_md
+from repro.parallel import MDRunConfig, RunOptions, run_parallel_md
 from repro.sim import Simulator
 
 
@@ -117,12 +117,10 @@ class TestPassivity:
         system, positions = peptide_system
         config = MDRunConfig(n_steps=2, dt=0.0004)
         spec = _spec(n_ranks=2, seed=7)
-        plain = run_parallel_md(
-            system, positions, spec, middleware=middleware, config=config
-        )
+        options = RunOptions(middleware=middleware, config=config)
+        plain = run_parallel_md(system, positions, spec, options)
         sanitized = run_parallel_md(
-            system, positions, spec, middleware=middleware, config=config,
-            sanitize=True,
+            system, positions, spec, options.replace(sanitize=True)
         )
         phases = {p for tl in plain.timelines for p in tl.phases}
         for phase in sorted(phases):

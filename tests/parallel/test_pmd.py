@@ -13,6 +13,7 @@ from repro.cluster import (
 from repro.md.integrator import maxwell_boltzmann_velocities
 from repro.parallel import (
     MDRunConfig,
+    RunOptions,
     energy_to_vector,
     rank_system_clone,
     run_parallel_md,
@@ -63,7 +64,7 @@ class TestParallelEqualsSerial:
             system,
             pos,
             ClusterSpec(n_ranks=p, network=tcp_gigabit_ethernet()),
-            config=cfg,
+            RunOptions(config=cfg),
         )
         assert len(res.energies) == cfg.n_steps
         for step in range(cfg.n_steps):
@@ -79,7 +80,7 @@ class TestParallelEqualsSerial:
             system,
             pos,
             ClusterSpec(n_ranks=3, network=score_gigabit_ethernet()),
-            config=cfg,
+            RunOptions(config=cfg),
         )
         assert res.energies[-1].total == pytest.approx(ref_energies[-1].total, rel=1e-9)
         assert np.allclose(res.final_positions, ref_pos, atol=1e-9)
@@ -91,7 +92,7 @@ class TestParallelEqualsSerial:
         finals = []
         for net in (tcp_gigabit_ethernet(), myrinet_gm()):
             res = run_parallel_md(
-                system, pos, ClusterSpec(n_ranks=4, network=net), config=cfg
+                system, pos, ClusterSpec(n_ranks=4, network=net), RunOptions(config=cfg)
             )
             finals.append(res.final_positions)
         assert np.array_equal(finals[0], finals[1])
@@ -105,8 +106,7 @@ class TestParallelEqualsSerial:
                 system,
                 pos,
                 ClusterSpec(n_ranks=4, network=tcp_gigabit_ethernet()),
-                middleware=mw,
-                config=cfg,
+                RunOptions(middleware=mw, config=cfg),
             )
             finals.append(res.final_positions)
         assert np.allclose(finals[0], finals[1], atol=1e-12)
@@ -119,7 +119,9 @@ class TestParallelEqualsSerial:
         v0 = maxwell_boltzmann_velocities(system.masses, cfg.temperature, rng)
         ref_e, ref_pos = serial_reference_run(rank_system_clone(system), cfg, pos, v0)
         res = run_parallel_md(
-            system, pos, ClusterSpec(n_ranks=4, network=tcp_gigabit_ethernet()), config=cfg
+            system, pos,
+            ClusterSpec(n_ranks=4, network=tcp_gigabit_ethernet()),
+            RunOptions(config=cfg),
         )
         assert res.energies[-1].total == pytest.approx(ref_e[-1].total, rel=1e-9)
         assert res.energies[-1].pme_total == 0.0
@@ -133,7 +135,7 @@ class TestTimelines:
             system,
             pos,
             ClusterSpec(n_ranks=2, network=tcp_gigabit_ethernet()),
-            config=MDRunConfig(n_steps=2, dt=0.0004),
+            RunOptions(config=MDRunConfig(n_steps=2, dt=0.0004)),
         )
         for tl in res.timelines:
             assert tl.phase_totals("classic").total > 0
@@ -145,7 +147,7 @@ class TestTimelines:
             system,
             pos,
             ClusterSpec(n_ranks=1, network=tcp_gigabit_ethernet()),
-            config=MDRunConfig(n_steps=2, dt=0.0004),
+            RunOptions(config=MDRunConfig(n_steps=2, dt=0.0004)),
         )
         totals = res.timelines[0].grand_total()
         assert totals.comm == 0.0
@@ -160,7 +162,7 @@ class TestTimelines:
             ClusterSpec(
                 n_ranks=4, network=tcp_gigabit_ethernet(), node=NodeSpec(cpus_per_node=2)
             ),
-            config=MDRunConfig(n_steps=2, dt=0.0004),
+            RunOptions(config=MDRunConfig(n_steps=2, dt=0.0004)),
         )
         assert res.spec.n_nodes == 2
         assert res.wall_time() > 0
@@ -169,8 +171,8 @@ class TestTimelines:
         system, pos = peptide_system
         cfg = MDRunConfig(n_steps=2, dt=0.0004)
         spec = ClusterSpec(n_ranks=4, network=tcp_gigabit_ethernet(), seed=7)
-        a = run_parallel_md(system, pos, spec, config=cfg)
-        b = run_parallel_md(system, pos, spec, config=cfg)
+        a = run_parallel_md(system, pos, spec, RunOptions(config=cfg))
+        b = run_parallel_md(system, pos, spec, RunOptions(config=cfg))
         assert a.wall_time() == pytest.approx(b.wall_time(), rel=1e-12)
         assert a.component_time("pme") == pytest.approx(
             b.component_time("pme"), rel=1e-12
@@ -182,8 +184,7 @@ class TestTimelines:
             system,
             pos,
             ClusterSpec(n_ranks=2, network=tcp_gigabit_ethernet()),
-            middleware="cmpi",
-            config=MDRunConfig(n_steps=1, dt=0.0004),
+            RunOptions(middleware="cmpi", config=MDRunConfig(n_steps=1, dt=0.0004)),
         )
         assert res.middleware == "cmpi"
 
@@ -194,7 +195,7 @@ class TestTimelines:
                 system,
                 pos,
                 ClusterSpec(n_ranks=2, network=tcp_gigabit_ethernet()),
-                middleware="pvm",
+                RunOptions(middleware="pvm"),
             )
 
 
@@ -205,7 +206,7 @@ class TestResultSummary:
             system,
             pos,
             ClusterSpec(n_ranks=2, network=tcp_gigabit_ethernet()),
-            config=MDRunConfig(n_steps=2, dt=0.0004),
+            RunOptions(config=MDRunConfig(n_steps=2, dt=0.0004)),
         )
         s = res.summary()
         assert s["n_ranks"] == 2
@@ -220,7 +221,7 @@ class TestResultSummary:
             system,
             pos,
             ClusterSpec(n_ranks=2, network=tcp_gigabit_ethernet()),
-            config=MDRunConfig(n_steps=2, dt=0.0004),
+            RunOptions(config=MDRunConfig(n_steps=2, dt=0.0004)),
         )
         total = res.total_breakdown()
         classic = res.component("classic")

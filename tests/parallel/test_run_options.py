@@ -1,0 +1,80 @@
+"""The RunOptions surface: one options object, a pinned deprecation shim."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, tcp_gigabit_ethernet
+from repro.core.design import DesignPoint
+from repro.core.factors import FOCAL_POINT
+from repro.parallel import MDRunConfig, RunOptions, run_parallel_md
+
+CFG = MDRunConfig(n_steps=2, dt=0.0004)
+
+
+def _spec(p=2):
+    return ClusterSpec(n_ranks=p, network=tcp_gigabit_ethernet(), seed=11)
+
+
+class TestDeprecatedKeywordForm:
+    def test_legacy_kwargs_warn_and_still_work(self, peptide_system):
+        """The pre-RunOptions keyword surface is deprecated but intact."""
+        system, pos = peptide_system
+        with pytest.warns(DeprecationWarning, match="pass a single RunOptions"):
+            legacy = run_parallel_md(
+                system, pos, _spec(), middleware="cmpi", config=CFG
+            )
+        modern = run_parallel_md(
+            system, pos, _spec(), RunOptions(middleware="cmpi", config=CFG)
+        )
+        assert legacy.middleware == modern.middleware == "cmpi"
+        assert np.array_equal(legacy.final_positions, modern.final_positions)
+        assert legacy.wall_time() == pytest.approx(modern.wall_time(), rel=1e-12)
+
+    def test_legacy_positional_middleware_warns(self, peptide_system):
+        system, pos = peptide_system
+        with pytest.warns(DeprecationWarning):
+            res = run_parallel_md(system, pos, _spec(), "cmpi", config=CFG)
+        assert res.middleware == "cmpi"
+
+    def test_options_plus_legacy_kwargs_rejected(self, peptide_system):
+        system, pos = peptide_system
+        with pytest.raises(TypeError, match="not both"):
+            run_parallel_md(
+                system, pos, _spec(), RunOptions(config=CFG), sanitize=True
+            )
+
+    def test_unknown_keyword_rejected(self, peptide_system):
+        system, pos = peptide_system
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            run_parallel_md(system, pos, _spec(), middlware="mpi")
+
+    def test_non_options_value_rejected(self, peptide_system):
+        system, pos = peptide_system
+        with pytest.raises(TypeError, match="RunOptions"):
+            run_parallel_md(system, pos, _spec(), {"middleware": "mpi"})
+
+
+class TestRunOptions:
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            RunOptions().middleware = "cmpi"  # type: ignore[misc]
+
+    def test_replace(self):
+        base = RunOptions(config=CFG)
+        sanitized = base.replace(sanitize=True)
+        assert sanitized.sanitize and not base.sanitize
+        assert sanitized.config is CFG
+
+    def test_for_point_takes_middleware_from_the_point(self):
+        point = DesignPoint(config=FOCAL_POINT, n_ranks=4)
+        opts = RunOptions.for_point(point, config=CFG, sanitize=True)
+        assert opts.middleware == FOCAL_POINT.middleware
+        assert opts.config is CFG
+        assert opts.sanitize
+
+    def test_default_options_is_default_run(self, peptide_system):
+        """options=None and RunOptions() are the same run."""
+        system, pos = peptide_system
+        a = run_parallel_md(system, pos, _spec(), RunOptions(config=CFG))
+        b = run_parallel_md(system, pos, _spec(), RunOptions(config=CFG).replace())
+        assert np.array_equal(a.final_positions, b.final_positions)

@@ -22,7 +22,7 @@ import pytest
 from repro.cluster import ClusterSpec, tcp_gigabit_ethernet
 from repro.instrument.counters import NEIGHBOR_BUILDS
 from repro.md import CutoffScheme, MDSystem
-from repro.parallel import MDRunConfig, SharedComputeCache, run_parallel_md
+from repro.parallel import MDRunConfig, RunOptions, SharedComputeCache, run_parallel_md
 
 CFG = MDRunConfig(n_steps=4, dt=0.0004)
 
@@ -30,7 +30,7 @@ CFG = MDRunConfig(n_steps=4, dt=0.0004)
 def _run(system, pos, p, shared_compute):
     spec = ClusterSpec(n_ranks=p, network=tcp_gigabit_ethernet())
     return run_parallel_md(
-        system, pos, spec, config=CFG, shared_compute=shared_compute
+        system, pos, spec, RunOptions(config=CFG, shared_compute=shared_compute)
     )
 
 

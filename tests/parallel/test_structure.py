@@ -15,7 +15,7 @@ against the analytic expectations.
 import pytest
 
 from repro.cluster import ClusterSpec, score_gigabit_ethernet
-from repro.parallel import MDRunConfig, run_parallel_md
+from repro.parallel import MDRunConfig, RunOptions, run_parallel_md
 
 
 @pytest.fixture(scope="module")
@@ -25,7 +25,7 @@ def one_step_run(peptide_system):
         system,
         pos,
         ClusterSpec(n_ranks=2, network=score_gigabit_ethernet(), seed=3),
-        config=MDRunConfig(n_steps=1, dt=0.0004),
+        RunOptions(config=MDRunConfig(n_steps=1, dt=0.0004)),
     )
     return system, res
 
@@ -98,7 +98,7 @@ class TestWireStructure:
             system,
             pos,
             ClusterSpec(n_ranks=2, network=score_gigabit_ethernet(), seed=3),
-            config=MDRunConfig(n_steps=3, dt=0.0004),
+            RunOptions(config=MDRunConfig(n_steps=3, dt=0.0004)),
         )
         assert len(res3.transfers) == 3 * 10
 
@@ -108,7 +108,7 @@ class TestWireStructure:
             system,
             pos,
             ClusterSpec(n_ranks=2, network=score_gigabit_ethernet(), seed=3),
-            config=MDRunConfig(n_steps=1, dt=0.0004),
+            RunOptions(config=MDRunConfig(n_steps=1, dt=0.0004)),
         )
         n = system.n_atoms
         allreduce_bytes = (9 + 3 * n) * 8

@@ -1,0 +1,48 @@
+"""The package's public surface: every ``__all__`` name resolves lazily."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+
+def test_every_public_name_resolves():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, name
+
+
+def test_all_is_sorted_and_complete():
+    assert repro.__all__ == ["__version__", *sorted(repro._PUBLIC_API)]
+    assert set(repro.__all__) <= set(dir(repro))
+
+
+def test_unknown_attribute_raises_attribute_error():
+    with pytest.raises(AttributeError, match="has no attribute 'no_such_name'"):
+        repro.no_such_name
+
+
+def test_star_import_exposes_the_documented_surface():
+    namespace: dict = {}
+    exec("from repro import *", namespace)
+    for name in ("run_parallel_md", "RunOptions", "CampaignEngine", "ResultStore",
+                 "merge_into_store", "work_campaign", "publish_campaign",
+                 "analyze_trace", "build_workload"):
+        assert name in namespace, name
+
+
+def test_import_repro_stays_lazy():
+    """``import repro`` must not drag in numpy-heavy subpackages (CLI startup)."""
+    code = (
+        "import sys, repro; "
+        "heavy = [m for m in sys.modules if m.startswith('repro.parallel') "
+        "or m.startswith('repro.campaign') or m.startswith('repro.experiments')]; "
+        "print(','.join(heavy) or 'CLEAN')"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True, check=True
+    )
+    assert out.stdout.strip() == "CLEAN"
