@@ -58,6 +58,84 @@ def measure(repeats: int, shared_compute: bool = True) -> dict[str, float]:
     return seconds
 
 
+def trace_ab(repeats: int, overhead_factor: float) -> tuple[dict, int]:
+    """Traced-vs-untraced A/B on the p = 8 point.
+
+    Asserts the observability invariant at the wall-clock level:
+
+    * tracing **disabled** (the default ``RunOptions``) is the exact same
+      code path as the committed baseline — the virtual results must be
+      bit-identical (zero measurable delta);
+    * tracing **enabled** must cost < ``overhead_factor`` (default 1.05,
+      i.e. 5 %) extra wall time and still produce bit-identical virtual
+      results (zero virtual seconds charged).
+    """
+    from repro import MDRunConfig, RunOptions, build_workload, run_parallel_md
+    from repro.cluster import ClusterSpec, tcp_gigabit_ethernet
+    from repro.instrument.tracing import SpanTracer
+
+    system, positions = build_workload(WORKLOAD)
+    config = MDRunConfig(n_steps=N_STEPS)
+    spec = ClusterSpec(n_ranks=8, network=tcp_gigabit_ethernet())
+
+    def best_of(make_options) -> tuple[float, object, RunOptions]:
+        run_parallel_md(system, positions, spec, make_options())  # warm-up
+        best, result, options = float("inf"), None, None
+        for _ in range(repeats):
+            options = make_options()  # fresh tracer per repeat: spans from
+            t0 = time.perf_counter()  # one run only, not accumulated
+            result = run_parallel_md(system, positions, spec, options)
+            best = min(best, time.perf_counter() - t0)
+        return best, result, options
+
+    plain_s, plain, _ = best_of(lambda: RunOptions(config=config))
+    off_s, off, _ = best_of(
+        lambda: RunOptions(config=config, span_tracer=None)
+    )
+    traced_s, traced, traced_opts = best_of(
+        lambda: RunOptions(config=config, span_tracer=SpanTracer())
+    )
+    tracer = traced_opts.span_tracer
+
+    problems: list[str] = []
+    for name, other in (("disabled", off), ("enabled", traced)):
+        if [e.total for e in other.energies] != [e.total for e in plain.energies]:
+            problems.append(f"tracing {name}: energies differ from baseline")
+        if other.timelines != plain.timelines:
+            problems.append(f"tracing {name}: virtual timelines differ")
+    for rank, tl in enumerate(traced.timelines):
+        span_total = tracer.virtual_seconds(rank)
+        if abs(span_total - tl.total_seconds()) > 1e-9:
+            problems.append(
+                f"rank {rank}: spans cover {span_total} virtual s but the "
+                f"timeline attributed {tl.total_seconds()}"
+            )
+    overhead = traced_s / plain_s if plain_s > 0 else float("inf")
+    if overhead > overhead_factor:
+        problems.append(
+            f"traced run {traced_s:.3f} s vs untraced {plain_s:.3f} s: "
+            f"{overhead:.3f}x exceeds the {overhead_factor:.2f}x budget"
+        )
+
+    doc = {
+        "untraced_s": round(plain_s, 4),
+        "disabled_s": round(off_s, 4),
+        "traced_s": round(traced_s, 4),
+        "overhead": round(overhead, 4),
+        "spans": len(tracer.spans),
+        "problems": problems,
+    }
+    print(f"  trace A/B (p=8, best of {repeats}):")
+    print(f"    untraced: {plain_s:.3f} s   tracer=None: {off_s:.3f} s")
+    print(f"    traced:   {traced_s:.3f} s  ({overhead:.3f}x, "
+          f"{len(tracer.spans)} spans)")
+    for p in problems:
+        print(f"    PROBLEM: {p}")
+    if not problems:
+        print("    virtual results bit-identical; overhead within budget: ok")
+    return doc, 0 if not problems else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -78,7 +156,23 @@ def main(argv: list[str] | None = None) -> int:
         "--with-shared-off", action="store_true",
         help="also measure with the shared-compute cache disabled (A/B context)",
     )
+    parser.add_argument(
+        "--trace-ab", action="store_true",
+        help="traced-vs-untraced A/B: fail if span tracing costs more than "
+        "--trace-overhead extra wall time or perturbs the virtual results",
+    )
+    parser.add_argument(
+        "--trace-overhead", type=float, default=1.05,
+        help="allowed traced/untraced wall ratio in --trace-ab mode (default 1.05)",
+    )
     args = parser.parse_args(argv)
+
+    if args.trace_ab:
+        ab_doc, ab_status = trace_ab(args.repeats, args.trace_overhead)
+        if args.output is not None:
+            args.output.write_text(json.dumps(ab_doc, indent=2) + "\n")
+            print(f"wrote {args.output}")
+        return ab_status
 
     seconds = measure(args.repeats)
     doc = {

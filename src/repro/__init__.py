@@ -19,7 +19,7 @@ Subpackages
 ``repro.mpi``         simulated MPI (real payloads, virtual time)
 ``repro.cmpi``        CHARMM's portable middleware layer
 ``repro.parallel``    SPMD rank programs, distributed FFT/PME, cost model
-``repro.instrument``  comp/comm/sync timelines, communication-rate stats
+``repro.instrument``  timelines, comm stats, metrics registry, span tracing, run logs
 ``repro.core``        the characterization method (factors, designs, runner)
 ``repro.campaign``    content-addressed store, campaign engine, federation
 ``repro.experiments`` drivers reproducing every figure of the paper
@@ -51,6 +51,17 @@ _PUBLIC_API = {
     "merge_into_store": "repro.campaign.federation",
     "work_campaign": "repro.campaign.federation",
     "publish_campaign": "repro.campaign.federation",
+    # observability: spans, metrics, structured logs, dashboard
+    "SpanTracer": "repro.instrument.tracing",
+    "validate_chrome_trace": "repro.instrument.tracing",
+    "MetricsRegistry": "repro.instrument.metrics",
+    "REGISTRY": "repro.instrument.metrics",
+    "merge_metrics": "repro.instrument.metrics",
+    "RunLog": "repro.instrument.runlog",
+    "read_runlog": "repro.instrument.runlog",
+    "reconstruct_history": "repro.instrument.runlog",
+    "register_phase": "repro.instrument.timeline",
+    "dashboard": "repro.campaign.dashboard",
     # analyzers
     "analyze_trace": "repro.analysis",
     "lint_paths": "repro.analysis",

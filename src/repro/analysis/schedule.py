@@ -35,6 +35,7 @@ import math
 from collections import defaultdict
 
 from ..instrument.commstats import CommTrace
+from ..instrument.metrics import REGISTRY
 from ..mpi.endpoint import COLLECTIVE_TAG_BASE
 from .rules import ERROR, Diagnostic
 
@@ -77,9 +78,17 @@ def _unmatched(trace: CommTrace) -> tuple[dict, dict]:
 
 
 def _tag_collisions(trace: CommTrace, tag_base: int) -> list[Diagnostic]:
-    """User-range keys that ever had two sends in flight at once."""
+    """User-range keys that ever had two sends in flight at once.
+
+    Also counts every *FIFO-disambiguated* match — a receive retiring a
+    send while two or more sends of the same key were outstanding, i.e.
+    a match whose pairing was decided by queue order alone — into the
+    metrics registry (``rep203.fifo_disambiguations``), so traced runs
+    report how often they actually leaned on FIFO, not just whether.
+    """
     outstanding: dict[tuple[int, int, int], int] = defaultdict(int)
     flagged: set[tuple[int, int, int]] = set()
+    disambiguated: dict[tuple[int, int, int], int] = defaultdict(int)
     diags = []
     for ev in trace.events:
         if ev.tag >= tag_base or ev.kind == "collective":
@@ -88,24 +97,29 @@ def _tag_collisions(trace: CommTrace, tag_base: int) -> list[Diagnostic]:
             outstanding[ev.key] += 1
             if outstanding[ev.key] >= 2 and ev.key not in flagged:
                 flagged.add(ev.key)
-                src, dst, tag = ev.key
-                diags.append(
-                    Diagnostic(
-                        rule="REP203",
-                        severity="warning",
-                        message=(
-                            f"{outstanding[ev.key]} messages {src}->{dst} with "
-                            f"tag {tag} in flight at once: indistinguishable to "
-                            "the matching engine, ordering relies on FIFO — use "
-                            "distinct tags per logical operation"
-                        ),
-                        ranks=(src, dst),
-                        tag=tag,
-                    )
-                )
         else:  # recv post retires the oldest outstanding send of the key
+            if outstanding[ev.key] >= 2:
+                disambiguated[ev.key] += 1
+                REGISTRY.counter("rep203.fifo_disambiguations").increment()
             if outstanding[ev.key] > 0:
                 outstanding[ev.key] -= 1
+    for key in sorted(flagged):
+        src, dst, tag = key
+        n_fifo = disambiguated.get(key, 0)
+        diags.append(
+            Diagnostic(
+                rule="REP203",
+                severity="warning",
+                message=(
+                    f"2+ messages {src}->{dst} with tag {tag} in flight at "
+                    f"once ({n_fifo} match(es) disambiguated only by FIFO "
+                    "order): indistinguishable to the matching engine — use "
+                    "distinct tags per logical operation"
+                ),
+                ranks=(src, dst),
+                tag=tag,
+            )
+        )
     return diags
 
 

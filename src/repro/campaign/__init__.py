@@ -27,7 +27,8 @@ owns the execution of such sweeps end to end:
 CLI: ``python -m repro campaign run|status|gc|verify|serve|work|merge``.
 """
 
-from .engine import CampaignEngine, CampaignResult, execute_point
+from .dashboard import dashboard, dashboard_data
+from .engine import CampaignEngine, CampaignResult, execute_point, point_trace_path
 from .federation import (
     merge_into_store,
     publish_campaign,
@@ -61,7 +62,10 @@ __all__ = [
     "CampaignResult",
     "config_fingerprint",
     "cost_fingerprint",
+    "dashboard",
+    "dashboard_data",
     "execute_point",
+    "point_trace_path",
     "Lease",
     "LeaseBoard",
     "LeaseBoardError",

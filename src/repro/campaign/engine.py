@@ -25,9 +25,14 @@ import queue as queue_mod
 import time
 from collections import deque
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from ..core.design import DesignPoint
 from ..core.responses import ResponseRecord
+from ..instrument.commstats import communication_speeds
+from ..instrument.metrics import REGISTRY, merge_metrics
+from ..instrument.runlog import RunLog
+from ..instrument.tracing import SpanTracer
 from ..parallel.costmodel import PIII_1GHZ, MachineCostModel
 from ..parallel.pmd import MDRunConfig
 from ..parallel.run import RunOptions, run_parallel_md
@@ -36,7 +41,12 @@ from .keys import SCHEMA_VERSION, cache_key, point_seed, workload_fingerprint
 from .store import ResultStore, record_from_dict, record_to_dict
 from .workloads import build_workload
 
-__all__ = ["CampaignEngine", "CampaignResult", "execute_point"]
+__all__ = ["CampaignEngine", "CampaignResult", "execute_point", "point_trace_path"]
+
+
+def point_trace_path(trace_dir, key: str) -> Path:
+    """Where one executed point's span trace lands under ``trace_dir``."""
+    return Path(trace_dir) / f"point-{key[:16]}.trace.json"
 
 
 def execute_point(
@@ -47,6 +57,7 @@ def execute_point(
     base_seed: int,
     sanitize: bool = False,
     shared_compute: bool = True,
+    span_trace_path=None,
 ) -> ResponseRecord:
     """Run one design point from scratch, in whatever process this is.
 
@@ -57,18 +68,38 @@ def execute_point(
     constructs one :class:`~repro.parallel.shared.SharedComputeCache` per
     point inside :func:`run_parallel_md`; it changes wall-clock only, so
     it participates in neither the cache key nor the record.
+    ``span_trace_path``, when given, attaches a fresh
+    :class:`~repro.instrument.tracing.SpanTracer` to the run and writes
+    its Chrome trace-event JSON there — equally wall-clock-only.
     """
     system, positions = build_workload(workload)
     spec = point.config.cluster_spec(point.n_ranks, seed=point_seed(base_seed, point))
+    tracer = SpanTracer() if span_trace_path is not None else None
     options = RunOptions.for_point(
-        point, config=config, cost=cost, sanitize=sanitize, shared_compute=shared_compute
+        point, config=config, cost=cost, sanitize=sanitize,
+        span_tracer=tracer, shared_compute=shared_compute,
     )
-    result = run_parallel_md(system, positions, spec, options)
+    if tracer is not None:
+        with tracer.span("execute_point", track="engine", label=point.label()):
+            result = run_parallel_md(system, positions, spec, options)
+        tracer.write(span_trace_path)
+    else:
+        result = run_parallel_md(system, positions, spec, options)
+    stats = communication_speeds(result.transfers)
+    if stats.n_transfers:
+        REGISTRY.histogram("run.comm_speed_mbs").observe(stats.mean)
+    REGISTRY.counter("run.points_executed").increment()
     return ResponseRecord.from_run(point, result)
 
 
 def _worker_main(task: dict, out_queue) -> None:
-    """Worker-process entry: run one point, post the record (or the error)."""
+    """Worker-process entry: run one point, post the record (or the error).
+
+    The posted tuple carries the worker's own metrics delta (work
+    counters, comm-speed observations) so the parent can fold
+    per-process observability back into one campaign-wide snapshot.
+    """
+    before = REGISTRY.snapshot()  # fork copies the parent's live counters
     try:
         record = execute_point(
             task["workload"],
@@ -78,10 +109,16 @@ def _worker_main(task: dict, out_queue) -> None:
             task["base_seed"],
             sanitize=task["sanitize"],
             shared_compute=task.get("shared_compute", True),
+            span_trace_path=task.get("trace_path"),
         )
-        out_queue.put((task["key"], "ok", record_to_dict(record), None))
+        out_queue.put(
+            (task["key"], "ok", record_to_dict(record), None, REGISTRY.delta(before))
+        )
     except BaseException as exc:  # the parent decides whether to retry
-        out_queue.put((task["key"], "error", None, f"{type(exc).__name__}: {exc}"))
+        out_queue.put(
+            (task["key"], "error", None, f"{type(exc).__name__}: {exc}",
+             REGISTRY.delta(before))
+        )
 
 
 @dataclass
@@ -135,6 +172,11 @@ class CampaignEngine:
         each point (one :class:`~repro.parallel.shared.SharedComputeCache`
         per point).  Wall-clock only — records are bit-identical either
         way, so this is not part of the cache key.
+    trace_dir:
+        When set, every executed point writes a Chrome span trace
+        (``point-<key>.trace.json``) there, and the engine writes its own
+        host-side trace (``campaign-<id>-host.trace.json``) covering
+        scheduling, launches and retires.  Wall-clock only.
     """
 
     workload: str = "myoglobin-pme"
@@ -148,6 +190,7 @@ class CampaignEngine:
     backoff: float = 0.25
     sanitize: bool = False
     shared_compute: bool = True
+    trace_dir: str | None = None
 
     _fingerprint: str | None = field(default=None, init=False, repr=False)
 
@@ -202,16 +245,25 @@ class CampaignEngine:
         records: list[ResponseRecord | None] = [None] * len(points)
 
         t_start = time.monotonic()  # noqa: REP104 — harness wall time
+        metrics_before = REGISTRY.snapshot()
+        runlog = self._runlog(man.campaign_id)
+        runlog.log("campaign_start", n_points=len(points), n_workers=self.n_workers)
+        tracer = SpanTracer() if self.trace_dir is not None else None
+
         misses: list[_Task] = []
         for i, (point, key) in enumerate(zip(points, keys)):
             cached = self.store.get(key)
             if cached is not None:
                 records[i] = cached
                 man.points[i].status = "hit"
+                REGISTRY.counter("campaign.points").increment(status="hit")
+                REGISTRY.counter("campaign.cache_hits").increment()
+                runlog.log("point_hit", key=key, label=point.label())
             elif key in by_key and by_key[key] != i:
                 # duplicate point in the input: resolved by the first copy
                 continue
             else:
+                REGISTRY.counter("campaign.cache_misses").increment()
                 misses.append(_Task(key=key, index=i, point=point))
 
         def note() -> None:
@@ -227,10 +279,11 @@ class CampaignEngine:
                 )
 
         note()
+        worker_deltas: list[dict] = []
         if self.n_workers <= 0:
-            self._run_inline(misses, man, records, note)
+            self._run_inline(misses, man, records, note, runlog, tracer)
         else:
-            self._run_pool(misses, man, records, note)
+            self._run_pool(misses, man, records, note, runlog, tracer, worker_deltas)
 
         # duplicate inputs share the first copy's outcome
         for i, key in enumerate(keys):
@@ -238,8 +291,29 @@ class CampaignEngine:
                 records[i] = self.store.get(key)
                 if man.points[i].status == "pending":
                     man.points[i].status = "hit"
+
+        man.total_wall = time.monotonic() - t_start  # noqa: REP104
+        man.metrics = merge_metrics(REGISTRY.delta(metrics_before), *worker_deltas)
+        runlog.log("campaign_end", total_wall=man.total_wall, **man.counts)
+        if tracer is not None:
+            tracer.write(
+                Path(self.trace_dir) / f"campaign-{man.campaign_id}-host.trace.json"
+            )
         note()
         return CampaignResult(manifest=man, records=records)
+
+    def _runlog(self, campaign_id: str) -> RunLog:
+        """The engine's structured event log (in-memory for memory stores)."""
+        path = None
+        if self.store.root is not None:
+            path = self.store.root / "logs" / f"campaign-{campaign_id}.jsonl"
+        return RunLog(path, campaign=campaign_id, workload=self.workload)
+
+    def _point_trace(self, key: str):
+        """This point's span-trace output path, or None when untraced."""
+        if self.trace_dir is None:
+            return None
+        return point_trace_path(self.trace_dir, key)
 
     # ------------------------------------------------------------------
     def _resolve(
@@ -256,40 +330,64 @@ class CampaignEngine:
         ps.attempts = task.attempts
         ps.wall_time = task.elapsed
         ps.error = error
+        REGISTRY.counter("campaign.points").increment(status=status)
+        REGISTRY.counter("campaign.attempts").increment(task.attempts)
+        if task.attempts > 1:
+            REGISTRY.counter("campaign.retries").increment(task.attempts - 1)
+        REGISTRY.histogram("campaign.point_wall_seconds").observe(task.elapsed)
         if record is not None:
             records[task.index] = record
             self.store.put(
                 task.key, record, self._meta(task.point, task.elapsed, task.attempts)
             )
 
-    def _run_inline(self, misses, man, records, note) -> None:
+    def _run_inline(self, misses, man, records, note, runlog, tracer) -> None:
         for task in misses:
             last_error = None
+            plog = runlog.bind(key=task.key, label=task.point.label())
             while task.attempts <= self.retries:
                 task.attempts += 1
+                plog.log("point_launch", attempt=task.attempts)
+                span = None
+                if tracer is not None:
+                    span = tracer.begin(
+                        "point", track="engine",
+                        key=task.key[:16], attempt=task.attempts,
+                    )
                 t0 = time.monotonic()  # noqa: REP104 — harness wall time
                 try:
                     record = execute_point(
                         self.workload, task.point, self.config, self.cost,
                         self.base_seed, sanitize=self.sanitize,
                         shared_compute=self.shared_compute,
+                        span_trace_path=self._point_trace(task.key),
                     )
                 except Exception as exc:
                     task.elapsed = time.monotonic() - t0  # noqa: REP104
                     last_error = f"{type(exc).__name__}: {exc}"
+                    if span is not None:
+                        span.end(status="error")
+                    plog.log("point_retry", attempt=task.attempts, error=last_error)
                     continue
                 task.elapsed = time.monotonic() - t0  # noqa: REP104
+                if span is not None:
+                    span.end(status="ran")
                 self._resolve(man, records, task, "ran", record, None)
+                plog.log("point_retire", attempt=task.attempts, status="ran",
+                         elapsed=task.elapsed)
                 break
             else:
                 self._resolve(man, records, task, "failed", None, last_error)
+                plog.log("point_retire", attempt=task.attempts, status="failed",
+                         error=last_error)
             note()
 
-    def _run_pool(self, misses, man, records, note) -> None:
+    def _run_pool(self, misses, man, records, note, runlog, tracer, worker_deltas) -> None:
         ctx = self._mp_context()
         out_queue = ctx.Queue()
         pending: deque[_Task] = deque(misses)
         live: dict[str, tuple] = {}  # key -> (process, started, task)
+        spans: dict[str, object] = {}  # key -> open wall span (traced runs)
 
         def launch(task: _Task) -> None:
             task.attempts += 1
@@ -302,25 +400,43 @@ class CampaignEngine:
                 "base_seed": self.base_seed,
                 "sanitize": self.sanitize,
                 "shared_compute": self.shared_compute,
+                "trace_path": self._point_trace(task.key),
             }
             proc = ctx.Process(target=_worker_main, args=(payload, out_queue), daemon=True)
             proc.start()
             live[task.key] = (proc, time.monotonic(), task)  # noqa: REP104
+            runlog.log("point_launch", key=task.key, label=task.point.label(),
+                       attempt=task.attempts, pid=proc.pid)
+            if tracer is not None:
+                spans[task.key] = tracer.begin(
+                    "point", track="pool", key=task.key[:16], attempt=task.attempts
+                )
 
-        def retire(key: str, status: str, record_doc, error) -> None:
+        def retire(key: str, status: str, record_doc, error, metrics=None) -> None:
             proc, started, task = live.pop(key)
             task.elapsed = time.monotonic() - started  # noqa: REP104
             proc.join(timeout=5)
+            if metrics:
+                worker_deltas.append(metrics)
+            span = spans.pop(key, None)
+            if span is not None:
+                span.end(status=status)
             if status == "ok":
                 self._resolve(man, records, task, "ran", record_from_dict(record_doc), None)
+                runlog.log("point_retire", key=key, attempt=task.attempts,
+                           status="ran", elapsed=task.elapsed)
             elif task.attempts <= self.retries:
                 delay = self.backoff * (2 ** (task.attempts - 1))
                 task.not_before = time.monotonic() + delay  # noqa: REP104
+                runlog.log("point_retry", key=key, attempt=task.attempts,
+                           status=status, error=error)
                 pending.append(task)
                 return
             else:
                 final = "timeout" if status == "timeout" else "failed"
                 self._resolve(man, records, task, final, None, error)
+                runlog.log("point_retire", key=key, attempt=task.attempts,
+                           status=final, error=error)
             note()
 
         while pending or live:
@@ -331,12 +447,13 @@ class CampaignEngine:
                 launch(pending.popleft())
 
             try:
-                key, status, record_doc, error = out_queue.get(timeout=0.05)
+                key, status, record_doc, error, wdelta = out_queue.get(timeout=0.05)
             except queue_mod.Empty:
                 pass
             else:
                 if key in live:
-                    retire(key, "ok" if status == "ok" else "failed", record_doc, error)
+                    retire(key, "ok" if status == "ok" else "failed",
+                           record_doc, error, wdelta)
                 continue
 
             now = time.monotonic()  # noqa: REP104
@@ -350,7 +467,7 @@ class CampaignEngine:
                 elif not proc.is_alive():
                     # died without posting; give its message a moment to land
                     try:
-                        k2, s2, doc2, err2 = out_queue.get(timeout=0.5)
+                        k2, s2, doc2, err2, wd2 = out_queue.get(timeout=0.5)
                     except queue_mod.Empty:
                         retire(
                             key, "crashed", None,
@@ -358,7 +475,7 @@ class CampaignEngine:
                         )
                     else:
                         if k2 in live:
-                            retire(k2, "ok" if s2 == "ok" else "failed", doc2, err2)
+                            retire(k2, "ok" if s2 == "ok" else "failed", doc2, err2, wd2)
             if not live and pending and pending[0].not_before > now:
                 time.sleep(min(0.05, pending[0].not_before - now))
 
@@ -486,7 +603,7 @@ class CampaignEngine:
                 proc.start()
                 live[entry.key] = proc
             try:
-                key, status, doc, err = out_queue.get(timeout=0.05)
+                key, status, doc, err, _ = out_queue.get(timeout=0.05)
             except queue_mod.Empty:
                 for key in list(live):
                     proc = live.get(key)
@@ -494,7 +611,7 @@ class CampaignEngine:
                         continue
                     # died without posting; give its message a moment to land
                     try:
-                        k2, s2, d2, e2 = out_queue.get(timeout=0.5)
+                        k2, s2, d2, e2, _ = out_queue.get(timeout=0.5)
                     except queue_mod.Empty:
                         settle(
                             key, "error", None,

@@ -26,7 +26,11 @@ import time
 from pathlib import Path
 from typing import Callable, Iterable
 
+import json
+
 from ..core.design import DesignPoint
+from ..instrument.metrics import REGISTRY, merge_metrics
+from ..instrument.runlog import RunLog
 from ..parallel.costmodel import PIII_1GHZ, MachineCostModel
 from ..parallel.pmd import MDRunConfig
 from . import manifest as mf
@@ -156,16 +160,26 @@ def work_campaign(
     """
     board = LeaseBoard(leases_path, now=now)
     engine = engine_for_board(board, store, cost=cost)
+    campaign_id = campaign_id_for(lease.key for lease in board.leases())
+    log_path = None
+    if store.root is not None:
+        log_path = store.root / "logs" / f"worker-{worker}.jsonl"
+    runlog = RunLog(log_path, campaign=campaign_id, worker=worker)
+    metrics_before = REGISTRY.snapshot()
     stats = {"claimed": 0, "executed": 0, "hits": 0, "failed": 0, "lost": 0}
     while max_points is None or stats["claimed"] < max_points:
         lease = board.claim(worker, ttl=ttl)
         if lease is None:
             break
         stats["claimed"] += 1
+        attempt = lease.attempts
+        plog = runlog.bind(key=lease.key, label=lease.label, attempt=attempt)
+        plog.log("lease_claim")
         point = DesignPoint.from_doc(lease.point)
         derived = engine.key_for(point)
         if derived != lease.key:
             board.release(lease.key, worker)
+            plog.log("lease_release", reason="key mismatch")
             raise ValueError(
                 f"lease {lease.key[:12]}… does not match this build's key "
                 f"{derived[:12]}… for {lease.label!r} — board and worker "
@@ -175,6 +189,7 @@ def work_campaign(
             # already satisfied locally (a resumed worker); just settle it
             stats["hits"] += 1
             board.complete(lease.key, worker)
+            plog.log("point_hit")
             continue
         t0 = time.monotonic()  # noqa: REP104 — harness wall time
         try:
@@ -182,10 +197,12 @@ def work_campaign(
                 engine.workload, point, engine.config, engine.cost,
                 engine.base_seed, sanitize=engine.sanitize,
                 shared_compute=engine.shared_compute,
+                span_trace_path=engine._point_trace(lease.key),
             )
         except Exception as exc:
             stats["failed"] += 1
             board.release(lease.key, worker)
+            plog.log("lease_release", error=f"{type(exc).__name__}: {exc}")
             if progress is not None:
                 progress(f"{worker}: {lease.label} FAILED ({type(exc).__name__}: {exc})")
             continue
@@ -194,16 +211,24 @@ def work_campaign(
         meta["worker"] = worker
         store.put(lease.key, record, meta)
         stats["executed"] += 1
+        plog.log("point_executed", elapsed=elapsed)
         if board.complete(lease.key, worker):
+            plog.log("lease_complete", elapsed=elapsed)
             if progress is not None:
                 progress(f"{worker}: {lease.label} done ({elapsed:.2f} s)")
         else:
             # our lease expired mid-run and someone reclaimed it; the
             # record is still valid (deterministic) and merges as a dup
             stats["lost"] += 1
+            plog.log("lease_lost", elapsed=elapsed)
             if progress is not None:
                 progress(f"{worker}: {lease.label} done but lease was reclaimed")
-    return stats
+    delta = REGISTRY.delta(metrics_before)
+    if store.root is not None:
+        path = store.root / f"metrics-{worker}.json"
+        path.write_text(json.dumps(delta, indent=2, sort_keys=True) + "\n")
+    runlog.log("worker_done", **stats)
+    return {**stats, "metrics": delta}
 
 
 # ---------------------------------------------------------------------------
@@ -223,18 +248,24 @@ def merge_into_store(
     """
     totals = {"imported": 0, "duplicates": 0, "conflicts": 0, "corrupt": 0,
               "stale_schema": 0, "sources": 0}
+    metric_docs: list[dict] = []
     for source in sources:
         totals["sources"] += 1
+        source_root = None
         if isinstance(source, ResultStore):
             stats = dest.merge(source)
+            source_root = source.root
         else:
             path = Path(source)
             if path.is_dir():
                 stats = dest.merge(ResultStore(path))
+                source_root = path
             else:
                 stats = dest.import_shard(path)
         for name, value in stats.items():
             totals[name] = totals.get(name, 0) + value
+        if source_root is not None:
+            metric_docs.extend(_gather_observability(source_root, dest))
 
     entries = sorted(dest.entries(), key=lambda e: e.key)
     manifest = mf.CampaignManifest(
@@ -255,10 +286,36 @@ def merge_into_store(
             )
             for e in entries
         ],
+        metrics=merge_metrics(*metric_docs) if metric_docs else {},
     )
     if dest.root is not None:
         manifest.write(dest.root / "manifests" / f"{manifest.campaign_id}.json")
     return {**totals, "entries": len(entries), "manifest": manifest}
+
+
+def _gather_observability(source_root: Path, dest: ResultStore) -> list[dict]:
+    """Collect a worker store's metrics dumps; copy its run logs to ``dest``.
+
+    Returns the parsed ``metrics-*.json`` documents (merged into the merge
+    manifest by the caller).  Run logs are copied verbatim into
+    ``dest.root/logs/`` so :func:`~repro.instrument.runlog.reconstruct_history`
+    over the merged store sees every participant's events.
+    """
+    docs: list[dict] = []
+    source_root = Path(source_root)
+    for path in sorted(source_root.glob("metrics-*.json")):
+        try:
+            docs.append(json.loads(path.read_text()))
+        except ValueError:
+            continue  # torn write on a crashed worker; metrics are advisory
+    if dest.root is not None and dest.root != source_root:
+        log_dir = dest.root / "logs"
+        for path in sorted(source_root.glob("logs/*.jsonl")):
+            log_dir.mkdir(parents=True, exist_ok=True)
+            target = log_dir / path.name
+            with target.open("a") as fh:
+                fh.write(path.read_text())
+    return docs
 
 
 def _merged_workloads(entries) -> str:

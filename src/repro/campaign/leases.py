@@ -42,6 +42,8 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..instrument.metrics import REGISTRY
+
 __all__ = ["Lease", "LeaseBoard", "LeaseBoardError"]
 
 #: Lease-board wire-format version.
@@ -190,9 +192,11 @@ class LeaseBoard:
                 if entry["state"] == "pending" or expired:
                     if expired:
                         entry["attempts"] += 1
+                        REGISTRY.counter("leases.reclaimed").increment()
                     entry["state"] = "leased"
                     entry["worker"] = worker
                     entry["expires"] = now + ttl
+                    REGISTRY.counter("leases.claimed").increment(worker=worker)
                     return Lease.from_doc(entry)
             return None
 

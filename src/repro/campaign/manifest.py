@@ -61,6 +61,10 @@ class CampaignManifest:
     schema: int
     points: list[PointStatus] = field(default_factory=list)
     total_wall: float = 0.0
+    #: metrics snapshot delta for this campaign (see
+    #: :mod:`repro.instrument.metrics`); merged across hosts for
+    #: federated campaigns
+    metrics: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -103,6 +107,7 @@ class CampaignManifest:
             schema=doc["schema"],
             points=points,
             total_wall=doc["total_wall"],
+            metrics=doc.get("metrics", {}),  # absent in pre-metrics manifests
         )
 
     def write(self, path: str | Path) -> None:

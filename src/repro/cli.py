@@ -6,11 +6,14 @@ Usage::
     python -m repro figures figure3 figure7      # regenerate specific ones
     python -m repro figures --all --steps 4      # everything, shorter runs
     python -m repro run --network myrinet --middleware mpi --ranks 8
+    python -m repro trace --ranks 4 -o trace.json  # same run + Chrome span trace
     python -m repro workload                     # describe the benchmark system
     python -m repro analyze src tests            # communication-correctness lint
     python -m repro analyze --sanitize-run       # sanitized end-to-end runs
     python -m repro campaign run --design full --workers 4   # cached sweep
     python -m repro campaign status              # store + manifest overview
+    python -m repro campaign status --metrics    # + merged metrics snapshots
+    python -m repro campaign status --watch      # live dashboard (leases, ETA)
     python -m repro campaign verify --sample 4 --workers 4   # re-run cached points, diff
     python -m repro campaign gc                  # compact the result store
     python -m repro campaign serve --design full --leases leases.json  # publish leases
@@ -44,17 +47,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--steps", type=int, default=10, help="MD steps per run (paper: 10)"
     )
 
+    def _point_flags(p):
+        p.add_argument(
+            "--network",
+            default="tcp-gige",
+            help="tcp-gige | score-gige | myrinet | tcp-fast-ethernet | wide-area-grid",
+        )
+        p.add_argument("--middleware", default="mpi", help="mpi | cmpi")
+        p.add_argument("--ranks", type=int, default=4)
+        p.add_argument("--cpus-per-node", type=int, default=1, choices=(1, 2))
+        p.add_argument("--steps", type=int, default=10)
+        p.add_argument("--seed", type=int, default=2002)
+
     run = sub.add_parser("run", help="run one platform point")
-    run.add_argument(
-        "--network",
-        default="tcp-gige",
-        help="tcp-gige | score-gige | myrinet | tcp-fast-ethernet | wide-area-grid",
+    _point_flags(run)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one platform point with span tracing; write Chrome trace JSON",
     )
-    run.add_argument("--middleware", default="mpi", help="mpi | cmpi")
-    run.add_argument("--ranks", type=int, default=4)
-    run.add_argument("--cpus-per-node", type=int, default=1, choices=(1, 2))
-    run.add_argument("--steps", type=int, default=10)
-    run.add_argument("--seed", type=int, default=2002)
+    _point_flags(trace)
+    trace.add_argument(
+        "-o", "--output", default="trace.json",
+        help="Chrome trace-event output file (open in Perfetto / chrome://tracing)",
+    )
 
     sub.add_parser("workload", help="describe the 3552-atom benchmark system")
 
@@ -131,9 +147,36 @@ def build_parser() -> argparse.ArgumentParser:
             "only slower — useful for A/B-ing the optimization"
         ),
     )
+    crun.add_argument(
+        "--trace-dir", default=None,
+        help=(
+            "write a Chrome span trace per executed point plus the engine's "
+            "host-side trace into this directory (wall-clock only; results "
+            "are bit-identical)"
+        ),
+    )
 
     cstatus = csub.add_parser("status", help="store statistics and campaign manifests")
     cstatus.add_argument("--store", default=".repro-cache")
+    cstatus.add_argument(
+        "--metrics", action="store_true",
+        help="also print each manifest's merged metrics snapshot",
+    )
+    cstatus.add_argument(
+        "--leases", default=None,
+        help="lease-board file for the live view (default: <store>/leases.json if present)",
+    )
+    cstatus.add_argument(
+        "--watch", action="store_true",
+        help="repaint a live dashboard (in-flight points, throughput, lease health, ETA)",
+    )
+    cstatus.add_argument(
+        "--interval", type=float, default=2.0, help="--watch repaint period (s)"
+    )
+    cstatus.add_argument(
+        "--iterations", type=int, default=None,
+        help="stop --watch after N repaints (default: until interrupted)",
+    )
 
     cgc = csub.add_parser("gc", help="compact shards, drop corrupt/stale entries")
     cgc.add_argument("--store", default=".repro-cache")
@@ -267,6 +310,56 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run one point with the span tracer attached; write Chrome JSON."""
+    from . import (
+        DesignPoint,
+        MDRunConfig,
+        PlatformConfig,
+        RunOptions,
+        myoglobin_system,
+        myoglobin_workload,
+        run_parallel_md,
+    )
+    from .instrument.tracing import VIRTUAL_PID_BASE, SpanTracer, validate_chrome_trace
+
+    try:
+        config = PlatformConfig(
+            network=args.network,
+            middleware=args.middleware,
+            cpus_per_node=args.cpus_per_node,
+        )
+        spec = config.cluster_spec(args.ranks, seed=args.seed)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(f"Tracing {spec.describe()}, {args.steps} MD steps...")
+    mg = myoglobin_workload()
+    point = DesignPoint(config=config, n_ranks=args.ranks)
+    tracer = SpanTracer()
+    run_parallel_md(
+        myoglobin_system("pme"),
+        mg.positions,
+        spec,
+        RunOptions.for_point(
+            point, config=MDRunConfig(n_steps=args.steps), span_tracer=tracer
+        ),
+    )
+    path = tracer.write(args.output)
+    problems = validate_chrome_trace(tracer.to_chrome())
+    for line in problems:
+        print(f"  INVALID {line}", file=sys.stderr)
+    n_virtual = sum(1 for s in tracer.spans if s.pid >= VIRTUAL_PID_BASE)
+    print(
+        f"trace: {len(tracer.spans)} spans ({n_virtual} virtual) across "
+        f"{args.ranks} ranks -> {path} "
+        f"({'valid' if not problems else f'{len(problems)} problem(s)'}; "
+        "load in Perfetto or chrome://tracing)"
+    )
+    return 0 if not problems else 1
+
+
 def _cmd_workload(_args: argparse.Namespace) -> int:
     from . import myoglobin_workload
 
@@ -348,7 +441,10 @@ def _analyze_sanitize_run(n_steps: int) -> int:
     from .analysis.rules import ERROR
     from .cluster import ClusterSpec, NodeSpec, score_gigabit_ethernet, tcp_gigabit_ethernet
     from .instrument.commstats import CommTrace
+    from .instrument.metrics import REGISTRY
     from .md import CutoffScheme, MDSystem, default_forcefield
+
+    fifo_counter = REGISTRY.counter("rep203.fifo_disambiguations")
 
     ff = default_forcefield()
     topo, pos, box = build_peptide_in_water(n_residues=2, n_waters=12, forcefield=ff)
@@ -380,7 +476,9 @@ def _analyze_sanitize_run(n_steps: int) -> int:
                 a, b = plain.component(phase), sanitized.component(phase)
                 if (a.comp, a.comm, a.sync) != (b.comp, b.comm, b.sync):
                     drift.append(phase)
+            fifo_before = fifo_counter.snapshot()
             diags = analyze_trace(trace, ranks)
+            fifo_matches = fifo_counter.delta(fifo_before)
             errors = [d for d in diags if d.severity == ERROR]
             for d in diags:
                 print("  " + d.format())
@@ -393,6 +491,7 @@ def _analyze_sanitize_run(n_steps: int) -> int:
                 failures += 1
             print(
                 f"  {mw} p={ranks}: {len(trace)} events, "
+                f"{fifo_matches} FIFO-disambiguated tag reuse(s), "
                 f"0 sanitizer violations, {status}"
             )
 
@@ -463,6 +562,70 @@ def _campaign_engine(args: argparse.Namespace, n_workers: int = 0, **kw):
     )
 
 
+def _format_metrics(metrics: dict, indent: str = "    ") -> list[str]:
+    """A metrics snapshot document as readable key/value lines."""
+    lines = []
+    for name, doc in sorted(metrics.get("counters", {}).items()):
+        lines.append(f"{indent}{name} = {doc['total']}")
+        for label, count in sorted(doc.get("labels", {}).items()):
+            lines.append(f"{indent}  {label}: {count}")
+    for name, value in sorted(metrics.get("gauges", {}).items()):
+        lines.append(f"{indent}{name} = {value}")
+    for name, doc in sorted(metrics.get("histograms", {}).items()):
+        mean = doc["sum"] / doc["count"] if doc.get("count") else 0.0
+        lines.append(
+            f"{indent}{name}: n={doc.get('count', 0)} mean={mean:.4g} "
+            f"min={doc.get('min', 0):.4g} max={doc.get('max', 0):.4g}"
+        )
+    return lines
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    import time as time_mod
+    from pathlib import Path
+
+    from . import CampaignManifest, ResultStore
+    from .campaign.dashboard import dashboard
+    from .campaign.leases import LeaseBoard
+
+    store = ResultStore(args.store)
+
+    if args.watch:
+        leases = args.leases or str(Path(args.store) / "leases.json")
+        board = LeaseBoard(leases) if Path(leases).exists() else None
+        i = 0
+        try:
+            while args.iterations is None or i < args.iterations:
+                if i:
+                    time_mod.sleep(args.interval)  # noqa: REP104 — dashboard cadence
+                    store = ResultStore(args.store)  # reload: see new results
+                print(dashboard(store, board))
+                print()
+                i += 1
+        except KeyboardInterrupt:
+            pass
+        return 0
+
+    stats = store.describe()
+    print(
+        f"store {stats['root']}: {stats['entries']} entries in "
+        f"{stats['shards']} shard(s), {stats['bytes']} bytes, "
+        f"schema v{stats['schema']}"
+    )
+    manifest_dir = Path(args.store) / "manifests"
+    for path in sorted(manifest_dir.glob("*.json")):
+        try:
+            man = CampaignManifest.read(path)
+        except (ValueError, KeyError):
+            print(f"  {path.name}: unreadable manifest", file=sys.stderr)
+            continue
+        print("  " + man.summary_line())
+        if args.metrics and man.metrics:
+            for line in _format_metrics(man.metrics):
+                print(line)
+    return 0
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -476,6 +639,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 retries=args.retries,
                 sanitize=args.sanitize_run,
                 shared_compute=not args.no_shared_compute,
+                trace_dir=args.trace_dir,
             )
             result = engine.run(points, progress=print)
         except ValueError as exc:
@@ -485,22 +649,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         return 0 if result.ok else 1
 
     if args.campaign_command == "status":
-        from . import CampaignManifest, ResultStore
-
-        store = ResultStore(args.store)
-        stats = store.describe()
-        print(
-            f"store {stats['root']}: {stats['entries']} entries in "
-            f"{stats['shards']} shard(s), {stats['bytes']} bytes, "
-            f"schema v{stats['schema']}"
-        )
-        manifest_dir = Path(args.store) / "manifests"
-        for path in sorted(manifest_dir.glob("*.json")):
-            try:
-                print("  " + CampaignManifest.read(path).summary_line())
-            except (ValueError, KeyError):
-                print(f"  {path.name}: unreadable manifest", file=sys.stderr)
-        return 0
+        return _cmd_campaign_status(args)
 
     if args.campaign_command == "gc":
         from . import ResultStore
@@ -604,6 +753,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_figures(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "workload":
         return _cmd_workload(args)
     if args.command == "analyze":

@@ -6,41 +6,29 @@ its own work: :data:`FORCE_EVALUATIONS` increments on every non-bonded
 kernel evaluation (the irreducible unit of MD force work — every serial
 or parallel energy step performs at least one).  Tests snapshot the
 counter, run a driver, and assert the delta.
+
+These are now views into the default :data:`~repro.instrument.metrics.REGISTRY`
+(``md.force_evaluations`` / ``md.neighbor_builds``), so campaign
+manifests pick them up automatically; the historical ``EventCounter``
+name is an alias of :class:`~repro.instrument.metrics.Counter` and keeps
+the same ``increment``/``snapshot``/``delta``/``reset`` surface.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from .metrics import REGISTRY, Counter
 
 __all__ = ["EventCounter", "FORCE_EVALUATIONS", "NEIGHBOR_BUILDS"]
 
-
-@dataclass
-class EventCounter:
-    """A named monotonic event count with snapshot/delta support."""
-
-    name: str
-    count: int = 0
-
-    def increment(self, n: int = 1) -> None:
-        self.count += n
-
-    def reset(self) -> None:
-        self.count = 0
-
-    def snapshot(self) -> int:
-        return self.count
-
-    def delta(self, since: int) -> int:
-        return self.count - since
-
+#: Back-compat alias: the old ad-hoc counter class is now the registry's.
+EventCounter = Counter
 
 #: Incremented once per non-bonded kernel evaluation (see
 #: :meth:`repro.md.nonbonded.NonbondedKernel.compute`).
-FORCE_EVALUATIONS = EventCounter("force_evaluations")
+FORCE_EVALUATIONS = REGISTRY.counter("md.force_evaluations")
 
 #: Incremented once per *real* neighbour-list construction (see
 #: :meth:`repro.md.neighborlist.NeighborList.build`).  The shared-compute
 #: layer (:mod:`repro.parallel.shared`) promises one real build per rebuild
 #: event regardless of the simulated rank count; tests assert the delta.
-NEIGHBOR_BUILDS = EventCounter("neighbor_builds")
+NEIGHBOR_BUILDS = REGISTRY.counter("md.neighbor_builds")

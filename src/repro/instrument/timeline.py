@@ -11,9 +11,9 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Callable, Iterator
 
-__all__ = ["Category", "PhaseTotals", "Timeline"]
+__all__ = ["Category", "PhaseTotals", "Timeline", "KNOWN_PHASES", "register_phase"]
 
 
 class Category:
@@ -24,6 +24,20 @@ class Category:
     SYNC = "sync"
 
     ALL = (COMP, COMM, SYNC)
+
+
+#: Phase names a :class:`Timeline` accepts.  The paper's breakdown has
+#: exactly two measured phases plus the implicit default; a typo'd phase
+#: used to create a silent new bucket and skew every fraction downstream,
+#: so ``add`` now rejects anything not registered here.
+KNOWN_PHASES: set[str] = {"default", "classic", "pme"}
+
+
+def register_phase(name: str) -> None:
+    """Allow ``name`` as a :class:`Timeline` phase (new workloads, tests)."""
+    if not name or not isinstance(name, str):
+        raise ValueError(f"phase name must be a non-empty string, got {name!r}")
+    KNOWN_PHASES.add(name)
 
 
 @dataclass
@@ -77,13 +91,29 @@ class Timeline:
     phases: dict[str, PhaseTotals] = field(default_factory=dict)
     _current: str = "default"
     _forced: str | None = None
+    #: optional span-tracer hook called as ``sink(phase, category, dt)``
+    #: after every accepted attribution; see
+    #: :meth:`repro.instrument.tracing.SpanTracer.attach_rank`.  Never
+    #: part of equality or repr — a traced timeline equals an untraced one.
+    _sink: Callable[[str, str, float], None] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def current_phase(self) -> str:
         return self._current
 
+    def attach_sink(self, sink: Callable[[str, str, float], None] | None) -> None:
+        """Install (or clear) the per-attribution observer hook."""
+        self._sink = sink
+
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
+        if name not in KNOWN_PHASES:
+            raise ValueError(
+                f"unknown phase {name!r}; known: {sorted(KNOWN_PHASES)} "
+                "(register_phase() to extend)"
+            )
         previous = self._current
         self._current = name
         try:
@@ -109,8 +139,15 @@ class Timeline:
             self._forced = previous
 
     def add(self, category: str, dt: float) -> None:
+        if self._current not in KNOWN_PHASES:
+            raise ValueError(
+                f"unknown phase {self._current!r}; known: {sorted(KNOWN_PHASES)} "
+                "(register_phase() to extend)"
+            )
         effective = self._forced if self._forced is not None else category
         self.phases.setdefault(self._current, PhaseTotals()).add(effective, dt)
+        if self._sink is not None:
+            self._sink(self._current, effective, dt)
 
     # ------------------------------------------------------------------
     def phase_totals(self, name: str) -> PhaseTotals:

@@ -38,9 +38,11 @@ class MPIWorld:
     that asserts size/dtype agreement on every matched message and
     validates every transfer window; ``trace`` (a
     :class:`~repro.instrument.commstats.CommTrace`) records every
-    send/recv/collective event for the schedule analyzer.  Both are
-    passive: they never charge virtual time or draw random numbers, so
-    sanitized/traced runs are bit-identical to plain ones.
+    send/recv/collective event for the schedule analyzer; ``span_tracer``
+    (a :class:`~repro.instrument.tracing.SpanTracer`) mirrors every
+    timeline attribution of every rank as a virtual-clock span.  All
+    three are passive: they never charge virtual time or draw random
+    numbers, so sanitized/traced runs are bit-identical to plain ones.
     """
 
     def __init__(
@@ -50,6 +52,7 @@ class MPIWorld:
         *,
         sanitize: bool = False,
         trace=None,
+        span_tracer=None,
     ) -> None:
         from .endpoint import RankEndpoint  # local import to avoid a cycle
 
@@ -67,6 +70,9 @@ class MPIWorld:
         self._msgs: dict[tuple[int, int, int], deque[Message]] = {}
         self._recvs: dict[tuple[int, int, int], deque[RecvPost]] = {}
         self.endpoints = [RankEndpoint(self, r) for r in range(spec.n_ranks)]
+        if span_tracer is not None:
+            for ep in self.endpoints:
+                span_tracer.attach_rank(ep.rank, ep.timeline)
 
     @property
     def size(self) -> int:

@@ -36,6 +36,7 @@ from .shared import SharedComputeCache
 if TYPE_CHECKING:  # avoid the core -> parallel -> core import cycle
     from ..core.design import DesignPoint
     from ..instrument.commstats import CommTrace
+    from ..instrument.tracing import SpanTracer
 
 __all__ = ["RunOptions", "run_parallel_md", "make_middleware", "rank_system_clone"]
 
@@ -83,6 +84,12 @@ class RunOptions:
         given, every send/recv/collective event is recorded for the
         schedule analyzer and the trace is attached to
         ``result.extra["comm_trace"]``.
+    span_tracer:
+        Optional :class:`~repro.instrument.tracing.SpanTracer`; when
+        given, every timeline attribution of every rank is mirrored as a
+        virtual-clock span (exportable as Chrome trace-event JSON).
+        Passive — the run is bit-identical with or without it, and the
+        spans charge zero virtual seconds.
     shared_compute:
         Deduplicate replicated-data computations (neighbour-list builds,
         PME stencils, once-per-run setup) across the simulated ranks via
@@ -96,6 +103,7 @@ class RunOptions:
     cost: MachineCostModel = PIII_1GHZ
     sanitize: bool = False
     trace: "CommTrace | None" = None
+    span_tracer: "SpanTracer | None" = None
     shared_compute: bool = True
 
     @classmethod
@@ -107,6 +115,7 @@ class RunOptions:
         cost: MachineCostModel = PIII_1GHZ,
         sanitize: bool = False,
         trace: "CommTrace | None" = None,
+        span_tracer: "SpanTracer | None" = None,
         shared_compute: bool = True,
     ) -> "RunOptions":
         """THE :class:`DesignPoint` → :class:`RunOptions` conversion.
@@ -124,6 +133,7 @@ class RunOptions:
             cost=cost,
             sanitize=sanitize,
             trace=trace,
+            span_tracer=span_tracer,
             shared_compute=shared_compute,
         )
 
@@ -205,7 +215,10 @@ def run_parallel_md(
 
     decomp = AtomDecomposition(system.n_atoms, cluster.n_ranks)
     sim = Simulator()
-    world = MPIWorld(sim, cluster, sanitize=opts.sanitize, trace=opts.trace)
+    world = MPIWorld(
+        sim, cluster,
+        sanitize=opts.sanitize, trace=opts.trace, span_tracer=opts.span_tracer,
+    )
     shared = SharedComputeCache() if opts.shared_compute else None
 
     procs = []

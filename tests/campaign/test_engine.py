@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.campaign import CampaignEngine, CampaignManifest, ResultStore
+from repro.campaign import CampaignManifest, ResultStore
 from repro.campaign.keys import SCHEMA_VERSION
 from repro.campaign.store import record_to_dict
 from repro.campaign.workloads import build_workload

@@ -211,7 +211,8 @@ class TestExpiryReclamation:
         baseline = FORCE_EVALUATIONS.snapshot()
         reopened = ResultStore(tmp_path / "host-a")
         stats = work_campaign(leases, reopened, "worker-a", ttl=60, now=clock)
-        assert stats == {"claimed": 1, "executed": 0, "hits": 1, "failed": 0, "lost": 0}
+        counts = {k: stats[k] for k in ("claimed", "executed", "hits", "failed", "lost")}
+        assert counts == {"claimed": 1, "executed": 0, "hits": 1, "failed": 0, "lost": 0}
         assert FORCE_EVALUATIONS.delta(baseline) == 0
         assert board.done()
 

@@ -1,0 +1,250 @@
+"""Campaign observability: metrics in manifests, run logs, traces, dashboard.
+
+The hard invariant rides along everywhere: observability is passive —
+records, stores and timings are bit-identical whether or not metrics,
+logs or traces are being collected (the engine collects them always; the
+span traces only when ``trace_dir`` is set).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    LeaseBoard,
+    ResultStore,
+    dashboard,
+    merge_into_store,
+    point_trace_path,
+    publish_campaign,
+    verify_stores_match,
+    work_campaign,
+)
+from repro.campaign.dashboard import dashboard_data
+from repro.instrument.runlog import read_runlog, reconstruct_history
+from repro.instrument.tracing import validate_chrome_trace
+
+from .conftest import tiny_engine, tiny_points
+
+
+class FakeClock:
+    def __init__(self, t: float = 1000.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestEngineMetrics:
+    def test_manifest_carries_the_campaign_metrics_delta(self, store_root):
+        engine = tiny_engine(store_root)
+        result = engine.run(tiny_points())
+        metrics = result.manifest.metrics
+        counters = metrics["counters"]
+        assert counters["campaign.points"]["labels"] == {"status=ran": 2}
+        assert counters["campaign.cache_misses"]["total"] == 2
+        assert counters["run.points_executed"]["total"] == 2
+        assert metrics["histograms"]["campaign.point_wall_seconds"]["count"] == 2
+        # the manifest on disk has them too (post-json round trip)
+        man_path = store_root / "manifests" / f"{result.manifest.campaign_id}.json"
+        doc = json.loads(man_path.read_text())
+        assert doc["metrics"]["counters"]["campaign.points"]["total"] == 2
+
+    def test_second_run_counts_hits_not_work(self, store_root):
+        tiny_engine(store_root).run(tiny_points())
+        result = tiny_engine(store_root).run(tiny_points())
+        counters = result.manifest.metrics["counters"]
+        assert counters["campaign.points"]["labels"] == {"status=hit": 2}
+        assert counters["campaign.cache_hits"]["total"] == 2
+        assert "run.points_executed" not in counters
+
+    def test_pool_worker_metrics_fold_into_the_manifest(self, store_root):
+        engine = tiny_engine(store_root, n_workers=2)
+        result = engine.run(tiny_points())
+        counters = result.manifest.metrics["counters"]
+        # the execution happened in worker processes; their deltas carry
+        # the MD work counters back to the parent's manifest
+        assert counters["run.points_executed"]["total"] == 2
+        assert counters["md.force_evaluations"]["total"] > 0
+
+
+class TestEngineRunLog:
+    def test_inline_run_leaves_a_replayable_event_log(self, store_root):
+        engine = tiny_engine(store_root)
+        result = engine.run(tiny_points())
+        cid = result.manifest.campaign_id
+        log_path = store_root / "logs" / f"campaign-{cid}.jsonl"
+        events = list(read_runlog(log_path))
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "campaign_start"
+        assert kinds[-1] == "campaign_end"
+        assert kinds.count("point_launch") == 2
+        assert kinds.count("point_retire") == 2
+        assert all(e["campaign"] == cid for e in events)
+
+        history = reconstruct_history([log_path])
+        for key in (p.key for p in result.manifest.points):
+            assert [e["event"] for e in history[key]] == [
+                "point_launch", "point_retire",
+            ]
+
+    def test_rerun_logs_hits(self, store_root):
+        tiny_engine(store_root).run(tiny_points())
+        result = tiny_engine(store_root).run(tiny_points())
+        cid = result.manifest.campaign_id
+        events = list(read_runlog(store_root / "logs" / f"campaign-{cid}.jsonl"))
+        hits = [e for e in events if e["event"] == "point_hit"]
+        assert len(hits) == 2
+
+
+class TestTraceDir:
+    def test_traced_campaign_writes_valid_traces_and_identical_records(
+        self, tmp_path
+    ):
+        trace_dir = tmp_path / "traces"
+        traced = tiny_engine(tmp_path / "a", trace_dir=str(trace_dir))
+        plain = tiny_engine(tmp_path / "b")
+        points = tiny_points()
+        traced.run(points)
+        plain.run(points)
+
+        # bit-identical stores with tracing on vs off
+        assert verify_stores_match(
+            ResultStore(tmp_path / "a"), ResultStore(tmp_path / "b")
+        ) == []
+
+        # one point trace per executed point, each structurally valid
+        for point in points:
+            path = point_trace_path(trace_dir, traced.key_for(point))
+            doc = json.loads(path.read_text())
+            assert validate_chrome_trace(doc) == []
+            assert any(ev.get("ph") == "X" for ev in doc["traceEvents"])
+
+        # plus the engine's host-side trace
+        (host_trace,) = sorted(trace_dir.glob("campaign-*-host.trace.json"))
+        doc = json.loads(host_trace.read_text())
+        assert validate_chrome_trace(doc) == []
+        assert sum(1 for ev in doc["traceEvents"] if ev.get("ph") == "X") == 2
+
+    def test_untraced_engine_writes_no_trace_files(self, tmp_path):
+        engine = tiny_engine(tmp_path / "a")
+        engine.run(tiny_points())
+        assert not list(tmp_path.glob("**/*.trace.json"))
+
+
+class TestFederatedObservability:
+    def test_two_worker_campaign_merges_metrics_and_reconstructs_history(
+        self, tmp_path
+    ):
+        clock = FakeClock()
+        engine = tiny_engine()
+        points = tiny_points(ranks=(1, 2, 4))
+        leases = tmp_path / "leases.json"
+        publish_campaign(engine, points, leases, now=clock)
+
+        a = ResultStore(tmp_path / "host-a")
+        b = ResultStore(tmp_path / "host-b")
+        sa = work_campaign(leases, a, "wa", max_points=2, now=clock)
+        sb = work_campaign(leases, b, "wb", now=clock)
+        assert sa["metrics"]["counters"]["run.points_executed"]["total"] == 2
+        assert sb["metrics"]["counters"]["run.points_executed"]["total"] == 1
+
+        # each worker dumped its delta next to its store
+        assert (tmp_path / "host-a" / "metrics-wa.json").exists()
+        assert (tmp_path / "host-b" / "metrics-wb.json").exists()
+
+        merged = ResultStore(tmp_path / "merged")
+        stats = merge_into_store(merged, [a, b])
+        manifest = stats["manifest"]
+        counters = manifest.metrics["counters"]
+        assert counters["run.points_executed"]["total"] == 3
+        assert counters["leases.claimed"]["labels"] == {
+            "worker=wa": 2, "worker=wb": 1,
+        }
+
+        # merged logs reconstruct the full point -> attempt -> host story
+        log_files = sorted((tmp_path / "merged" / "logs").glob("worker-*.jsonl"))
+        assert [p.name for p in log_files] == ["worker-wa.jsonl", "worker-wb.jsonl"]
+        history = reconstruct_history(log_files)
+        for lease in LeaseBoard(leases, now=clock).leases():
+            events = history[lease.key]
+            assert [e["event"] for e in events] == [
+                "lease_claim", "point_executed", "lease_complete",
+            ]
+            assert {e["worker"] for e in events} <= {"wa", "wb"}
+            assert all(e["attempt"] == 0 for e in events)
+
+    def test_reclaimed_lease_shows_up_in_metrics_and_logs(self, tmp_path):
+        from repro.instrument.metrics import REGISTRY
+
+        clock = FakeClock()
+        engine = tiny_engine()
+        leases = tmp_path / "leases.json"
+        publish_campaign(engine, tiny_points(ranks=(1,)), leases, now=clock)
+
+        board = LeaseBoard(leases, now=clock)
+        assert board.claim("dead-worker", ttl=60) is not None
+        clock.advance(61)
+
+        before = REGISTRY.snapshot()
+        store = ResultStore(tmp_path / "host-b")
+        work_campaign(leases, store, "wb", now=clock)
+        delta = REGISTRY.delta(before)
+        assert delta["counters"]["leases.reclaimed"]["total"] == 1
+
+        history = reconstruct_history(
+            [tmp_path / "host-b" / "logs" / "worker-wb.jsonl"]
+        )
+        (key,) = [k for k in history if k]
+        assert history[key][0]["attempt"] == 1  # the reclaim is visible
+
+
+class TestDashboard:
+    def test_dashboard_reads_board_and_store_without_mutating(self, tmp_path):
+        clock = FakeClock()
+        engine = tiny_engine()
+        leases = tmp_path / "leases.json"
+        publish_campaign(engine, tiny_points(ranks=(1, 2)), leases, now=clock)
+        board = LeaseBoard(leases, now=clock)
+
+        store = ResultStore(tmp_path / "host-a")
+        work_campaign(leases, store, "wa", max_points=1, now=clock)
+        board.claim("wb", ttl=60)
+        before = (tmp_path / "leases.json").read_bytes()
+
+        data = dashboard_data(store, board, now=clock())
+        assert data["counts"] == {"pending": 0, "leased": 1, "done": 1}
+        assert data["entries"] == 1
+        (flight,) = data["in_flight"]
+        assert flight["worker"] == "wb"
+        assert flight["seconds_left"] == pytest.approx(60.0)
+        assert data["workers"]["wa"]["points"] == 1
+        assert data["eta_seconds"] is None or data["eta_seconds"] >= 0
+
+        text = dashboard(store, board, now=clock())
+        assert "1 in flight" in text
+        assert "wb" in text
+        assert "throughput:" in text
+        assert (tmp_path / "leases.json").read_bytes() == before  # untouched
+
+    def test_expired_lease_is_flagged(self, tmp_path):
+        clock = FakeClock()
+        engine = tiny_engine()
+        leases = tmp_path / "leases.json"
+        publish_campaign(engine, tiny_points(ranks=(1,)), leases, now=clock)
+        board = LeaseBoard(leases, now=clock)
+        board.claim("w-dead", ttl=60)
+        clock.advance(120)
+        data = dashboard_data(None, board, now=clock())
+        assert data["expired"] == 1
+        assert "EXPIRED" in dashboard(None, board, now=clock())
+
+    def test_store_only_view(self, store_root):
+        tiny_engine(store_root).run(tiny_points())
+        text = dashboard(ResultStore(store_root), None)
+        assert "2 cached result(s)" in text

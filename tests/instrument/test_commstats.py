@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cluster.state import TransferRecord
-from repro.instrument import MIN_DATA_BYTES, communication_speeds
+from repro.instrument import MIN_DATA_BYTES, CommTrace, communication_speeds
 
 
 def _rec(nbytes, duration, start=0.0, src=0, dst=1):
@@ -46,3 +46,38 @@ class TestCommunicationSpeeds:
     def test_zero_duration_excluded(self):
         stats = communication_speeds([_rec(1_000_000, 0.0)])
         assert stats.n_transfers == 0
+
+    def test_all_transfers_below_threshold_is_the_empty_summary(self):
+        small = [_rec(MIN_DATA_BYTES - 1, 0.001, start=float(i)) for i in range(5)]
+        stats = communication_speeds(small)
+        assert stats.n_transfers == 0
+        assert (stats.mean, stats.minimum, stats.maximum) == (0.0, 0.0, 0.0)
+        assert stats.spread == 0.0
+
+    def test_single_node_traffic_still_counts_by_rate(self):
+        # one node talking to itself (src == dst): the summary is over
+        # transfer records, not node pairs, so it must not divide by zero
+        # or drop the observation
+        stats = communication_speeds([_rec(1_000_000, 0.02, src=0, dst=0)])
+        assert stats.n_transfers == 1
+        assert stats.mean == pytest.approx(50.0)
+        assert stats.spread == 0.0
+
+
+class TestEmptyCommTrace:
+    def test_empty_trace_has_no_events_of_any_kind(self):
+        trace = CommTrace()
+        assert len(trace) == 0
+        assert trace.by_kind("send") == []
+        assert trace.by_kind("recv") == []
+        assert trace.by_kind("collective") == []
+
+    def test_empty_trace_collective_sequence_is_empty_for_any_rank(self):
+        trace = CommTrace()
+        assert trace.collective_ops(0) == []
+        assert trace.collective_ops(17) == []
+
+    def test_empty_trace_analyzes_clean(self):
+        from repro.analysis import analyze_trace
+
+        assert analyze_trace(CommTrace(), 4) == []

@@ -1,0 +1,81 @@
+"""Structured JSONL run logs and cross-host history reconstruction."""
+
+import json
+
+from repro.instrument.runlog import RunLog, read_runlog, reconstruct_history
+
+
+class FakeClock:
+    def __init__(self, t=100.0):
+        self.t = t
+
+    def __call__(self):
+        self.t += 1.0
+        return self.t
+
+
+class TestRunLog:
+    def test_events_carry_context_and_land_on_disk(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        log = RunLog(path, now=FakeClock(), campaign="abc123")
+        log.log("campaign_start", n_points=3)
+        log.log("point_hit", key="k1")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["event"] == "campaign_start"
+        assert first["campaign"] == "abc123"
+        assert "host" in first
+
+    def test_bind_shares_the_file_and_adds_context(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        log = RunLog(path, now=FakeClock(), campaign="abc")
+        child = log.bind(key="k1", attempt=2)
+        child.log("lease_claim")
+        (ev,) = list(read_runlog(path))
+        assert (ev["campaign"], ev["key"], ev["attempt"]) == ("abc", "k1", 2)
+        # the parent saw the child's event too (shared buffer)
+        assert log.events[-1]["event"] == "lease_claim"
+
+    def test_memory_only_log_writes_nothing(self):
+        log = RunLog(None, now=FakeClock())
+        log.log("x")
+        assert log.path is None
+        assert len(log.events) == 1
+
+    def test_read_skips_a_torn_tail(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        RunLog(path, now=FakeClock()).log("ok")
+        with path.open("a") as fh:
+            fh.write('{"event": "torn", "ts"')  # crashed mid-write
+        events = list(read_runlog(path))
+        assert [e["event"] for e in events] == ["ok"]
+
+    def test_read_missing_file_is_empty(self, tmp_path):
+        assert list(read_runlog(tmp_path / "nope.jsonl")) == []
+
+
+class TestReconstructHistory:
+    def test_merges_hosts_and_orders_each_point(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        log_a = RunLog(a, now=FakeClock(0.0), worker="wa")
+        log_b = RunLog(b, now=FakeClock(0.5), worker="wb")
+        log_a.log("lease_claim", key="k1", attempt=0)
+        log_b.log("lease_claim", key="k2", attempt=0)
+        log_a.log("point_executed", key="k1", attempt=0)
+        log_b.log("lease_complete", key="k2", attempt=0)
+        log_a.log("worker_done")
+
+        history = reconstruct_history([a, b])
+        assert [e["event"] for e in history["k1"]] == ["lease_claim", "point_executed"]
+        assert [e["event"] for e in history["k2"]] == ["lease_claim", "lease_complete"]
+        assert {e["worker"] for e in history["k1"]} == {"wa"}
+        assert [e["event"] for e in history[""]] == ["worker_done"]
+
+    def test_ties_break_on_attempt_then_event(self):
+        events = [
+            {"ts": 1.0, "event": "b", "key": "k", "attempt": 2},
+            {"ts": 1.0, "event": "a", "key": "k", "attempt": 1},
+        ]
+        history = reconstruct_history([events])
+        assert [e["attempt"] for e in history["k"]] == [1, 2]

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.instrument import Category, PhaseTotals, Timeline
+from repro.instrument import KNOWN_PHASES, Category, PhaseTotals, Timeline, register_phase
 
 
 class TestPhaseTotals:
@@ -57,9 +57,9 @@ class TestTimeline:
 
     def test_grand_total(self):
         tl = Timeline()
-        with tl.phase("a"):
+        with tl.phase("classic"):
             tl.add(Category.COMP, 1.0)
-        with tl.phase("b"):
+        with tl.phase("pme"):
             tl.add(Category.COMM, 2.0)
         g = tl.grand_total()
         assert g.total == pytest.approx(3.0)
@@ -88,3 +88,59 @@ class TestTimeline:
 
     def test_unknown_phase_is_empty(self):
         assert Timeline().phase_totals("missing").total == 0.0
+
+
+class TestKnownPhases:
+    def test_phase_context_rejects_unregistered_name(self):
+        tl = Timeline()
+        with pytest.raises(ValueError, match="unknown phase"):
+            with tl.phase("typo-phase"):
+                pass
+
+    def test_add_rejects_unregistered_current_phase(self):
+        tl = Timeline(_current="typo-phase")  # bypass the context manager
+        with pytest.raises(ValueError, match="unknown phase"):
+            tl.add(Category.COMP, 1.0)
+
+    def test_register_phase_opens_a_new_bucket(self):
+        register_phase("ewald-test-phase")
+        try:
+            tl = Timeline()
+            with tl.phase("ewald-test-phase"):
+                tl.add(Category.COMP, 1.0)
+            assert tl.phase_totals("ewald-test-phase").comp == 1.0
+        finally:
+            KNOWN_PHASES.discard("ewald-test-phase")
+
+    def test_register_phase_validates_the_name(self):
+        with pytest.raises(ValueError):
+            register_phase("")
+        with pytest.raises(ValueError):
+            register_phase(None)
+
+
+class TestSink:
+    def test_sink_sees_every_attribution_without_changing_totals(self):
+        seen = []
+        tl = Timeline()
+        tl.attach_sink(lambda phase, cat, dt: seen.append((phase, cat, dt)))
+        tl.add(Category.COMP, 1.0)
+        with tl.phase("pme"):
+            tl.add(Category.COMM, 0.5)
+        assert seen == [("default", "comp", 1.0), ("pme", "comm", 0.5)]
+        assert tl.total_seconds() == pytest.approx(1.5)
+
+    def test_sink_sees_the_forced_category(self):
+        seen = []
+        tl = Timeline()
+        tl.attach_sink(lambda phase, cat, dt: seen.append(cat))
+        with tl.as_category(Category.SYNC):
+            tl.add(Category.COMM, 1.0)
+        assert seen == ["sync"]
+
+    def test_traced_timeline_equals_untraced(self):
+        a, b = Timeline(), Timeline()
+        b.attach_sink(lambda *args: None)
+        a.add(Category.COMP, 1.0)
+        b.add(Category.COMP, 1.0)
+        assert a == b

@@ -1,0 +1,207 @@
+"""Span tracing: two clocks, Chrome export, and the zero-cost invariant."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.instrument.timeline import Category, Timeline
+from repro.instrument.tracing import (
+    VIRTUAL_PID_BASE,
+    SpanTracer,
+    validate_chrome_trace,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 50.0
+
+    def advance(self, dt):
+        self.t += dt
+
+    def __call__(self):
+        return self.t
+
+
+class TestVirtualSide:
+    def test_attributions_tile_the_rank_cursor(self):
+        tracer = SpanTracer(clock=FakeClock())
+        tl = Timeline()
+        tracer.attach_rank(0, tl)
+        tl.add(Category.COMP, 1.0)
+        with tl.phase("pme"):
+            tl.add(Category.COMM, 0.25)
+        spans = [s for s in tracer.spans if s.pid == VIRTUAL_PID_BASE]
+        assert [(s.name, s.start, s.duration) for s in spans] == [
+            ("default:comp", 0.0, 1.0),
+            ("pme:comm", 1.0, 0.25),
+        ]
+        assert tracer.virtual_seconds(0) == pytest.approx(1.25)
+        assert tracer.virtual_seconds(0) == pytest.approx(tl.total_seconds())
+
+    def test_zero_duration_attributions_advance_nothing_and_emit_nothing(self):
+        tracer = SpanTracer(clock=FakeClock())
+        tl = Timeline()
+        tracer.attach_rank(3, tl)
+        tl.add(Category.SYNC, 0.0)
+        tl.add(Category.COMP, 2.0)
+        (span,) = tracer.spans
+        assert span.start == 0.0
+        assert span.pid == VIRTUAL_PID_BASE + 3
+
+    def test_ranks_get_distinct_pids(self):
+        tracer = SpanTracer(clock=FakeClock())
+        tls = [Timeline() for _ in range(3)]
+        for r, tl in enumerate(tls):
+            tracer.attach_rank(r, tl)
+            tl.add(Category.COMP, 1.0)
+        assert {s.pid for s in tracer.spans} == {
+            VIRTUAL_PID_BASE, VIRTUAL_PID_BASE + 1, VIRTUAL_PID_BASE + 2,
+        }
+
+
+class TestWallSide:
+    def test_span_context_manager_measures_the_clock(self):
+        clock = FakeClock()
+        tracer = SpanTracer(clock=clock)
+        with tracer.span("merge", track="store", n=3):
+            clock.advance(2.0)
+        (span,) = tracer.spans
+        assert span.name == "merge"
+        assert span.duration == pytest.approx(2.0)
+        assert span.args["n"] == 3
+        assert span.pid < VIRTUAL_PID_BASE
+
+    def test_begin_end_carries_late_args(self):
+        clock = FakeClock()
+        tracer = SpanTracer(clock=clock)
+        handle = tracer.begin("point", track="pool", key="abc")
+        clock.advance(1.0)
+        handle.end(status="ran")
+        (span,) = tracer.spans
+        assert span.args == {"key": "abc", "status": "ran"}
+
+    def test_tracks_get_stable_distinct_pids(self):
+        tracer = SpanTracer(clock=FakeClock())
+        with tracer.span("a", track="engine"):
+            pass
+        with tracer.span("b", track="pool"):
+            pass
+        with tracer.span("c", track="engine"):
+            pass
+        pids = [s.pid for s in tracer.spans]
+        assert pids[0] == pids[2] != pids[1]
+
+
+class TestChromeExport:
+    def test_valid_document_with_named_pids(self):
+        tracer = SpanTracer(clock=FakeClock())
+        tl = Timeline()
+        tracer.attach_rank(0, tl)
+        tl.add(Category.COMP, 1.5)
+        with tracer.span("host work"):
+            pass
+        doc = tracer.to_chrome()
+        assert validate_chrome_trace(doc) == []
+        names = {
+            ev["args"]["name"]
+            for ev in doc["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "process_name"
+        }
+        assert "rank 0 (virtual)" in names
+        assert "host (wall)" in names
+        slices = [ev for ev in doc["traceEvents"] if ev["ph"] == "X"]
+        virtual = [ev for ev in slices if ev["pid"] == VIRTUAL_PID_BASE]
+        assert virtual[0]["dur"] == pytest.approx(1.5e6)  # seconds -> us
+
+    def test_write_round_trips_through_json(self, tmp_path):
+        tracer = SpanTracer(clock=FakeClock())
+        with tracer.span("x"):
+            pass
+        path = tracer.write(tmp_path / "deep" / "trace.json")
+        doc = json.loads(path.read_text())
+        assert validate_chrome_trace(doc) == []
+
+    def test_validator_catches_broken_documents(self):
+        assert validate_chrome_trace({}) == ["no traceEvents list"]
+        bad = {"traceEvents": [
+            {"ph": "X", "name": "s", "ts": -1.0, "dur": 1.0, "pid": 9, "tid": 0},
+        ]}
+        problems = validate_chrome_trace(bad)
+        assert any("bad ts" in p for p in problems)
+        assert any("unnamed pid" in p for p in problems)
+
+
+@pytest.fixture(scope="module")
+def myoglobin_pme_runs():
+    """One traced + one untraced p=4 myoglobin-PME run (module-shared)."""
+    from repro import (
+        MDRunConfig,
+        PlatformConfig,
+        RunOptions,
+        myoglobin_system,
+        myoglobin_workload,
+        run_parallel_md,
+    )
+
+    config = PlatformConfig(network="tcp-gige", middleware="mpi", cpus_per_node=1)
+    spec = config.cluster_spec(4, seed=2002)
+    mg = myoglobin_workload()
+    run_config = MDRunConfig(n_steps=2)
+
+    plain = run_parallel_md(
+        myoglobin_system("pme"), mg.positions, spec,
+        RunOptions(config=run_config),
+    )
+    tracer = SpanTracer()
+    traced = run_parallel_md(
+        myoglobin_system("pme"), mg.positions, spec,
+        RunOptions(config=run_config, span_tracer=tracer),
+    )
+    return plain, traced, tracer
+
+
+class TestTracedRunInvariants:
+    """The hard invariant: tracing changes nothing and costs zero virtual time."""
+
+    def test_traced_run_is_bit_identical(self, myoglobin_pme_runs):
+        plain, traced, _ = myoglobin_pme_runs
+        assert len(plain.energies) == len(traced.energies)
+        for a, b in zip(plain.energies, traced.energies):
+            assert a.total == b.total
+        np.testing.assert_array_equal(plain.final_positions, traced.final_positions)
+        assert plain.timelines == traced.timelines
+        assert plain.wall_time() == traced.wall_time()
+
+    def test_tracing_charges_zero_extra_virtual_seconds(self, myoglobin_pme_runs):
+        _, traced, tracer = myoglobin_pme_runs
+        for rank, tl in enumerate(traced.timelines):
+            pid = VIRTUAL_PID_BASE + rank
+            span_total = sum(s.duration for s in tracer.spans if s.pid == pid)
+            # the spans tile the rank's attributed time exactly: no span
+            # charged a single extra virtual second anywhere
+            assert span_total == pytest.approx(tl.total_seconds(), abs=1e-12)
+            assert tracer.virtual_seconds(rank) == pytest.approx(
+                tl.total_seconds(), abs=1e-12
+            )
+
+    def test_trace_is_structurally_valid_chrome_json(self, myoglobin_pme_runs):
+        _, traced, tracer = myoglobin_pme_runs
+        doc = json.loads(json.dumps(tracer.to_chrome()))
+        assert validate_chrome_trace(doc) == []
+        slices = [ev for ev in doc["traceEvents"] if ev["ph"] == "X"]
+        pids = {ev["pid"] for ev in slices}
+        assert pids == {VIRTUAL_PID_BASE + r for r in range(4)}
+
+    def test_span_names_match_timeline_phases_and_categories(self, myoglobin_pme_runs):
+        _, traced, tracer = myoglobin_pme_runs
+        expected = set()
+        for tl in traced.timelines:
+            for phase, totals in tl.phases.items():
+                for cat in Category.ALL:
+                    if getattr(totals, cat) > 0:
+                        expected.add(f"{phase}:{cat}")
+        assert {s.name for s in tracer.spans} == expected
+        assert {s.args["category"] for s in tracer.spans} <= set(Category.ALL)
+        assert {s.cat for s in tracer.spans} <= {"default", "classic", "pme"}
