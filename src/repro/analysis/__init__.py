@@ -1,6 +1,6 @@
 """Communication-correctness analyzer for the coroutine-collective protocol.
 
-Three layers, one rule namespace (REP1xx/2xx/3xx, see
+Five layers, one rule namespace (REP1xx–REP5xx, see
 :mod:`repro.analysis.rules`):
 
 * :mod:`repro.analysis.lint` — static AST lint for dropped generators,
@@ -8,25 +8,74 @@ Three layers, one rule namespace (REP1xx/2xx/3xx, see
 * :mod:`repro.analysis.schedule` — deadlock/race diagnosis over a
   recorded per-rank communication trace;
 * :mod:`repro.analysis.sanitizer` — opt-in runtime invariant checks
-  (message size/dtype agreement, transfer windows, timeline accounting,
-  clean shutdown).
+  (message size/dtype agreement, transfer windows, timeline accounting
+  — per collective and at shutdown — clean queues);
+* :mod:`repro.analysis.static_schedule` — symbolic schedule extraction
+  from the rank-program sources: deadlock/tag-race/type-agreement
+  proofs for every rank count up to a bound, with no run executed,
+  plus conformance against declared
+  :class:`~repro.analysis.contract.ScheduleContract` values;
+* :mod:`repro.analysis.determinism` — lint protecting the
+  bit-identical-results invariant (unseeded RNG, wall-clock reads,
+  hash-order iteration, unordered float accumulation, host identity).
 
-Entry points: ``python -m repro analyze [paths] [--sanitize-run]`` on
-the command line, or the functions re-exported here as a library.
+Findings are suppressed inline (``# repro: noqa[REP503]``) or
+grandfathered by fingerprint in ``.repro-analysis-baseline.json``
+(:mod:`repro.analysis.baseline`), and export as SARIF 2.1.0 for GitHub
+code scanning (:mod:`repro.analysis.sarif`).
+
+Entry points: ``python -m repro analyze [paths] [--static] [--sarif out]
+[--crosscheck] [--sanitize-run]`` on the command line, or the functions
+re-exported here as a library.
 """
 
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .contract import ContractOp, ScheduleContract
+from .determinism import lint_determinism_paths, lint_determinism_source
 from .lint import lint_paths, lint_source
 from .rules import RULES, Diagnostic, Rule
-from .sanitizer import Sanitizer, SanitizerError
+from .sanitizer import SanitizedMiddleware, Sanitizer, SanitizerError
+from .sarif import to_sarif, write_sarif
 from .schedule import analyze_trace
+from .static_schedule import (
+    crosscheck_against_trace,
+    static_step_events,
+    verify_contract_conformance,
+    verify_middleware_collectives,
+    verify_rank_program_source,
+    verify_static,
+    verify_strategy,
+)
+from .symbolic import Block, SymSize, SymTag, summarize_p_set
 
 __all__ = [
     "analyze_trace",
+    "apply_baseline",
+    "Block",
+    "ContractOp",
+    "crosscheck_against_trace",
     "Diagnostic",
+    "lint_determinism_paths",
+    "lint_determinism_source",
     "lint_paths",
     "lint_source",
+    "load_baseline",
     "Rule",
     "RULES",
+    "SanitizedMiddleware",
     "Sanitizer",
     "SanitizerError",
+    "ScheduleContract",
+    "static_step_events",
+    "summarize_p_set",
+    "SymSize",
+    "SymTag",
+    "to_sarif",
+    "verify_contract_conformance",
+    "verify_middleware_collectives",
+    "verify_rank_program_source",
+    "verify_static",
+    "verify_strategy",
+    "write_baseline",
+    "write_sarif",
 ]

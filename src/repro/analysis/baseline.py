@@ -1,0 +1,139 @@
+"""Baseline suppression for analyzer findings.
+
+Two suppression mechanisms, mirroring what mature linters converge on:
+
+* **Inline** — a trailing ``# repro: noqa[REP503]`` comment (the legacy
+  ``# noqa: REP503`` spelling is honoured too) silences a finding on
+  that exact line.  Use it where the code is *deliberately* doing the
+  flagged thing and a one-line justification fits in the comment.
+
+* **Baseline file** — ``.repro-analysis-baseline.json`` at the repo
+  root grandfathers pre-existing findings by fingerprint so a new rule
+  can land with the gate green and the debt visible.  Fingerprints
+  (:meth:`repro.analysis.rules.Diagnostic.fingerprint`) hash the rule,
+  the file and the message but *not* the line number, so unrelated
+  edits above a grandfathered finding do not resurrect it.
+
+File format (version 1)::
+
+    {
+      "version": 1,
+      "suppressions": [
+        {"rule": "REP503", "path": "src/repro/x.py",
+         "fingerprint": "ab12...", "reason": "why this is acceptable"}
+      ]
+    }
+
+``--update-baseline`` regenerates the file from the current findings;
+entries whose finding has disappeared are dropped automatically, so the
+baseline only ever shrinks unless someone regenerates it on purpose.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from .rules import Diagnostic
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "inline_suppressions",
+    "load_baseline",
+    "apply_baseline",
+    "write_baseline",
+]
+
+BASELINE_FILENAME = ".repro-analysis-baseline.json"
+
+#: ``# repro: noqa[REP503]`` / ``# repro: noqa[REP503, REP504]`` /
+#: ``# repro: noqa`` (bare = suppress everything on the line)
+_REPRO_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9, ]+)\])?", re.IGNORECASE
+)
+#: the widespread flake8 spelling, honoured for compatibility
+_LEGACY_NOQA_RE = re.compile(
+    r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE
+)
+
+
+def inline_suppressions(line: str) -> set[str] | None:
+    """Rule codes suppressed on this line, or None when no noqa comment.
+
+    An empty set means "suppress every rule on this line".
+    """
+    m = _REPRO_NOQA_RE.search(line)
+    if m is None:
+        m = _LEGACY_NOQA_RE.search(line)
+    if m is None:
+        return None
+    codes = m.group("codes")
+    if not codes:
+        return set()
+    return {c.strip().upper() for c in codes.split(",") if c.strip()}
+
+
+def load_baseline(path: str | Path) -> dict[str, dict]:
+    """Load a baseline file; returns ``{fingerprint: entry}`` (empty if absent)."""
+    p = Path(path)
+    if not p.exists():
+        return {}
+    data = json.loads(p.read_text())
+    if data.get("version") != 1:
+        raise ValueError(
+            f"unsupported baseline version {data.get('version')!r} in {p}"
+        )
+    out: dict[str, dict] = {}
+    for entry in data.get("suppressions", []):
+        fp = entry.get("fingerprint")
+        if fp:
+            out[fp] = entry
+    return out
+
+
+def apply_baseline(
+    diags: list[Diagnostic], baseline: dict[str, dict]
+) -> tuple[list[Diagnostic], list[Diagnostic]]:
+    """Split findings into (surviving, suppressed) by baseline fingerprint."""
+    surviving: list[Diagnostic] = []
+    suppressed: list[Diagnostic] = []
+    for d in diags:
+        if d.fingerprint() in baseline:
+            suppressed.append(d)
+        else:
+            surviving.append(d)
+    return surviving, suppressed
+
+
+def write_baseline(
+    path: str | Path,
+    diags: list[Diagnostic],
+    previous: dict[str, dict] | None = None,
+) -> int:
+    """Write a baseline grandfathering exactly the given findings.
+
+    Reasons from ``previous`` entries are preserved for findings that
+    persist; new findings get a placeholder reason to be edited by hand.
+    Returns the number of entries written.
+    """
+    previous = previous or {}
+    entries = []
+    seen: set[str] = set()
+    for d in sorted(diags, key=lambda d: (d.path or "", d.rule, d.message)):
+        fp = d.fingerprint()
+        if fp in seen:
+            continue
+        seen.add(fp)
+        old = previous.get(fp, {})
+        entries.append(
+            {
+                "rule": d.rule,
+                "path": (d.path or "").replace("\\", "/"),
+                "fingerprint": fp,
+                "reason": old.get("reason", "grandfathered; justify or fix"),
+            }
+        )
+    payload = {"version": 1, "suppressions": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return len(entries)

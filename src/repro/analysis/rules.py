@@ -10,7 +10,12 @@ by layer:
 * **REP2xx** — message-schedule analysis of a recorded communication
   trace (:mod:`repro.analysis.schedule`);
 * **REP3xx** — runtime sanitizer invariants checked during a simulated
-  run (:mod:`repro.analysis.sanitizer`).
+  run (:mod:`repro.analysis.sanitizer`);
+* **REP4xx** — static communication-schedule verification: schedules
+  extracted from rank-program ASTs without executing a run
+  (:mod:`repro.analysis.static_schedule`);
+* **REP5xx** — determinism lint protecting the bit-identical-results
+  invariant (:mod:`repro.analysis.determinism`).
 """
 
 from __future__ import annotations
@@ -89,6 +94,79 @@ _RULE_LIST = [
     Rule("REP303", "sanitizer", ERROR, "invalid transfer window from plan_transfer"),
     Rule("REP304", "sanitizer", ERROR, "timeline accounting exceeds the virtual wall clock"),
     Rule("REP305", "sanitizer", ERROR, "unclean shutdown: message queues not drained"),
+    # ---- static schedule verification ---------------------------------
+    Rule(
+        "REP401",
+        "static-schedule",
+        ERROR,
+        "static deadlock: wait-for cycle in the extracted schedule",
+    ),
+    Rule(
+        "REP402",
+        "static-schedule",
+        ERROR,
+        "static unmatched send: no rank ever posts the matching receive",
+    ),
+    Rule(
+        "REP403",
+        "static-schedule",
+        ERROR,
+        "static unmatched receive: no rank ever issues the matching send",
+    ),
+    Rule(
+        "REP404",
+        "static-schedule",
+        WARNING,
+        "static tag race: two messages in flight at once share (src, dst, tag)",
+    ),
+    Rule(
+        "REP405",
+        "static-schedule",
+        ERROR,
+        "static send/recv disagreement: payload size or dtype contradicts the "
+        "receiver's declaration",
+    ),
+    Rule(
+        "REP406",
+        "static-schedule",
+        ERROR,
+        "schedule-contract violation: collective sequence diverges across ranks "
+        "or from the strategy's declared contract",
+    ),
+    # ---- determinism lint ---------------------------------------------
+    Rule(
+        "REP501",
+        "determinism",
+        ERROR,
+        "unseeded random source (run-to-run results become irreproducible)",
+    ),
+    Rule(
+        "REP502",
+        "determinism",
+        ERROR,
+        "wall-clock read inside virtual-time code",
+    ),
+    Rule(
+        "REP503",
+        "determinism",
+        ERROR,
+        "iteration over an unordered set feeds numeric state (hash-order "
+        "dependent results)",
+    ),
+    Rule(
+        "REP504",
+        "determinism",
+        ERROR,
+        "float accumulation whose order depends on unordered iteration "
+        "(rank combination must use a canonical order)",
+    ),
+    Rule(
+        "REP505",
+        "determinism",
+        ERROR,
+        "process/host-dependent value (pid, hostname, id, hash) feeds "
+        "simulation state",
+    ),
 ]
 
 #: All analyzer rules, indexed by id.
@@ -97,7 +175,12 @@ RULES: dict[str, Rule] = {r.id: r for r in _RULE_LIST}
 
 @dataclass(frozen=True)
 class Diagnostic:
-    """One analyzer finding, from any layer."""
+    """One analyzer finding, from any layer.
+
+    ``p_condition`` is set by the static schedule verifier: a human-readable
+    summary of the processor counts the finding holds for (e.g. ``"odd p in
+    [3, 31]"``), derived symbolically over the verified bound.
+    """
 
     rule: str
     message: str
@@ -106,9 +189,33 @@ class Diagnostic:
     severity: str = ERROR
     ranks: tuple[int, ...] = ()
     tag: int | None = None
+    p_condition: str | None = None
 
     def format(self) -> str:
         where = ""
         if self.path is not None:
             where = f"{self.path}:{self.line}: " if self.line else f"{self.path}: "
-        return f"{where}{self.rule} [{self.severity}] {self.message}"
+        cond = f" [{self.p_condition}]" if self.p_condition else ""
+        return f"{where}{self.rule} [{self.severity}]{cond} {self.message}"
+
+    def fingerprint(self) -> str:
+        """Stable identity for baseline suppression.
+
+        Deliberately excludes the line number (so unrelated edits above a
+        grandfathered finding do not un-suppress it) but keeps the rule,
+        the file and the message text.  Absolute paths are relativized
+        against the working directory so a baseline written by the CLI
+        (repo-relative paths) matches findings produced from absolute
+        paths in the same checkout.
+        """
+        import hashlib
+        from pathlib import Path, PurePosixPath
+
+        path = PurePosixPath((self.path or "").replace("\\", "/"))
+        if path.is_absolute():
+            try:
+                path = path.relative_to(Path.cwd().as_posix())
+            except ValueError:
+                pass
+        raw = f"{self.rule}|{path}|{self.message}"
+        return hashlib.sha256(raw.encode()).hexdigest()[:16]

@@ -1,7 +1,7 @@
 """Runtime sanitizer: invariant checks for a simulated MPI run.
 
 Opt-in (``MPIWorld(..., sanitize=True)`` or ``run_parallel_md(...,
-sanitize=True)``): the sanitizer observes a run without perturbing it —
+RunOptions(sanitize=True))``): the sanitizer observes a run without perturbing it —
 it draws no random numbers and charges no virtual time, so a sanitized
 run produces bit-identical comp/comm/sync totals to an unsanitized one.
 
@@ -15,7 +15,11 @@ Invariants (rule ids in :mod:`repro.analysis.rules`):
   ``(0, 1]``;
 * **REP304** — timeline accounting never exceeds the virtual wall clock:
   each rank's attributed seconds land in exactly one ``(phase,
-  category)`` cell, so their sum is bounded by the simulation end time;
+  category)`` cell, so their sum is bounded by the simulation end time.
+  Checked at end of run *and* around every middleware collective
+  (:class:`SanitizedMiddleware`): a middleware that books overhead
+  without sleeping it — the bug class the end-of-run aggregate can hide
+  when a rank idles elsewhere — is caught at the exact operation;
 * **REP305** — shutdown is clean: no unmatched messages or posted
   receives remain in the matching-engine queues.
 
@@ -31,9 +35,10 @@ import math
 
 import numpy as np
 
+from ..mpi.middleware import Middleware
 from .rules import ERROR, Diagnostic
 
-__all__ = ["Sanitizer", "SanitizerError"]
+__all__ = ["Sanitizer", "SanitizedMiddleware", "SanitizerError"]
 
 _REL_EPS = 1e-9
 _ABS_EPS = 1e-9
@@ -124,6 +129,29 @@ class Sanitizer:
             )
 
     # ------------------------------------------------------------------
+    def check_collective_window(
+        self, op: str, rank: int, booked: float, elapsed: float
+    ) -> None:
+        """Per-collective REP304: booked seconds within the clock window.
+
+        ``booked`` is the timeline delta one rank attributed across one
+        middleware operation; ``elapsed`` is how far its virtual clock
+        actually advanced.  Booking more than elapsed means some overhead
+        (the CMPI per-call constant is the historical offender) was
+        charged to the timeline without being slept on the simulator —
+        the end-of-run aggregate check can miss this when the same rank
+        under-books elsewhere.
+        """
+        if booked > elapsed * (1.0 + _REL_EPS) + _ABS_EPS:
+            self._report(
+                "REP304",
+                f"rank {rank} booked {booked:.9g} s of timeline during one "
+                f"{op} but its virtual clock advanced only {elapsed:.9g} s: "
+                "the middleware charged overhead it never slept",
+                ranks=(rank,),
+            )
+
+    # ------------------------------------------------------------------
     def check_final(self, world) -> None:
         """End-of-run invariants: timeline accounting and drained queues."""
         now = world.sim.now
@@ -156,3 +184,50 @@ class Sanitizer:
                 f"queues not drained at shutdown: messages={leftover_msgs} "
                 f"recvs={leftover_recvs}",
             )
+
+
+class SanitizedMiddleware(Middleware):
+    """Sanitizing proxy around any middleware.
+
+    Wraps every collective generator so the sanitizer sees the timeline
+    delta versus the virtual-clock delta of each individual operation
+    (:meth:`Sanitizer.check_collective_window`).  Historically only
+    point-to-point matches were hooked, so CMPI collectives — which book
+    their per-call overhead *inside* the middleware — escaped the REP304
+    accounting check until the end-of-run aggregate.  Observation is
+    passive: the proxy charges no virtual time and draws no randomness,
+    so sanitized runs stay bit-identical.
+    """
+
+    def __init__(self, inner: Middleware, sanitizer: Sanitizer) -> None:
+        self._inner = inner
+        self._sanitizer = sanitizer
+        self.name = inner.name
+
+    def __getattr__(self, attr):
+        # middleware extras (e.g. CMPI's split-phase sync) pass through
+        return getattr(self._inner, attr)
+
+    def _watch(self, ep, op: str, gen):
+        t0 = ep.now
+        before = ep.timeline.total_seconds()
+        result = yield from gen
+        self._sanitizer.check_collective_window(
+            op, ep.rank, ep.timeline.total_seconds() - before, ep.now - t0
+        )
+        return result
+
+    def barrier(self, ep):
+        yield from self._watch(ep, "barrier", self._inner.barrier(ep))
+
+    def allreduce(self, ep, array, op=np.add):
+        result = yield from self._watch(ep, "allreduce", self._inner.allreduce(ep, array, op))
+        return result
+
+    def allgatherv(self, ep, block):
+        result = yield from self._watch(ep, "allgatherv", self._inner.allgatherv(ep, block))
+        return result
+
+    def alltoallv(self, ep, send_blocks):
+        result = yield from self._watch(ep, "alltoallv", self._inner.alltoallv(ep, send_blocks))
+        return result

@@ -1,0 +1,117 @@
+"""SARIF 2.1.0 output for analyzer findings.
+
+GitHub code scanning ingests SARIF (Static Analysis Results Interchange
+Format) and turns each result into an annotation on the PR diff, so the
+REP-rule findings surface exactly where reviewers look.  We emit the
+minimal valid subset: one run, the rule table from
+:data:`repro.analysis.rules.RULES`, one result per surviving diagnostic
+with a physical location.
+
+The p-condition of a static-schedule finding (e.g. ``odd p in [3, 31]``)
+is folded into the message text — SARIF has no native notion of a
+symbolic parameter domain.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .rules import RULES, WARNING, Diagnostic
+
+__all__ = ["to_sarif", "write_sarif"]
+
+_SCHEMA = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+_TOOL_NAME = "repro-analyze"
+_INFO_URI = "https://github.com/oasis-tcs/sarif-spec"
+
+
+def _level(diag: Diagnostic) -> str:
+    return "warning" if diag.severity == WARNING else "error"
+
+
+def _rel_uri(path: str) -> str:
+    """Forward-slash path relative to the repo root when possible."""
+    p = Path(path)
+    try:
+        p = p.resolve().relative_to(Path.cwd().resolve())
+    except ValueError:
+        pass
+    return p.as_posix()
+
+
+def to_sarif(diags: list[Diagnostic], *, tool_version: str = "1.0.0") -> dict:
+    """Render diagnostics as a SARIF 2.1.0 log dictionary."""
+    used_rules = sorted({d.rule for d in diags})
+    rules = []
+    rule_index: dict[str, int] = {}
+    for i, rule_id in enumerate(used_rules):
+        rule = RULES.get(rule_id)
+        rule_index[rule_id] = i
+        rules.append(
+            {
+                "id": rule_id,
+                "shortDescription": {
+                    "text": rule.summary if rule else rule_id,
+                },
+                "defaultConfiguration": {
+                    "level": "warning" if rule and rule.severity == WARNING else "error",
+                },
+                "properties": {"layer": rule.layer if rule else "unknown"},
+            }
+        )
+
+    results = []
+    for d in diags:
+        message = d.message
+        if d.p_condition:
+            message = f"[{d.p_condition}] {message}"
+        result: dict = {
+            "ruleId": d.rule,
+            "ruleIndex": rule_index[d.rule],
+            "level": _level(d),
+            "message": {"text": message},
+            "partialFingerprints": {"reproFingerprint/v1": d.fingerprint()},
+        }
+        if d.path:
+            region = {}
+            if d.line:
+                region["startLine"] = int(d.line)
+            location = {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": _rel_uri(d.path),
+                        "uriBaseId": "SRCROOT",
+                    },
+                }
+            }
+            if region:
+                location["physicalLocation"]["region"] = region
+            result["locations"] = [location]
+        results.append(result)
+
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "version": tool_version,
+                        "informationUri": _INFO_URI,
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(
+    path: str | Path, diags: list[Diagnostic], *, tool_version: str = "1.0.0"
+) -> None:
+    """Write a SARIF log for the diagnostics to ``path``."""
+    Path(path).write_text(json.dumps(to_sarif(diags, tool_version=tool_version), indent=2) + "\n")

@@ -1,7 +1,7 @@
 """Message-schedule analysis: deadlock and race diagnosis from a trace.
 
 Consumes the :class:`~repro.instrument.commstats.CommTrace` a run
-records (``run_parallel_md(..., trace=CommTrace())``) and diagnoses the
+records (``run_parallel_md(..., RunOptions(trace=CommTrace()))``) and diagnoses the
 communication-schedule bugs that invalidate a characterization study —
 the exact failure modes the paper's MPI-vs-CMPI comparison hinges on:
 
@@ -66,7 +66,7 @@ def _unmatched(trace: CommTrace) -> tuple[dict, dict]:
             recvs[ev.key] += 1
     excess_sends = {}
     excess_recvs = {}
-    for key in set(sends) | set(recvs):
+    for key in sorted(set(sends) | set(recvs)):
         n_send = len(sends.get(key, ()))
         n_recv = recvs.get(key, 0)
         if n_send > n_recv:

@@ -1,0 +1,153 @@
+"""Symbolic values for the static schedule verifier.
+
+The static verifier (:mod:`repro.analysis.static_schedule`) evaluates
+rank programs over an abstract domain: control flow is instantiated per
+``(rank, p)`` up to a bound, while the *data* the program moves stays
+symbolic — payload sizes and dtypes are opaque atoms, and message tags
+are ``(collective invocation, offset)`` pairs rather than the runtime's
+absolute integers.  This module holds those symbolic values plus the
+machinery that turns a set of failing processor counts back into a
+human-readable *p-condition* ("odd p in [3, 31]") for diagnostics.
+
+Three value kinds:
+
+* :class:`SymTag` — a message tag: the index of the
+  ``next_collective_tag`` draw it derives from plus a concrete integer
+  offset.  SPMD programs draw the same tag sequence on every rank, so
+  two tags are equal iff base and offset agree.  Fixture programs that
+  use literal integer tags get ``base=None``.
+* :class:`Block` — an abstract payload: a symbolic size expression, a
+  dtype and a *location name* that is identical across ranks for the
+  same program point, so SPMD-symmetric payloads stay symbolically
+  comparable.
+* :class:`PCondition` — the summary of which ``p`` a finding holds for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SymTag", "SymSize", "Block", "PCondition", "summarize_p_set"]
+
+
+@dataclass(frozen=True)
+class SymTag:
+    """A message tag in the symbolic domain.
+
+    ``base`` is the 1-based index of the ``next_collective_tag`` draw the
+    tag derives from (``None`` for literal user-range tags), ``offset``
+    the concrete integer added to it.  ``absolute(tag_base, stride)``
+    reconstructs the runtime integer for the executed-trace cross-check.
+    """
+
+    base: int | None
+    offset: int = 0
+
+    def __add__(self, other: int) -> "SymTag":
+        if not isinstance(other, int):
+            return NotImplemented
+        return SymTag(self.base, self.offset + other)
+
+    __radd__ = __add__
+
+    def absolute(self, tag_base: int, stride: int = 16) -> int:
+        if self.base is None:
+            return self.offset
+        return tag_base + stride * self.base + self.offset
+
+    def __str__(self) -> str:
+        if self.base is None:
+            return str(self.offset)
+        suffix = f"+{self.offset}" if self.offset else ""
+        return f"T{self.base}{suffix}"
+
+
+@dataclass(frozen=True)
+class SymSize:
+    """A payload size: either a concrete byte count or a named atom."""
+
+    name: str | None = None
+    value: int | None = None
+
+    @property
+    def concrete(self) -> bool:
+        return self.value is not None
+
+    def __str__(self) -> str:
+        if self.concrete:
+            return f"{self.value}B"
+        return self.name or "?"
+
+
+@dataclass(frozen=True)
+class Block:
+    """An abstract message payload.
+
+    ``origin`` names the program point that produced the block; the
+    interpreter derives it from source location and loop iteration, so
+    the same point yields the same name on every rank and symbolic
+    equality across SPMD ranks is structural equality.
+    """
+
+    origin: str
+    size: SymSize = field(default_factory=SymSize)
+    dtype: str | None = None
+
+    def copy(self) -> "Block":
+        return self
+
+    def __str__(self) -> str:
+        return f"block({self.origin}, {self.size})"
+
+
+# ---------------------------------------------------------------------------
+# p-condition summarization
+
+
+@dataclass(frozen=True)
+class PCondition:
+    """The processor counts a static finding holds for, over a bound."""
+
+    ps: tuple[int, ...]
+    bound: int
+
+    def __str__(self) -> str:
+        return summarize_p_set(set(self.ps), self.bound)
+
+
+def _is_pow2(p: int) -> bool:
+    return p > 0 and (p & (p - 1)) == 0
+
+
+def summarize_p_set(failing: set[int], bound: int) -> str:
+    """A compact description of ``failing`` within ``1..bound``.
+
+    Recognizes the shapes that matter for communication schedules —
+    everything, every p past a threshold, parity classes, (non-)powers
+    of two — and falls back to an explicit list.
+    """
+    if not failing:
+        return "no p"
+    lo, hi = min(failing), max(failing)
+    full = set(range(1, bound + 1))
+    if failing == full:
+        return f"all p in [1, {bound}]"
+    if failing == {p for p in full if p >= lo}:
+        return f"all p in [{lo}, {bound}]"
+    odd = {p for p in full if p % 2 and p >= lo}
+    if failing == odd:
+        return f"odd p in [{lo}, {hi}]"
+    even = {p for p in full if p % 2 == 0 and p >= lo}
+    if failing == even:
+        return f"even p in [{lo}, {hi}]"
+    pow2 = {p for p in full if _is_pow2(p) and p >= lo}
+    if failing == pow2:
+        return f"power-of-two p in [{lo}, {hi}]"
+    nonpow2 = {p for p in full if not _is_pow2(p) and p >= lo}
+    if failing == nonpow2:
+        return f"non-power-of-two p in [{lo}, {hi}]"
+    listed = sorted(failing)
+    if len(listed) > 8:
+        shown = ", ".join(map(str, listed[:8]))
+        return f"p in {{{shown}, ...}} ({len(listed)} of [1, {bound}])"
+    return "p in {" + ", ".join(map(str, listed)) + "}"

@@ -99,6 +99,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--github", action="store_true",
         help="also emit GitHub Actions annotations (::error/::warning) per finding",
     )
+    analyze.add_argument(
+        "--static",
+        action="store_true",
+        help=(
+            "also run the static schedule verifier (REP4xx: symbolic "
+            "deadlock/tag-race/type-agreement proof over every strategy and "
+            "middleware for all p up to --bound, plus schedule-contract "
+            "conformance) and the determinism lint (REP5xx) over the paths"
+        ),
+    )
+    analyze.add_argument(
+        "--bound", type=int, default=32,
+        help="rank-count bound for the static verifier (default 32)",
+    )
+    analyze.add_argument(
+        "--sarif", metavar="PATH",
+        help="write surviving findings as SARIF 2.1.0 (GitHub code scanning)",
+    )
+    analyze.add_argument(
+        "--baseline", metavar="PATH", default=".repro-analysis-baseline.json",
+        help="baseline file of grandfathered fingerprints (default: %(default)s)",
+    )
+    analyze.add_argument(
+        "--update-baseline", action="store_true",
+        help="regenerate the baseline from the current findings and exit clean",
+    )
+    analyze.add_argument(
+        "--crosscheck", action="store_true",
+        help=(
+            "execute the p=8 myoglobin-PME step under both middlewares and "
+            "require the statically extracted schedule to match the recorded "
+            "communication trace event for event"
+        ),
+    )
 
     campaign = sub.add_parser(
         "campaign",
@@ -520,8 +554,101 @@ def _analyze_sanitize_run(n_steps: int) -> int:
     return failures
 
 
+def _analyze_static(args: argparse.Namespace) -> int:
+    """The ``repro analyze --static`` layer; returns the failure count.
+
+    Static schedule verification (REP4xx) over every strategy and
+    middleware up to ``--bound`` ranks, the determinism lint (REP5xx)
+    over the lint paths, baseline suppression, optional SARIF output
+    and the optional static-vs-executed cross-check.
+    """
+    from pathlib import Path
+
+    from .analysis.baseline import apply_baseline, load_baseline, write_baseline
+    from .analysis.determinism import lint_determinism_paths
+    from .analysis.static_schedule import verify_static
+
+    paths = list(args.paths) or [p for p in ("src",) if Path(p).is_dir()]
+
+    diags = verify_static(bound=args.bound)
+    diags += lint_determinism_paths(paths)
+
+    if args.update_baseline:
+        n = write_baseline(args.baseline, diags, load_baseline(args.baseline))
+        print(f"analyze: wrote {n} baseline entr{'y' if n == 1 else 'ies'} to {args.baseline}")
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    surviving, suppressed = apply_baseline(diags, baseline)
+    for diag in surviving:
+        print(diag.format())
+        if args.github:
+            print(_github_annotation(diag))
+    if args.sarif:
+        from .analysis.sarif import write_sarif
+
+        write_sarif(args.sarif, surviving)
+        print(f"analyze: SARIF written to {args.sarif}")
+
+    failures = sum(1 for d in surviving if d.severity == "error")
+    print(
+        f"analyze: static verification (bound {args.bound}) + determinism lint: "
+        f"{failures} error(s), {len(surviving) - failures} warning(s), "
+        f"{len(suppressed)} baselined"
+    )
+
+    if args.crosscheck:
+        failures += _analyze_crosscheck(args.steps)
+    return failures
+
+
+def _analyze_crosscheck(n_steps: int) -> int:
+    """Static-vs-executed schedule cross-check at p=8; returns failures.
+
+    Runs the small PME workload under both middlewares with a
+    communication trace attached and requires the statically extracted
+    per-rank schedule to match the recorded events one for one.
+    """
+    from . import MDRunConfig, RunOptions, build_peptide_in_water, run_parallel_md
+    from .analysis.static_schedule import crosscheck_against_trace
+    from .cluster import ClusterSpec, tcp_gigabit_ethernet
+    from .instrument.commstats import CommTrace
+    from .md import CutoffScheme, MDSystem, default_forcefield
+
+    ff = default_forcefield()
+    topo, pos, box = build_peptide_in_water(n_residues=2, n_waters=12, forcefield=ff)
+    system = MDSystem(
+        topo, ff, box, CutoffScheme(r_cut=8.0, skin=1.5),
+        electrostatics="pme", pme_grid=(16, 16, 16),
+    )
+    config = MDRunConfig(n_steps=n_steps, dt=0.0004)
+
+    failures = 0
+    for mw in ("mpi", "cmpi"):
+        trace = CommTrace()
+        run_parallel_md(
+            system, pos,
+            ClusterSpec(n_ranks=8, network=tcp_gigabit_ethernet(), seed=7),
+            RunOptions(middleware=mw, config=config, trace=trace),
+        )
+        problems = crosscheck_against_trace(
+            trace, strategy="ppme", middleware=mw, p=8, n_steps=n_steps
+        )
+        for problem in problems:
+            print(f"  {mw} p=8: {problem}")
+        if problems:
+            failures += 1
+        print(
+            f"  crosscheck {mw} p=8: {len(trace)} executed events "
+            f"{'MATCH' if not problems else 'DIVERGE from'} the static schedule"
+        )
+    return failures
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     failures = _analyze_lint(list(args.paths), github=args.github)
+    if args.static:
+        failures += _analyze_static(args)
     if args.sanitize_run:
         failures += _analyze_sanitize_run(args.steps)
     return 1 if failures else 0

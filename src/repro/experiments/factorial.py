@@ -42,7 +42,7 @@ def main_effects(records: list[ResponseRecord], n_ranks: int = 8) -> dict[str, f
 
     def level_means(key) -> dict:
         means: dict = {}
-        for level in {key(r) for r in at_p}:
+        for level in sorted({key(r) for r in at_p}):
             group = [r.total_time for r in at_p if key(r) == level]
             means[level] = sum(group) / len(group)
         return means

@@ -13,13 +13,43 @@ replicating coordinates on every rank:
 
 from __future__ import annotations
 
+import abc
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..analysis.contract import ScheduleContract
 from ..md.bonded import BondedTables
 
-__all__ = ["AtomDecomposition", "SlabDecomposition", "slice_bonded_tables"]
+__all__ = [
+    "Decomposition",
+    "AtomDecomposition",
+    "SlabDecomposition",
+    "slice_bonded_tables",
+]
+
+
+class Decomposition(abc.ABC):
+    """How work is split over ranks — and what that costs in messages.
+
+    The paper's question is whether CHARMM's replicated-data scheme has
+    "easy" parallelism left; the answer lives in the communication
+    schedule each decomposition induces.  Every implementation therefore
+    declares its per-step schedule as a
+    :class:`~repro.analysis.contract.ScheduleContract`, which the static
+    verifier (:mod:`repro.analysis.static_schedule`) checks against the
+    schedule actually extracted from the rank program (rule REP406).  A
+    future spatial/domain decomposition with halo exchanges lands
+    against this same checker before any campaign executes.
+    """
+
+    @abc.abstractmethod
+    def atom_range(self, rank: int) -> tuple[int, int]:
+        """The contiguous [lo, hi) atom block owned by ``rank``."""
+
+    @abc.abstractmethod
+    def schedule_contract(self) -> ScheduleContract:
+        """The per-MD-step communication schedule this decomposition induces."""
 
 
 def _block_bounds(n_items: int, n_parts: int) -> np.ndarray:
@@ -34,8 +64,8 @@ def _block_bounds(n_items: int, n_parts: int) -> np.ndarray:
 
 
 @dataclass(frozen=True)
-class AtomDecomposition:
-    """Contiguous atom blocks over ``n_ranks`` ranks."""
+class AtomDecomposition(Decomposition):
+    """Contiguous atom blocks over ``n_ranks`` ranks (replicated data)."""
 
     n_atoms: int
     n_ranks: int
@@ -45,6 +75,12 @@ class AtomDecomposition:
             raise ValueError(
                 f"cannot split {self.n_atoms} atoms over {self.n_ranks} ranks"
             )
+
+    def schedule_contract(self) -> ScheduleContract:
+        # replicated data induces the step driver's all-to-all schedule
+        from .pmd import STEP_SCHEDULE_CONTRACT
+
+        return STEP_SCHEDULE_CONTRACT
 
     @property
     def bounds(self) -> np.ndarray:

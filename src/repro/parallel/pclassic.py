@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..analysis.contract import ScheduleContract
 from ..md.bonded import bonded_energy_forces
 from ..md.energy import EnergyBreakdown
 from ..md.nonbonded import NonbondedKernel
@@ -21,7 +22,12 @@ from .costmodel import MachineCostModel
 from .decomposition import AtomDecomposition, slice_bonded_tables
 from .shared import SharedComputeCache
 
-__all__ = ["ParallelClassic"]
+__all__ = ["ParallelClassic", "SCHEDULE_CONTRACT"]
+
+#: The classic phase is replicated-data compute: no communication at
+#: all — the combine is the step driver's allreduce, not ours.  The
+#: static verifier holds us to that (rule REP406).
+SCHEDULE_CONTRACT = ScheduleContract(name="classic-phase", per_step=())
 
 
 @dataclass(frozen=True)

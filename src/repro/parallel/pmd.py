@@ -23,6 +23,7 @@ from dataclasses import dataclass, field, fields
 
 import numpy as np
 
+from ..analysis.contract import ContractOp, ScheduleContract
 from ..md.energy import EnergyBreakdown
 from ..md.neighborlist import NeighborList
 from ..md.system import MDSystem
@@ -38,11 +39,28 @@ from .shared import SharedComputeCache
 __all__ = [
     "MDRunConfig",
     "RankOutcome",
+    "STEP_SCHEDULE_CONTRACT",
     "rank_program",
     "serial_reference_run",
     "energy_to_vector",
     "vector_to_energy",
 ]
+
+#: The communication schedule one MD step promises (paper Figure 2).
+#: The static verifier extracts the actual sequence from
+#: :func:`rank_program` and checks conformance (rule REP406); flags gate
+#: the optional per-step barrier and the PME phase.
+STEP_SCHEDULE_CONTRACT = ScheduleContract(
+    name="replicated-data-step",
+    per_step=(
+        ContractOp("barrier", when="barrier", note="per-step synchronization"),
+        ContractOp("alltoallv", when="pme", note="forward-FFT transpose"),
+        ContractOp("alltoallv", when="pme", note="inverse-FFT transpose"),
+        ContractOp("allreduce", note="energies + forces combine"),
+        ContractOp("allgatherv", note="coordinate redistribution"),
+    ),
+    flags=("barrier", "pme"),
+)
 
 _ENERGY_FIELDS = [f.name for f in fields(EnergyBreakdown)]
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..analysis.contract import ContractOp, ScheduleContract
 from ..md.box import PeriodicBox
 from ..mpi.endpoint import RankEndpoint
 from ..mpi.middleware import Middleware
@@ -34,7 +35,18 @@ from .decomposition import AtomDecomposition
 from .pfft import DistributedFFT
 from .shared import SharedComputeCache
 
-__all__ = ["ParallelPME", "ParallelPMEResult"]
+__all__ = ["ParallelPME", "ParallelPMEResult", "SCHEDULE_CONTRACT"]
+
+#: The PME phase's promised communication: exactly the two distributed
+#: FFT transposes (all-to-all personalized), nothing else — spreading and
+#: interpolation stay local because coordinates are replicated.
+SCHEDULE_CONTRACT = ScheduleContract(
+    name="pme-phase",
+    per_step=(
+        ContractOp("alltoallv", note="forward-FFT transpose"),
+        ContractOp("alltoallv", note="inverse-FFT transpose"),
+    ),
+)
 
 
 @dataclass(frozen=True)

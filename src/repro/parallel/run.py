@@ -3,17 +3,15 @@
 The public entry point is :func:`run_parallel_md`.  Everything about
 *how* a run executes — middleware, run configuration, cost model,
 sanitizer, tracing, shared-compute deduplication — travels in one frozen
-:class:`RunOptions` value instead of a growing keyword list.  The
-historical keyword form (``run_parallel_md(..., middleware=...,
-config=..., sanitize=...)``) still works through a back-compat shim that
-emits :class:`DeprecationWarning`.
+:class:`RunOptions` value.  (The pre-:class:`RunOptions` keyword form
+went through a deprecation cycle and has been removed; passing the old
+keywords is now a :class:`TypeError`.)
 """
 
 from __future__ import annotations
 
 import copy
 import dataclasses
-import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -142,34 +140,15 @@ class RunOptions:
         return dataclasses.replace(self, **changes)
 
 
-_LEGACY_KWARGS = ("middleware", "config", "cost", "sanitize", "trace", "shared_compute")
-
-
-def _coerce_options(options, legacy: dict) -> RunOptions:
-    """Resolve the back-compat surface to one :class:`RunOptions` value."""
-    if isinstance(options, (str, Middleware)):
-        # historical positional middleware: run_parallel_md(sys, pos, spec, "cmpi")
-        legacy = {"middleware": options, **legacy}
-        options = None
-    if legacy:
-        if options is not None:
-            raise TypeError(
-                "run_parallel_md() takes either a RunOptions value or the "
-                f"deprecated keywords {sorted(legacy)}, not both"
-            )
-        unknown = sorted(set(legacy) - set(_LEGACY_KWARGS))
-        if unknown:
-            raise TypeError(f"run_parallel_md() got unexpected keyword(s) {unknown}")
-        warnings.warn(
-            "passing run_parallel_md() execution keywords "
-            f"({', '.join(sorted(legacy))}) is deprecated; "
-            "pass a single RunOptions(...) instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        return RunOptions(**legacy)
+def _coerce_options(options) -> RunOptions:
+    """Validate the ``options`` argument to one :class:`RunOptions` value."""
     if options is None:
         return RunOptions()
+    if isinstance(options, (str, Middleware)):
+        raise TypeError(
+            "run_parallel_md() no longer accepts a bare middleware as the "
+            f"options argument; pass RunOptions(middleware={options!r})"
+        )
     if not isinstance(options, RunOptions):
         raise TypeError(f"options must be a RunOptions, got {type(options).__name__}")
     return options
@@ -180,7 +159,6 @@ def run_parallel_md(
     positions: np.ndarray,
     cluster: ClusterSpec,
     options: RunOptions | None = None,
-    **legacy,
 ) -> ParallelRunResult:
     """Simulate one parallel CHARMM MD run and collect its timelines.
 
@@ -196,13 +174,8 @@ def run_parallel_md(
         Everything about *how* the run executes (middleware, run config,
         cost model, sanitizer, tracing, shared compute) — see
         :class:`RunOptions`.  ``None`` means all defaults.
-
-    The pre-:class:`RunOptions` keyword form (``middleware=``,
-    ``config=``, ``cost=``, ``sanitize=``, ``trace=``,
-    ``shared_compute=``) is still accepted and emits
-    :class:`DeprecationWarning`.
     """
-    opts = _coerce_options(options, legacy)
+    opts = _coerce_options(options)
     config = opts.config or MDRunConfig()
     mw = (
         opts.middleware
@@ -219,6 +192,13 @@ def run_parallel_md(
         sim, cluster,
         sanitize=opts.sanitize, trace=opts.trace, span_tracer=opts.span_tracer,
     )
+    if world.sanitizer is not None:
+        # hook every collective, not just the point-to-point matches: CMPI
+        # books its per-call overhead inside the middleware, where only a
+        # per-operation window check can see it (rule REP304)
+        from ..analysis.sanitizer import SanitizedMiddleware
+
+        mw = SanitizedMiddleware(mw, world.sanitizer)
     shared = SharedComputeCache() if opts.shared_compute else None
 
     procs = []

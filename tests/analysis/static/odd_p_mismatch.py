@@ -1,0 +1,22 @@
+# repro-analyze: skip-file
+"""Golden bad program: half-split exchange that only works for even p.
+
+The upper half sends its block down to ``rank - p//2``; the lower half
+receives from ``rank + p//2``.  For even p this is a perfect matching.
+For odd p the halves have unequal sizes: the top rank sends to a rank
+that sits in the *upper* half and therefore never posts a receive — the
+send blocks forever under rendezvous semantics.  The bug is invisible
+at p = 2, 4, 8 (the counts a quick local test uses) and fatal on the
+first odd production run; the verifier must report it with the symbolic
+p-condition (rule REP402).
+"""
+
+
+def rank_program(ep, mw):
+    half = ep.size // 2
+    if ep.size < 2:
+        return
+    if ep.rank >= half:
+        yield from ep.send(ep.rank - half, b"data", tag=5)
+    else:
+        yield from ep.recv(ep.rank + half, tag=5)

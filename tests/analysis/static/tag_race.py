@@ -1,0 +1,21 @@
+# repro-analyze: skip-file
+"""Golden bad program: two in-flight messages share (src, dst, tag).
+
+Rank 0 posts two non-blocking sends to rank 1 with the same tag before
+either is received; the receiver's two posts match in FIFO order *by
+luck of the matching engine*, not by the program's declared intent —
+a payload swap away from silent corruption.  Rule REP404.
+"""
+
+
+def rank_program(ep, mw):
+    if ep.size < 2:
+        return
+    if ep.rank == 0:
+        a = yield from ep.isend(1, b"first", tag=3)
+        b = yield from ep.isend(1, b"second", tag=3)
+        yield from a.wait()
+        yield from b.wait()
+    elif ep.rank == 1:
+        yield from ep.recv(0, tag=3)
+        yield from ep.recv(0, tag=3)

@@ -1,0 +1,86 @@
+"""Baseline suppression: fingerprints, the JSON file, inline noqa."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    apply_baseline,
+    inline_suppressions,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.rules import Diagnostic
+
+D1 = Diagnostic(rule="REP503", message="set order leaks", path="src/a.py", line=10)
+D2 = Diagnostic(rule="REP501", message="unseeded rng", path="src/b.py", line=3)
+
+
+class TestFingerprint:
+    def test_line_free(self):
+        moved = Diagnostic(rule="REP503", message="set order leaks", path="src/a.py", line=99)
+        assert moved.fingerprint() == D1.fingerprint()
+
+    def test_distinguishes_rule_path_message(self):
+        assert D1.fingerprint() != D2.fingerprint()
+
+    def test_path_separator_normalized(self):
+        windows = Diagnostic(rule="REP503", message="set order leaks", path="src\\a.py")
+        assert windows.fingerprint() == D1.fingerprint()
+
+
+class TestInlineSuppressions:
+    def test_repro_spelling(self):
+        assert inline_suppressions("x = 1  # repro: noqa[REP503]") == {"REP503"}
+
+    def test_multiple_codes(self):
+        assert inline_suppressions("# repro: noqa[REP503, REP504]") == {"REP503", "REP504"}
+
+    def test_bare_suppresses_all(self):
+        assert inline_suppressions("x = 1  # repro: noqa") == set()
+
+    def test_legacy_spelling(self):
+        assert inline_suppressions("x = 1  # noqa: REP503") == {"REP503"}
+
+    def test_no_comment(self):
+        assert inline_suppressions("x = 1") is None
+
+
+class TestBaselineFile:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        n = write_baseline(path, [D1, D2])
+        assert n == 2
+        baseline = load_baseline(path)
+        assert set(baseline) == {D1.fingerprint(), D2.fingerprint()}
+        surviving, suppressed = apply_baseline([D1, D2], baseline)
+        assert surviving == [] and len(suppressed) == 2
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == {}
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "suppressions": []}))
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(path)
+
+    def test_new_findings_survive(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [D1])
+        surviving, suppressed = apply_baseline([D1, D2], load_baseline(path))
+        assert surviving == [D2] and suppressed == [D1]
+
+    def test_rewrite_preserves_reasons_and_drops_fixed(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [D1, D2])
+        data = json.loads(path.read_text())
+        for entry in data["suppressions"]:
+            entry["reason"] = f"because {entry['rule']}"
+        path.write_text(json.dumps(data))
+        previous = load_baseline(path)
+        # D2's finding is fixed: regenerating from [D1] drops its entry
+        write_baseline(path, [D1], previous)
+        rewritten = load_baseline(path)
+        assert set(rewritten) == {D1.fingerprint()}
+        assert rewritten[D1.fingerprint()]["reason"] == "because REP503"

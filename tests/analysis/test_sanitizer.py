@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.analysis import Sanitizer, SanitizerError
+from repro.analysis import SanitizedMiddleware, Sanitizer, SanitizerError
 from repro.cluster import ClusterSpec, score_gigabit_ethernet
 from repro.cluster.state import TransferPlan
 from repro.instrument.timeline import Category
@@ -107,6 +107,64 @@ class TestFinalInvariants:
         world = _run_sanitized(prog)
         with pytest.raises(SanitizerError, match="REP305"):
             world.sanitizer.check_final(world)
+
+
+class TestCollectiveWindow:
+    """Per-collective REP304: middlewares that book time they never sleep.
+
+    Historically only point-to-point matches were sanitizer-hooked, so a
+    CMPI-style middleware charging per-call overhead inside the
+    collective escaped the accounting check until (at best) the
+    end-of-run aggregate.  The :class:`SanitizedMiddleware` proxy closes
+    that: every collective is checked in its own clock window.
+    """
+
+    def _drive(self, inner_mw, n_ranks=2):
+        from repro.sim import Simulator
+
+        sim = Simulator()
+        world = MPIWorld(sim, _spec(n_ranks), sanitize=True)
+        mw = SanitizedMiddleware(inner_mw, world.sanitizer)
+
+        def prog(ep):
+            yield from mw.barrier(ep)
+            result = yield from mw.allreduce(ep, np.ones(4))
+            np.testing.assert_array_equal(result, n_ranks * np.ones(4))
+
+        for r in range(n_ranks):
+            sim.spawn(prog(world.endpoints[r]), name=f"r{r}")
+        sim.run()
+        return world
+
+    def test_overbooking_collective_rep304(self):
+        from repro.mpi.middleware import MPIMiddleware
+
+        class OverbookingMiddleware(MPIMiddleware):
+            name = "overbooking"
+
+            def barrier(self, ep):
+                # charge overhead to the timeline without sleeping it —
+                # the bug class this hook exists to catch
+                ep.timeline.add(Category.COMM, 1e-3)
+                yield from super().barrier(ep)
+
+        with pytest.raises(SanitizerError, match="REP304"):
+            self._drive(OverbookingMiddleware())
+
+    @pytest.mark.parametrize("name", ["mpi", "cmpi"])
+    def test_shipped_middlewares_book_what_they_sleep(self, name):
+        from repro.parallel.run import make_middleware
+
+        world = self._drive(make_middleware(name))
+        world.sanitizer.check_final(world)
+
+    def test_proxy_preserves_name_and_extras(self):
+        from repro.parallel.run import make_middleware
+
+        cmpi = SanitizedMiddleware(make_middleware("cmpi"), Sanitizer())
+        assert cmpi.name == "cmpi"
+        assert callable(cmpi.sync)  # CMPI extra passes through
+        assert cmpi.call_overhead == 4.0e-6
 
 
 class TestPassivity:

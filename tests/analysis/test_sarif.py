@@ -1,0 +1,63 @@
+"""SARIF output: the subset GitHub code scanning ingests."""
+
+import json
+
+from repro.analysis.rules import RULES, Diagnostic
+from repro.analysis.sarif import to_sarif, write_sarif
+
+DIAGS = [
+    Diagnostic(rule="REP401", message="deadlock", path="src/x.py", line=12,
+               p_condition="odd p in [3, 31]"),
+    Diagnostic(rule="REP404", message="tag race", path="src/y.py", line=7,
+               severity="warning"),
+]
+
+
+class TestToSarif:
+    def test_schema_and_version(self):
+        log = to_sarif(DIAGS)
+        assert log["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in log["$schema"]
+        assert len(log["runs"]) == 1
+
+    def test_rule_table_covers_used_rules(self):
+        run = to_sarif(DIAGS)["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        ids = [r["id"] for r in rules]
+        assert ids == ["REP401", "REP404"]
+        assert rules[0]["shortDescription"]["text"] == RULES["REP401"].summary
+
+    def test_results(self):
+        results = to_sarif(DIAGS)["runs"][0]["results"]
+        assert len(results) == 2
+        first = results[0]
+        assert first["ruleId"] == "REP401"
+        assert first["level"] == "error"
+        loc = first["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "src/x.py"
+        assert loc["region"]["startLine"] == 12
+
+    def test_p_condition_folded_into_message(self):
+        results = to_sarif(DIAGS)["runs"][0]["results"]
+        assert results[0]["message"]["text"].startswith("[odd p in [3, 31]]")
+
+    def test_warning_level(self):
+        results = to_sarif(DIAGS)["runs"][0]["results"]
+        assert results[1]["level"] == "warning"
+
+    def test_fingerprints_for_alert_tracking(self):
+        results = to_sarif(DIAGS)["runs"][0]["results"]
+        fp = results[0]["partialFingerprints"]["reproFingerprint/v1"]
+        assert fp == DIAGS[0].fingerprint()
+
+    def test_empty_findings_is_a_valid_log(self):
+        log = to_sarif([])
+        assert log["runs"][0]["results"] == []
+
+
+class TestWriteSarif:
+    def test_writes_parseable_json(self, tmp_path):
+        out = tmp_path / "findings.sarif"
+        write_sarif(out, DIAGS)
+        parsed = json.loads(out.read_text())
+        assert parsed["version"] == "2.1.0"

@@ -1,4 +1,4 @@
-"""The RunOptions surface: one options object, a pinned deprecation shim."""
+"""The RunOptions surface: one options object, no keyword back door."""
 
 import numpy as np
 import pytest
@@ -15,38 +15,25 @@ def _spec(p=2):
     return ClusterSpec(n_ranks=p, network=tcp_gigabit_ethernet(), seed=11)
 
 
-class TestDeprecatedKeywordForm:
-    def test_legacy_kwargs_warn_and_still_work(self, peptide_system):
-        """The pre-RunOptions keyword surface is deprecated but intact."""
-        system, pos = peptide_system
-        with pytest.warns(DeprecationWarning, match="pass a single RunOptions"):
-            legacy = run_parallel_md(
-                system, pos, _spec(), middleware="cmpi", config=CFG
-            )
-        modern = run_parallel_md(
-            system, pos, _spec(), RunOptions(middleware="cmpi", config=CFG)
-        )
-        assert legacy.middleware == modern.middleware == "cmpi"
-        assert np.array_equal(legacy.final_positions, modern.final_positions)
-        assert legacy.wall_time() == pytest.approx(modern.wall_time(), rel=1e-12)
+class TestRemovedKeywordForm:
+    """The deprecated pre-RunOptions keyword surface is gone: TypeError."""
 
-    def test_legacy_positional_middleware_warns(self, peptide_system):
-        system, pos = peptide_system
-        with pytest.warns(DeprecationWarning):
-            res = run_parallel_md(system, pos, _spec(), "cmpi", config=CFG)
-        assert res.middleware == "cmpi"
-
-    def test_options_plus_legacy_kwargs_rejected(self, peptide_system):
-        system, pos = peptide_system
-        with pytest.raises(TypeError, match="not both"):
-            run_parallel_md(
-                system, pos, _spec(), RunOptions(config=CFG), sanitize=True
-            )
-
-    def test_unknown_keyword_rejected(self, peptide_system):
+    def test_legacy_kwargs_rejected(self, peptide_system):
         system, pos = peptide_system
         with pytest.raises(TypeError, match="unexpected keyword"):
-            run_parallel_md(system, pos, _spec(), middlware="mpi")
+            run_parallel_md(system, pos, _spec(), middleware="cmpi", config=CFG)
+
+    def test_legacy_positional_middleware_rejected(self, peptide_system):
+        system, pos = peptide_system
+        with pytest.raises(TypeError, match="RunOptions"):
+            run_parallel_md(system, pos, _spec(), "cmpi")
+
+    def test_legacy_middleware_instance_rejected(self, peptide_system):
+        from repro.parallel.run import make_middleware
+
+        system, pos = peptide_system
+        with pytest.raises(TypeError, match="RunOptions"):
+            run_parallel_md(system, pos, _spec(), make_middleware("mpi"))
 
     def test_non_options_value_rejected(self, peptide_system):
         system, pos = peptide_system
