@@ -12,6 +12,12 @@ seeds and then guards the repo's performance trajectory:
       measure and exit non-zero if the p = 8 run is more than ``--factor``
       (default 1.25x) slower than the committed baseline (the CI gate).
 
+Every measurement also records the p = 8 decomposition-strategy pair on
+the classic myoglobin workload — replicated vs spatial on identical
+physics — under the ``spatial`` key, so the baseline tracks what the
+halo-exchange schedule costs in host seconds relative to the
+replicated allreduce.
+
 The workload build is excluded from the timing; each point is run
 ``--repeats`` times and the minimum is kept (the usual best-of-N guard
 against scheduler noise).
@@ -30,6 +36,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_wallclock.json"
 
 WORKLOAD = "myoglobin-pme"
+SPATIAL_WORKLOAD = "myoglobin-shift"
 N_STEPS = 10
 RANK_COUNTS = (1, 8)
 SCHEMA = 1
@@ -55,6 +62,33 @@ def measure(repeats: int, shared_compute: bool = True) -> dict[str, float]:
             run_parallel_md(system, positions, spec, options)
             best = min(best, time.perf_counter() - t0)
         seconds[f"p{p}"] = round(best, 4)
+    return seconds
+
+
+def measure_spatial(repeats: int) -> dict[str, float]:
+    """Best-of-``repeats`` p = 8 wall seconds, replicated vs spatial.
+
+    Uses the classic (cutoff) myoglobin workload — the spatial strategy
+    covers the classic path only — so the pair isolates the cost of the
+    halo-exchange schedule against the replicated allreduce on identical
+    physics (the two runs produce bit-identical energies and
+    trajectories; only the communication schedule differs).
+    """
+    from repro import MDRunConfig, RunOptions, build_workload, run_parallel_md
+    from repro.cluster import ClusterSpec, tcp_gigabit_ethernet
+
+    system, positions = build_workload(SPATIAL_WORKLOAD)
+    spec = ClusterSpec(n_ranks=8, network=tcp_gigabit_ethernet())
+    seconds: dict[str, float] = {}
+    for strategy in ("replicated", "spatial"):
+        options = RunOptions(config=MDRunConfig(n_steps=N_STEPS), strategy=strategy)
+        run_parallel_md(system, positions, spec, options)  # warm-up
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            run_parallel_md(system, positions, spec, options)
+            best = min(best, time.perf_counter() - t0)
+        seconds[f"{strategy}_p8"] = round(best, 4)
     return seconds
 
 
@@ -188,11 +222,17 @@ def main(argv: list[str] | None = None) -> int:
     }
     if args.with_shared_off:
         doc["seconds_shared_off"] = measure(args.repeats, shared_compute=False)
+    doc["spatial"] = {
+        "workload": SPATIAL_WORKLOAD,
+        "seconds": measure_spatial(args.repeats),
+    }
     for key, value in seconds.items():
         print(f"  {key}: {value:.3f} s wall")
     if "seconds_shared_off" in doc:
         for key, value in doc["seconds_shared_off"].items():
             print(f"  {key} (shared-compute off): {value:.3f} s wall")
+    for key, value in doc["spatial"]["seconds"].items():
+        print(f"  {key} ({SPATIAL_WORKLOAD}): {value:.3f} s wall")
 
     if args.check is not None:
         if args.output is not None:  # fresh measurement for trend tracking

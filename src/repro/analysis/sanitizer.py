@@ -231,3 +231,9 @@ class SanitizedMiddleware(Middleware):
     def alltoallv(self, ep, send_blocks):
         result = yield from self._watch(ep, "alltoallv", self._inner.alltoallv(ep, send_blocks))
         return result
+
+    def exchange(self, ep, dest, payload, source, tag=0):
+        result = yield from self._watch(
+            ep, "exchange", self._inner.exchange(ep, dest, payload, source, tag=tag)
+        )
+        return result

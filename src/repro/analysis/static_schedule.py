@@ -54,6 +54,7 @@ __all__ = [
     "crosscheck_against_trace",
     "STRATEGIES",
     "MIDDLEWARES",
+    "SPATIAL_PROFILES",
 ]
 
 #: Interpreter work budget per (rank, p) instantiation — a runaway loop
@@ -205,6 +206,7 @@ _ANALYZED_MODULES = (
     "repro.parallel.ppme",
     "repro.parallel.pclassic",
     "repro.parallel.pmd",
+    "repro.parallel.spatial.program",
 )
 
 
@@ -609,7 +611,7 @@ class _AbstractMW:
         return call
 
     def getattr(self, attr: str):
-        if attr in ("barrier", "allreduce", "allgatherv", "alltoallv"):
+        if attr in ("barrier", "allreduce", "allgatherv", "alltoallv", "exchange"):
             return self._make(attr)
         if attr == "name":
             return self.name
@@ -655,7 +657,7 @@ _COMM_NAMES = frozenset(
     {
         "isend", "irecv", "send", "recv", "sendrecv", "next_collective_tag",
         "barrier", "allreduce", "allgatherv", "alltoallv", "bcast", "reduce",
-        "sync", "wait", "reciprocal", "forward", "inverse",
+        "sync", "wait", "reciprocal", "forward", "inverse", "exchange",
     }
 )
 
@@ -1591,9 +1593,37 @@ def _verify_instantiations(make_ops, bound: int) -> list[Diagnostic]:
 # public verification surface
 
 #: The strategies the verifier knows how to instantiate, mirroring the
-#: experiment design: classic-only ("pclassic") and classic+PME ("ppme").
-STRATEGIES = ("pclassic", "ppme")
+#: experiment design: classic-only ("pclassic"), classic+PME ("ppme"),
+#: and the domain decomposition's halo-exchange schedule ("spatial").
+STRATEGIES = ("pclassic", "ppme", "spatial")
 MIDDLEWARES = ("mpi", "cmpi")
+
+#: Canonical box profiles the spatial strategy is verified against:
+#: ``(name, (lx, ly, lz), r_cut)``.  The paper's myoglobin cell and the
+#: pure water box — an anisotropic box (grid dimensions of 1, so whole
+#: dimensions carry no messages) and a cubic one whose cutoff exceeds a
+#: region width at moderate p (multi-pulse halo depths).
+SPATIAL_PROFILES = (
+    ("myoglobin", (96.0, 43.2, 57.6), 10.0),
+    ("water-box", (24.8, 24.8, 24.8), 8.0),
+)
+
+
+def _spatial_profile(name: str) -> tuple[str, tuple[float, float, float], float]:
+    for profile in SPATIAL_PROFILES:
+        if profile[0] == name:
+            return profile
+    known = ", ".join(p[0] for p in SPATIAL_PROFILES)
+    raise ValueError(f"unknown spatial profile {name!r}; known: {known}")
+
+
+def _spatial_decomposition(lengths, r_cut: float, p: int):
+    """The real decomposition of one profile (runtime-only import)."""
+    from ..md.box import PeriodicBox  # runtime-only: see module docstring
+    from ..parallel.spatial.decomposition import SpatialDecomposition
+
+    box = PeriodicBox(*lengths)
+    return SpatialDecomposition.for_cluster(box, p, r_cut)
 
 _MW_CLASSES = {"mpi": ("repro.mpi.middleware", "MPIMiddleware"),
                "cmpi": ("repro.cmpi.middleware", "CMPIMiddleware")}
@@ -1610,9 +1640,41 @@ def _system_opaque(uses_pme: bool) -> _Opaque:
     return _Opaque({"uses_pme": uses_pme})
 
 
+def _run_spatial_rank_program(
+    reg: Registry, middleware: str, p: int, n_steps: int, lengths, r_cut: float
+):
+    """Extract the per-rank micro-op streams of one spatial instantiation.
+
+    The rank program's control flow depends only on the decomposition's
+    ``grid`` and ``pulses`` tuples, so those two concrete values (from
+    the *real* :class:`~repro.parallel.spatial.decomposition.SpatialDecomposition`
+    geometry) are all the interpreter needs — the engine stays fully
+    opaque and every physics call evaluates to UNKNOWN.
+    """
+    decomp = _spatial_decomposition(lengths, r_cut, p)
+    entry = reg.modules["repro.parallel.spatial.program"].globals["spatial_rank_program"]
+    ops = []
+    for rank in range(p):
+        interp = Interp(reg)
+        ep = _Endpoint(interp, rank, p, reg.tag_base)
+        kwargs = {
+            "mw": _mw_value(reg, middleware),
+            "decomp": _Opaque(
+                {"grid": tuple(decomp.grid), "pulses": tuple(decomp.pulses)}
+            ),
+            "engine": UNKNOWN,
+            "config": _Opaque(
+                {"n_steps": n_steps, "barrier_per_step": True, "dt": 0.0005}
+            ),
+        }
+        interp.call(entry, [ep], kwargs)
+        ops.append(ep.ops)
+    return ops
+
+
 def _run_rank_program(reg: Registry, strategy: str, middleware: str, p: int, n_steps: int):
     """Extract the per-rank micro-op streams of one pmd instantiation."""
-    if strategy not in STRATEGIES:
+    if strategy not in ("pclassic", "ppme"):
         raise ValueError(f"unknown strategy {strategy!r}")
     entry = reg.modules["repro.parallel.pmd"].globals["rank_program"]
     ops = []
@@ -1639,8 +1701,25 @@ def _run_rank_program(reg: Registry, strategy: str, middleware: str, p: int, n_s
 def verify_strategy(
     strategy: str, middleware: str = "mpi", bound: int = 32, n_steps: int = 1
 ) -> list[Diagnostic]:
-    """Verify one strategy's full expanded schedule for all p up to ``bound``."""
+    """Verify one strategy's full expanded schedule for all p up to ``bound``.
+
+    The spatial strategy is instantiated once per canonical box profile
+    (:data:`SPATIAL_PROFILES`) since its schedule depends on the box
+    geometry, not just on p.
+    """
     reg = _registry()
+    if strategy == "spatial":
+        diagnostics: list[Diagnostic] = []
+        for _name, lengths, r_cut in SPATIAL_PROFILES:
+            diagnostics.extend(
+                _verify_instantiations(
+                    lambda p, _l=lengths, _r=r_cut: _run_spatial_rank_program(
+                        reg, middleware, p, n_steps, _l, _r
+                    ),
+                    bound,
+                )
+            )
+        return diagnostics
     return _verify_instantiations(
         lambda p: _run_rank_program(reg, strategy, middleware, p, n_steps), bound
     )
@@ -1698,18 +1777,67 @@ def verify_middleware_collectives(middleware: str = "mpi", bound: int = 32) -> l
 
 
 def extract_strategy_collective_ops(
-    strategy: str, p: int, n_steps: int = 1
+    strategy: str, p: int, n_steps: int = 1, profile: str | None = None
 ) -> list[list[str]]:
-    """The per-rank middleware-op sequences under the abstract middleware."""
+    """The per-rank middleware-op sequences under the abstract middleware.
+
+    For the spatial strategy ``profile`` names the box profile (default:
+    the first entry of :data:`SPATIAL_PROFILES`).
+    """
     reg = _registry()
-    ops = _run_rank_program(reg, strategy, "abstract", p, n_steps)
+    if strategy == "spatial":
+        _name, lengths, r_cut = _spatial_profile(profile or SPATIAL_PROFILES[0][0])
+        ops = _run_spatial_rank_program(reg, "abstract", p, n_steps, lengths, r_cut)
+    else:
+        ops = _run_rank_program(reg, strategy, "abstract", p, n_steps)
     return [[op.op for op in rank_ops if op.kind == "mw"] for rank_ops in ops]
+
+
+def _verify_spatial_contract_conformance(
+    ps: tuple[int, ...], n_steps: int
+) -> list[Diagnostic]:
+    """Spatial leg of the REP406 conformance check.
+
+    The expected sequence comes from the *declared*
+    :meth:`~repro.parallel.spatial.decomposition.SpatialDecomposition.schedule_contract`
+    of the real geometry — per (profile, p) since halo depths depend on
+    both — and must match the abstractly extracted middleware ops of
+    every rank.
+    """
+    reg = _registry()
+    path = _rel(reg.modules["repro.parallel.spatial.program"].path)
+    diagnostics = []
+    for name, lengths, r_cut in SPATIAL_PROFILES:
+        for p in ps:
+            contract = _spatial_decomposition(lengths, r_cut, p).schedule_contract()
+            expected = contract.expected_ops({"barrier"}) * n_steps
+            seqs = extract_strategy_collective_ops("spatial", p, n_steps, profile=name)
+            for rank, seq in enumerate(seqs):
+                if seq != expected:
+                    diagnostics.append(
+                        Diagnostic(
+                            rule="REP406",
+                            message=(
+                                f"strategy 'spatial' ({name}, p={p}, rank {rank}) "
+                                f"issues {seq} per run but contract "
+                                f"{contract.name!r} promises {expected}"
+                            ),
+                            path=path,
+                            severity=RULES["REP406"].severity,
+                            p_condition=f"p in {{{p}}}",
+                        )
+                    )
+                    break  # SPMD: one rank's divergence describes the run
+    return diagnostics
 
 
 def verify_contract_conformance(
     strategy: str, ps: tuple[int, ...] = (1, 2, 3, 4, 5, 8), n_steps: int = 1
 ) -> list[Diagnostic]:
     """Check the extracted schedule against the declared contract (REP406)."""
+    if strategy == "spatial":
+        return _verify_spatial_contract_conformance(ps, n_steps)
+
     from ..parallel.pmd import STEP_SCHEDULE_CONTRACT  # runtime-only import
 
     flags = {"barrier"} | ({"pme"} if strategy == "ppme" else set())
@@ -1794,17 +1922,23 @@ def verify_rank_program_source(
 
 
 def static_step_events(
-    strategy: str = "ppme", middleware: str = "mpi", p: int = 8, n_steps: int = 1
+    strategy: str = "ppme", middleware: str = "mpi", p: int = 8, n_steps: int = 1,
+    profile: str | None = None,
 ) -> list[list[tuple]]:
     """Per-rank trace-comparable events: (kind, peer, tag, op, nbytes, dtype).
 
     ``nbytes``/``dtype`` are ``None`` where the static schedule is
     symbolic; the cross-check skips those fields.  Collectives use
     peer -1 and carry the op name, mirroring
-    :class:`~repro.instrument.commstats.CommEvent`.
+    :class:`~repro.instrument.commstats.CommEvent`.  ``profile`` selects
+    the box profile for the spatial strategy.
     """
     reg = _registry()
-    ops = _run_rank_program(reg, strategy, middleware, p, n_steps)
+    if strategy == "spatial":
+        _name, lengths, r_cut = _spatial_profile(profile or SPATIAL_PROFILES[0][0])
+        ops = _run_spatial_rank_program(reg, middleware, p, n_steps, lengths, r_cut)
+    else:
+        ops = _run_rank_program(reg, strategy, middleware, p, n_steps)
     out: list[list[tuple]] = []
     for rank_ops in ops:
         events = []
@@ -1822,16 +1956,17 @@ def static_step_events(
 
 
 def crosscheck_against_trace(
-    trace, strategy: str = "ppme", middleware: str = "mpi", p: int = 8, n_steps: int = 1
+    trace, strategy: str = "ppme", middleware: str = "mpi", p: int = 8, n_steps: int = 1,
+    profile: str | None = None,
 ) -> list[str]:
     """Compare an executed CommTrace against the static schedule.
 
     Returns human-readable problem strings (empty = event-for-event
     match).  Kind, peer, tag and collective-op name are compared
     strictly; payload bytes and dtype only where the static side is
-    concrete.
+    concrete.  ``profile`` selects the spatial box profile.
     """
-    static = static_step_events(strategy, middleware, p, n_steps)
+    static = static_step_events(strategy, middleware, p, n_steps, profile=profile)
     problems: list[str] = []
     for rank in range(p):
         executed = [e for e in trace.events if e.rank == rank]

@@ -98,17 +98,27 @@ def cache_key(
     cost: MachineCostModel,
     base_seed: int,
 ) -> str:
-    """The content address of one design-point result."""
+    """The content address of one design-point result.
+
+    The strategy axis enters the key only when off-default, so every
+    replicated-data result cached before the axis existed keeps its
+    address (a default-strategy key is byte-identical to the historical
+    document).
+    """
+    point_doc = {
+        "network": point.config.network,
+        "middleware": point.config.middleware,
+        "cpus_per_node": point.config.cpus_per_node,
+        "n_ranks": point.n_ranks,
+        "replicate": point.replicate,
+    }
+    strategy = getattr(point, "strategy", "replicated")
+    if strategy != "replicated":
+        point_doc["strategy"] = strategy
     doc = {
         "schema": SCHEMA_VERSION,
         "workload": workload_fp,
-        "point": {
-            "network": point.config.network,
-            "middleware": point.config.middleware,
-            "cpus_per_node": point.config.cpus_per_node,
-            "n_ranks": point.n_ranks,
-            "replicate": point.replicate,
-        },
+        "point": point_doc,
         "config": config_fingerprint(config),
         "cost": cost_fingerprint(cost),
         "base_seed": base_seed,
@@ -132,5 +142,10 @@ def point_seed(base_seed: int, point: DesignPoint) -> int:
         point.n_ranks,
         point.replicate,
     )
+    # off-default strategies extend the tuple; the default keeps the
+    # historical repr so replicated-data seeds are unchanged
+    strategy = getattr(point, "strategy", "replicated")
+    if strategy != "replicated":
+        key = key + (strategy,)
     digest = zlib.crc32(repr(key).encode())
     return (base_seed + digest) % (2**31 - 1)

@@ -58,7 +58,9 @@ def record_to_dict(record: ResponseRecord) -> dict:
 
 
 def record_from_dict(doc: dict) -> ResponseRecord:
-    return ResponseRecord(**{name: doc[name] for name in _RECORD_FIELDS})
+    # fields absent from older records (e.g. ``strategy``) fall back to
+    # their dataclass defaults; missing required fields still raise
+    return ResponseRecord(**{name: doc[name] for name in _RECORD_FIELDS if name in doc})
 
 
 def record_digest(record: ResponseRecord) -> str:

@@ -22,7 +22,12 @@ import numpy as np
 from ..md.cutoff import CutoffScheme
 from ..md.forcefield import default_forcefield
 from ..md.system import MDSystem
-from ..workloads import build_peptide_in_water, myoglobin_system, myoglobin_workload
+from ..workloads import (
+    build_peptide_in_water,
+    build_water_box,
+    myoglobin_system,
+    myoglobin_workload,
+)
 
 __all__ = ["WORKLOADS", "register_workload", "build_workload", "workload_names"]
 
@@ -50,10 +55,26 @@ def _peptide_tiny() -> tuple[MDSystem, np.ndarray]:
     return system, pos
 
 
+def _water_box() -> tuple[MDSystem, np.ndarray]:
+    """A pure 1536-atom water box (512 waters, 24.8 A cubic cell).
+
+    Homogeneous density makes it the natural workload for the spatial
+    decomposition strategy: every cell of the rank grid carries the same
+    load, so the neighbour-only communication shape shows undiluted.
+    """
+    ff = default_forcefield()
+    topo, pos, box = build_water_box(n_side=8, spacing=3.1, forcefield=ff)
+    system = MDSystem(
+        topo, ff, box, CutoffScheme(r_cut=8.0, skin=1.5), electrostatics="shift"
+    )
+    return system, pos
+
+
 WORKLOADS: dict[str, Builder] = {
     "myoglobin-pme": _myoglobin_pme,
     "myoglobin-shift": _myoglobin_shift,
     "peptide-tiny": _peptide_tiny,
+    "water-box": _water_box,
 }
 
 

@@ -61,6 +61,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run one platform point")
     _point_flags(run)
+    run.add_argument(
+        "--strategy", default="replicated", choices=("replicated", "spatial"),
+        help=(
+            "decomposition strategy: replicated (CHARMM's replicated data, "
+            "the default) or spatial (cell-grid domain decomposition with "
+            "halo exchange; classic cutoff electrostatics, no PME)"
+        ),
+    )
 
     trace = sub.add_parser(
         "trace",
@@ -128,9 +136,10 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--crosscheck", action="store_true",
         help=(
-            "execute the p=8 myoglobin-PME step under both middlewares and "
-            "require the statically extracted schedule to match the recorded "
-            "communication trace event for event"
+            "execute the p=8 PME step (replicated strategy) and the p=8 "
+            "water-box step (spatial strategy) under both middlewares and "
+            "require the statically extracted schedules to match the recorded "
+            "communication traces event for event"
         ),
     )
 
@@ -160,6 +169,13 @@ def build_parser() -> argparse.ArgumentParser:
             "--ranks", default="1,2,4,8", help="comma-separated processor counts"
         )
         p.add_argument("--replicates", type=int, default=1)
+        p.add_argument(
+            "--strategy", default="replicated", choices=("replicated", "spatial"),
+            help=(
+                "decomposition strategy applied to every generated point "
+                "(spatial needs a cutoff-only workload, e.g. --workload water-box)"
+            ),
+        )
 
     crun = csub.add_parser("run", help="execute a design-point campaign")
     _common(crun)
@@ -320,11 +336,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    strategy = getattr(args, "strategy", "replicated")
     print(f"Simulating {spec.describe()}, {args.steps} MD steps...")
     mg = myoglobin_workload()
-    point = DesignPoint(config=config, n_ranks=args.ranks)
+    point = DesignPoint(config=config, n_ranks=args.ranks, strategy=strategy)
+    # the spatial strategy covers the classic (cutoff) path only, so it
+    # runs the shift-electrostatics variant of the benchmark system
+    electrostatics = "pme" if strategy == "replicated" else "shift"
     result = run_parallel_md(
-        myoglobin_system("pme"),
+        myoglobin_system(electrostatics),
         mg.positions,
         spec,
         RunOptions.for_point(point, config=MDRunConfig(n_steps=args.steps)),
@@ -333,8 +353,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(time_series_table([record]))
     print()
     print(breakdown_table([record], "classic"))
-    print()
-    print(breakdown_table([record], "pme"))
+    if strategy == "replicated":
+        print()
+        print(breakdown_table([record], "pme"))
     stats = result.comm_stats()
     if stats.n_transfers:
         print(
@@ -605,12 +626,14 @@ def _analyze_static(args: argparse.Namespace) -> int:
 def _analyze_crosscheck(n_steps: int) -> int:
     """Static-vs-executed schedule cross-check at p=8; returns failures.
 
-    Runs the small PME workload under both middlewares with a
-    communication trace attached and requires the statically extracted
-    per-rank schedule to match the recorded events one for one.
+    Runs the small PME workload (replicated strategy) and the water box
+    (spatial strategy) under both middlewares with a communication trace
+    attached and requires the statically extracted per-rank schedule to
+    match the recorded events one for one.
     """
     from . import MDRunConfig, RunOptions, build_peptide_in_water, run_parallel_md
     from .analysis.static_schedule import crosscheck_against_trace
+    from .campaign.workloads import build_workload
     from .cluster import ClusterSpec, tcp_gigabit_ethernet
     from .instrument.commstats import CommTrace
     from .md import CutoffScheme, MDSystem, default_forcefield
@@ -622,26 +645,36 @@ def _analyze_crosscheck(n_steps: int) -> int:
         electrostatics="pme", pme_grid=(16, 16, 16),
     )
     config = MDRunConfig(n_steps=n_steps, dt=0.0004)
+    water_system, water_pos = build_workload("water-box")
 
+    legs = [
+        ("ppme", None, system, pos),
+        ("spatial", "water-box", water_system, water_pos),
+    ]
     failures = 0
-    for mw in ("mpi", "cmpi"):
-        trace = CommTrace()
-        run_parallel_md(
-            system, pos,
-            ClusterSpec(n_ranks=8, network=tcp_gigabit_ethernet(), seed=7),
-            RunOptions(middleware=mw, config=config, trace=trace),
-        )
-        problems = crosscheck_against_trace(
-            trace, strategy="ppme", middleware=mw, p=8, n_steps=n_steps
-        )
-        for problem in problems:
-            print(f"  {mw} p=8: {problem}")
-        if problems:
-            failures += 1
-        print(
-            f"  crosscheck {mw} p=8: {len(trace)} executed events "
-            f"{'MATCH' if not problems else 'DIVERGE from'} the static schedule"
-        )
+    for strategy, profile, leg_system, leg_pos in legs:
+        for mw in ("mpi", "cmpi"):
+            trace = CommTrace()
+            run_parallel_md(
+                leg_system, leg_pos,
+                ClusterSpec(n_ranks=8, network=tcp_gigabit_ethernet(), seed=7),
+                RunOptions(
+                    middleware=mw, config=config, trace=trace,
+                    strategy="spatial" if strategy == "spatial" else "replicated",
+                ),
+            )
+            problems = crosscheck_against_trace(
+                trace, strategy=strategy, middleware=mw, p=8, n_steps=n_steps,
+                profile=profile,
+            )
+            for problem in problems:
+                print(f"  {strategy} {mw} p=8: {problem}")
+            if problems:
+                failures += 1
+            print(
+                f"  crosscheck {strategy} {mw} p=8: {len(trace)} executed events "
+                f"{'MATCH' if not problems else 'DIVERGE from'} the static schedule"
+            )
     return failures
 
 
@@ -664,16 +697,23 @@ def _design_points(args: argparse.Namespace):
     except ValueError:
         raise ValueError(f"bad --ranks {args.ranks!r}") from None
     if args.design == "full":
-        return full_factorial(
+        points = full_factorial(
             PAPER_FACTOR_SPACE, processor_levels=levels, replicates=args.replicates
         )
-    if args.design == "paper":
-        return one_factor_at_a_time(PAPER_FACTOR_SPACE, processor_levels=levels)
-    return [
-        DesignPoint(config=FOCAL_POINT, n_ranks=p, replicate=r)
-        for p in levels
-        for r in range(args.replicates)
-    ]
+    elif args.design == "paper":
+        points = one_factor_at_a_time(PAPER_FACTOR_SPACE, processor_levels=levels)
+    else:
+        points = [
+            DesignPoint(config=FOCAL_POINT, n_ranks=p, replicate=r)
+            for p in levels
+            for r in range(args.replicates)
+        ]
+    strategy = getattr(args, "strategy", "replicated")
+    if strategy != "replicated":
+        import dataclasses
+
+        points = [dataclasses.replace(pt, strategy=strategy) for pt in points]
+    return points
 
 
 def _campaign_engine(args: argparse.Namespace, n_workers: int = 0, **kw):

@@ -123,6 +123,17 @@ class CMPIMiddleware(Middleware):
         yield from self.sync(ep)
         return blocks
 
+    def exchange(self, ep: RankEndpoint, dest: int, payload, source: int, tag: int = 0):
+        """Paired neighbour exchange through the portability layer.
+
+        One marshalling charge per call — CMPI's split-phase primitives
+        sit behind the same argument-packing shim as every other entry
+        point — then the receive-first paired exchange.
+        """
+        yield from self._charge_call(ep)
+        result = yield from ep.sendrecv(dest, payload, source, tag=tag)
+        return result
+
     def alltoallv(self, ep: RankEndpoint, send_blocks: list):
         """Direct split sends/receives of the personalized blocks."""
         p = ep.size

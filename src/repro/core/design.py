@@ -20,25 +20,37 @@ PROCESSOR_LEVELS: tuple[int, ...] = (1, 2, 4, 8)
 
 @dataclass(frozen=True)
 class DesignPoint:
-    """One run to execute: a platform config at one processor count."""
+    """One run to execute: a platform config at one processor count.
+
+    ``strategy`` selects the decomposition (``"replicated"`` — CHARMM's
+    scheme, the paper's subject — or ``"spatial"``, the domain
+    decomposition of :mod:`repro.parallel.spatial`).  The default keeps
+    every historical design point, wire document, cache key and platform
+    seed unchanged: the field is serialized only when off-default.
+    """
 
     config: PlatformConfig
     n_ranks: int
     replicate: int = 0
+    strategy: str = "replicated"
 
     def label(self) -> str:
-        return f"{self.config.label()} p={self.n_ranks}"
+        suffix = "" if self.strategy == "replicated" else f" {self.strategy}"
+        return f"{self.config.label()} p={self.n_ranks}{suffix}"
 
     # -- wire format (lease boards, worker hand-off) -------------------
     def to_doc(self) -> dict:
         """A JSON-able document round-tripping through :meth:`from_doc`."""
-        return {
+        doc = {
             "network": self.config.network,
             "middleware": self.config.middleware,
             "cpus_per_node": self.config.cpus_per_node,
             "n_ranks": self.n_ranks,
             "replicate": self.replicate,
         }
+        if self.strategy != "replicated":
+            doc["strategy"] = self.strategy
+        return doc
 
     @classmethod
     def from_doc(cls, doc: dict) -> "DesignPoint":
@@ -50,6 +62,7 @@ class DesignPoint:
             ),
             n_ranks=doc["n_ranks"],
             replicate=doc.get("replicate", 0),
+            strategy=doc.get("strategy", "replicated"),
         )
 
 

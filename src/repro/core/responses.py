@@ -38,6 +38,7 @@ class ResponseRecord:
     comm_min_mbs: float
     comm_max_mbs: float
     final_energy: float
+    strategy: str = "replicated"
 
     # ------------------------------------------------------------------
     @property
@@ -93,6 +94,7 @@ class ResponseRecord:
             comm_min_mbs=stats.minimum,
             comm_max_mbs=stats.maximum,
             final_energy=result.energies[-1].total if result.energies else float("nan"),
+            strategy=getattr(point, "strategy", "replicated"),
         )
 
     def as_dict(self) -> dict:

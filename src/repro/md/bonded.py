@@ -23,6 +23,10 @@ from .topology import Topology
 
 __all__ = [
     "BondedTables",
+    "bond_row_terms",
+    "angle_row_terms",
+    "dihedral_row_terms",
+    "improper_row_terms",
     "bond_energy_forces",
     "angle_energy_forces",
     "dihedral_energy_forces",
@@ -92,6 +96,35 @@ class BondedTables:
         )
 
 
+#: one (column, force-rows) scatter call per entry, in the exact order the
+#: kernels issue their ``np.add.at`` calls — sequential accumulation order
+#: is part of the bitwise contract the spatial replay engine depends on
+ScatterCalls = tuple[tuple[int, np.ndarray], ...]
+
+
+def bond_row_terms(
+    positions: np.ndarray,
+    box: PeriodicBox,
+    idx: np.ndarray,
+    kb: np.ndarray,
+    r0: np.ndarray,
+) -> tuple[np.ndarray, ScatterCalls]:
+    """Per-row bond energies and the ordered force-scatter calls.
+
+    Every returned value is an elementwise function of its own row, so any
+    row subset yields bitwise-identical rows — the property the spatial
+    engine uses to replay each replicated rank's accumulation exactly.
+    """
+    dr = box.min_image(positions[idx[:, 0]] - positions[idx[:, 1]])
+    r = np.sqrt(np.einsum("ij,ij->i", dr, dr))
+    delta = r - r0
+    e_rows = kb * delta * delta
+    # F_i = -dE/dr * rhat, dE/dr = 2 kb (r - r0)
+    coeff = (-2.0 * kb * delta / r)[:, None]
+    fij = coeff * dr
+    return e_rows, ((0, fij), (1, -fij))
+
+
 def bond_energy_forces(
     positions: np.ndarray, box: PeriodicBox, tables: BondedTables
 ) -> tuple[float, np.ndarray]:
@@ -100,26 +133,21 @@ def bond_energy_forces(
     idx = tables.bond_idx
     if len(idx) == 0:
         return 0.0, forces
-    dr = box.min_image(positions[idx[:, 0]] - positions[idx[:, 1]])
-    r = np.sqrt(np.einsum("ij,ij->i", dr, dr))
-    delta = r - tables.bond_r0
-    energy = float(np.sum(tables.bond_kb * delta * delta))
-    # F_i = -dE/dr * rhat, dE/dr = 2 kb (r - r0)
-    coeff = (-2.0 * tables.bond_kb * delta / r)[:, None]
-    fij = coeff * dr
-    np.add.at(forces, idx[:, 0], fij)
-    np.add.at(forces, idx[:, 1], -fij)
+    e_rows, scatter = bond_row_terms(positions, box, idx, tables.bond_kb, tables.bond_r0)
+    energy = float(np.sum(e_rows))
+    for col, rows in scatter:
+        np.add.at(forces, idx[:, col], rows)
     return energy, forces
 
 
-def angle_energy_forces(
-    positions: np.ndarray, box: PeriodicBox, tables: BondedTables
-) -> tuple[float, np.ndarray]:
-    """Harmonic angle energy and forces."""
-    forces = np.zeros_like(positions)
-    idx = tables.angle_idx
-    if len(idx) == 0:
-        return 0.0, forces
+def angle_row_terms(
+    positions: np.ndarray,
+    box: PeriodicBox,
+    idx: np.ndarray,
+    k: np.ndarray,
+    t0: np.ndarray,
+) -> tuple[np.ndarray, ScatterCalls]:
+    """Per-row angle energies and the ordered force-scatter calls."""
     u = box.min_image(positions[idx[:, 0]] - positions[idx[:, 1]])
     v = box.min_image(positions[idx[:, 2]] - positions[idx[:, 1]])
     nu = np.sqrt(np.einsum("ij,ij->i", u, u))
@@ -130,17 +158,29 @@ def angle_energy_forces(
     theta = np.arccos(cos_t)
     sin_t = np.maximum(np.sqrt(1.0 - cos_t * cos_t), _SIN_FLOOR)
 
-    delta = theta - tables.angle_t0
-    energy = float(np.sum(tables.angle_k * delta * delta))
+    delta = theta - t0
+    e_rows = k * delta * delta
 
-    de_dtheta = 2.0 * tables.angle_k * delta
+    de_dtheta = 2.0 * k * delta
     dth_di = (cos_t[:, None] * uhat - vhat) / (nu * sin_t)[:, None]
     dth_dk = (cos_t[:, None] * vhat - uhat) / (nv * sin_t)[:, None]
     fi = -de_dtheta[:, None] * dth_di
     fk = -de_dtheta[:, None] * dth_dk
-    np.add.at(forces, idx[:, 0], fi)
-    np.add.at(forces, idx[:, 2], fk)
-    np.add.at(forces, idx[:, 1], -(fi + fk))
+    return e_rows, ((0, fi), (2, fk), (1, -(fi + fk)))
+
+
+def angle_energy_forces(
+    positions: np.ndarray, box: PeriodicBox, tables: BondedTables
+) -> tuple[float, np.ndarray]:
+    """Harmonic angle energy and forces."""
+    forces = np.zeros_like(positions)
+    idx = tables.angle_idx
+    if len(idx) == 0:
+        return 0.0, forces
+    e_rows, scatter = angle_row_terms(positions, box, idx, tables.angle_k, tables.angle_t0)
+    energy = float(np.sum(e_rows))
+    for col, rows in scatter:
+        np.add.at(forces, idx[:, col], rows)
     return energy, forces
 
 
@@ -178,6 +218,25 @@ def _torsion_geometry(
     return phi, gi, gj, gk, gl
 
 
+def dihedral_row_terms(
+    positions: np.ndarray,
+    box: PeriodicBox,
+    idx: np.ndarray,
+    k: np.ndarray,
+    n: np.ndarray,
+    delta_: np.ndarray,
+) -> tuple[np.ndarray, ScatterCalls]:
+    """Per-row dihedral energies and the ordered force-scatter calls."""
+    phi, gi, gj, gk, gl = _torsion_geometry(positions, box, idx)
+    arg = n * phi - delta_
+    e_rows = k * (1.0 + np.cos(arg))
+    de_dphi = -k * n * np.sin(arg)
+    return e_rows, tuple(
+        (col, -de_dphi[:, None] * grad)
+        for col, grad in zip(range(4), (gi, gj, gk, gl))
+    )
+
+
 def dihedral_energy_forces(
     positions: np.ndarray, box: PeriodicBox, tables: BondedTables
 ) -> tuple[float, np.ndarray]:
@@ -186,13 +245,33 @@ def dihedral_energy_forces(
     idx = tables.dihedral_idx
     if len(idx) == 0:
         return 0.0, forces
-    phi, gi, gj, gk, gl = _torsion_geometry(positions, box, idx)
-    arg = tables.dihedral_n * phi - tables.dihedral_delta
-    energy = float(np.sum(tables.dihedral_k * (1.0 + np.cos(arg))))
-    de_dphi = -tables.dihedral_k * tables.dihedral_n * np.sin(arg)
-    for col, grad in zip(range(4), (gi, gj, gk, gl)):
-        np.add.at(forces, idx[:, col], -de_dphi[:, None] * grad)
+    e_rows, scatter = dihedral_row_terms(
+        positions, box, idx, tables.dihedral_k, tables.dihedral_n, tables.dihedral_delta
+    )
+    energy = float(np.sum(e_rows))
+    for col, rows in scatter:
+        np.add.at(forces, idx[:, col], rows)
     return energy, forces
+
+
+def improper_row_terms(
+    positions: np.ndarray,
+    box: PeriodicBox,
+    idx: np.ndarray,
+    k: np.ndarray,
+    psi0: np.ndarray,
+) -> tuple[np.ndarray, ScatterCalls]:
+    """Per-row improper energies and the ordered force-scatter calls."""
+    psi, gi, gj, gk, gl = _torsion_geometry(positions, box, idx)
+    # wrap psi - psi0 into (-pi, pi] so the harmonic well is periodic
+    delta = psi - psi0
+    delta = delta - 2.0 * np.pi * np.round(delta / (2.0 * np.pi))
+    e_rows = k * delta * delta
+    de_dpsi = 2.0 * k * delta
+    return e_rows, tuple(
+        (col, -de_dpsi[:, None] * grad)
+        for col, grad in zip(range(4), (gi, gj, gk, gl))
+    )
 
 
 def improper_energy_forces(
@@ -203,14 +282,12 @@ def improper_energy_forces(
     idx = tables.improper_idx
     if len(idx) == 0:
         return 0.0, forces
-    psi, gi, gj, gk, gl = _torsion_geometry(positions, box, idx)
-    # wrap psi - psi0 into (-pi, pi] so the harmonic well is periodic
-    delta = psi - tables.improper_psi0
-    delta = delta - 2.0 * np.pi * np.round(delta / (2.0 * np.pi))
-    energy = float(np.sum(tables.improper_k * delta * delta))
-    de_dpsi = 2.0 * tables.improper_k * delta
-    for col, grad in zip(range(4), (gi, gj, gk, gl)):
-        np.add.at(forces, idx[:, col], -de_dpsi[:, None] * grad)
+    e_rows, scatter = improper_row_terms(
+        positions, box, idx, tables.improper_k, tables.improper_psi0
+    )
+    energy = float(np.sum(e_rows))
+    for col, rows in scatter:
+        np.add.at(forces, idx[:, col], rows)
     return energy, forces
 
 

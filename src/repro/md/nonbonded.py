@@ -109,21 +109,19 @@ class NonbondedKernel:
         self.last_pair_count: int = 0
 
     # ------------------------------------------------------------------
-    def compute(
+    def pair_terms(
         self, positions: np.ndarray, pairs: np.ndarray
-    ) -> tuple[PairEnergies, np.ndarray]:
-        """Energy and forces for the pairs within the true cutoff.
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-pair energies and forces for the pairs within the true cutoff.
 
-        ``pairs`` may include the neighbour-list skin; pairs beyond
-        ``scheme.r_cut`` are filtered here.
+        Returns ``(i, j, e_lj_pair, e_el_pair, fvec)`` where every array is
+        restricted to the pairs inside ``scheme.r_cut`` and ``fvec`` is the
+        force on atom ``i`` (atom ``j`` receives ``-fvec``).  Every value is
+        a pure elementwise function of its own pair, so callers holding any
+        sub- or superset of a pair list obtain bitwise-identical rows — the
+        property the spatial-decomposition engine relies on to reproduce
+        the replicated-data forces exactly.
         """
-        FORCE_EVALUATIONS.increment()
-        n = len(positions)
-        forces = np.zeros((n, 3), dtype=np.float64)
-        if len(pairs) == 0:
-            self.last_pair_count = 0
-            return PairEnergies(0.0, 0.0), forces
-
         i = pairs[:, 0]
         j = pairs[:, 1]
         dr = self.box.min_image(positions[i] - positions[j])
@@ -132,7 +130,8 @@ class NonbondedKernel:
         i, j, dr, r2 = i[within], j[within], dr[within], r2[within]
         self.last_pair_count = len(i)
         if len(i) == 0:
-            return PairEnergies(0.0, 0.0), forces
+            empty = np.empty(0, dtype=np.float64)
+            return i, j, empty, empty, np.empty((0, 3), dtype=np.float64)
         r = np.sqrt(r2)
         inv_r = 1.0 / r
 
@@ -161,9 +160,27 @@ class NonbondedKernel:
                 erfc_ar * inv_r + _TWO_OVER_SQRT_PI * alpha * np.exp(-(alpha * r) ** 2)
             )
 
-        # --- scatter -----------------------------------------------------
         de_total = de_lj + de_el
         fvec = (-de_total * inv_r)[:, None] * dr  # force on atom i
-        _scatter_forces(forces, i, j, fvec)
+        return i, j, e_lj_pair, e_el_pair, fvec
 
+    # ------------------------------------------------------------------
+    def compute(
+        self, positions: np.ndarray, pairs: np.ndarray
+    ) -> tuple[PairEnergies, np.ndarray]:
+        """Energy and forces for the pairs within the true cutoff.
+
+        ``pairs`` may include the neighbour-list skin; pairs beyond
+        ``scheme.r_cut`` are filtered in :meth:`pair_terms`.
+        """
+        FORCE_EVALUATIONS.increment()
+        n = len(positions)
+        forces = np.zeros((n, 3), dtype=np.float64)
+        if len(pairs) == 0:
+            self.last_pair_count = 0
+            return PairEnergies(0.0, 0.0), forces
+        i, j, e_lj_pair, e_el_pair, fvec = self.pair_terms(positions, pairs)
+        if len(i) == 0:
+            return PairEnergies(0.0, 0.0), forces
+        _scatter_forces(forces, i, j, fvec)
         return PairEnergies(float(np.sum(e_lj_pair)), float(np.sum(e_el_pair))), forces

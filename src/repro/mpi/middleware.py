@@ -49,6 +49,21 @@ class Middleware(abc.ABC):
     def alltoallv(self, ep: RankEndpoint, send_blocks: list):
         """Generator: personalized exchange; returns the received blocks."""
 
+    def exchange(self, ep: RankEndpoint, dest: int, payload, source: int, tag: int = 0):
+        """Generator: paired neighbour exchange; returns the received payload.
+
+        Send ``payload`` to ``dest`` while receiving from ``source`` on the
+        same ``tag`` — the halo-exchange primitive of a spatial
+        decomposition.  Deadlock-free under rendezvous semantics because
+        the receive is posted before the send
+        (:meth:`repro.mpi.endpoint.RankEndpoint.sendrecv`).  Concrete
+        subclasses restate this method so per-middleware costs apply (and
+        so the static verifier, which resolves methods per class, sees
+        each middleware's exchange schedule).
+        """
+        result = yield from ep.sendrecv(dest, payload, source, tag=tag)
+        return result
+
 
 class MPIMiddleware(Middleware):
     """Raw MPI calls: standard algorithms, MPI barriers."""
@@ -68,4 +83,8 @@ class MPIMiddleware(Middleware):
 
     def alltoallv(self, ep: RankEndpoint, send_blocks: list):
         result = yield from collectives.alltoallv(ep, send_blocks)
+        return result
+
+    def exchange(self, ep: RankEndpoint, dest: int, payload, source: int, tag: int = 0):
+        result = yield from ep.sendrecv(dest, payload, source, tag=tag)
         return result

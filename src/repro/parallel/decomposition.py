@@ -38,14 +38,13 @@ class Decomposition(abc.ABC):
     declares its per-step schedule as a
     :class:`~repro.analysis.contract.ScheduleContract`, which the static
     verifier (:mod:`repro.analysis.static_schedule`) checks against the
-    schedule actually extracted from the rank program (rule REP406).  A
-    future spatial/domain decomposition with halo exchanges lands
-    against this same checker before any campaign executes.
+    schedule actually extracted from the rank program (rule REP406).
+    How ownership is expressed differs per scheme — contiguous atom
+    blocks (:class:`AtomDecomposition`), mesh-plane slabs
+    (:class:`SlabDecomposition`), cells of the periodic box
+    (:class:`repro.parallel.spatial.SpatialDecomposition`) — so the only
+    shared obligation is the contract itself.
     """
-
-    @abc.abstractmethod
-    def atom_range(self, rank: int) -> tuple[int, int]:
-        """The contiguous [lo, hi) atom block owned by ``rank``."""
 
     @abc.abstractmethod
     def schedule_contract(self) -> ScheduleContract:
@@ -139,7 +138,7 @@ def slice_bonded_tables(tables: BondedTables, decomp: AtomDecomposition, rank: i
 
 
 @dataclass(frozen=True)
-class SlabDecomposition:
+class SlabDecomposition(Decomposition):
     """Contiguous plane slabs along one mesh axis."""
 
     n_planes: int
@@ -150,6 +149,13 @@ class SlabDecomposition:
             raise ValueError(
                 f"cannot split {self.n_planes} planes over {self.n_ranks} ranks"
             )
+
+    def schedule_contract(self) -> ScheduleContract:
+        # slab-decomposed mesh work communicates exactly through the two
+        # distributed-FFT transposes (all-to-all personalized)
+        from .ppme import SCHEDULE_CONTRACT
+
+        return SCHEDULE_CONTRACT
 
     @property
     def bounds(self) -> np.ndarray:

@@ -94,6 +94,17 @@ class RunOptions:
         a run-wide :class:`SharedComputeCache`.  A wall-clock
         optimization only: energies, trajectories and virtual timelines
         are bit-identical with it on or off.  Default on.
+    strategy:
+        ``"replicated"`` (CHARMM's replicated-data scheme, the default)
+        or ``"spatial"`` (cell-grid domain decomposition with halo
+        exchange, :mod:`repro.parallel.spatial`).  Spatial runs produce
+        bit-identical energies and trajectories at the same rank count;
+        only the communication schedule differs.  Spatial covers the
+        classic (cutoff) path only — combining it with PME raises.
+    spatial_grid:
+        Optional forced rank grid ``(gx, gy, gz)`` for the spatial
+        strategy (product must equal the rank count); ``None`` picks the
+        greedy near-cubic grid.  Ignored for ``strategy="replicated"``.
     """
 
     middleware: str | Middleware = "mpi"
@@ -103,6 +114,14 @@ class RunOptions:
     trace: "CommTrace | None" = None
     span_tracer: "SpanTracer | None" = None
     shared_compute: bool = True
+    strategy: str = "replicated"
+    spatial_grid: tuple[int, int, int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ("replicated", "spatial"):
+            raise ValueError(
+                f"unknown strategy {self.strategy!r}; expected 'replicated' or 'spatial'"
+            )
 
     @classmethod
     def for_point(
@@ -119,11 +138,12 @@ class RunOptions:
         """THE :class:`DesignPoint` → :class:`RunOptions` conversion.
 
         A design point fixes *what* is measured (the platform levels —
-        including the middleware factor); everything else about *how* the
-        run executes is supplied here.  The campaign engine, the CLI
-        ``run`` verb, :class:`~repro.core.runner.CharacterizationRunner`
-        and the benchmarks all build their options through this one
-        classmethod, so a design point means the same run everywhere.
+        including the middleware factor and the decomposition strategy);
+        everything else about *how* the run executes is supplied here.
+        The campaign engine, the CLI ``run`` verb,
+        :class:`~repro.core.runner.CharacterizationRunner` and the
+        benchmarks all build their options through this one classmethod,
+        so a design point means the same run everywhere.
         """
         return cls(
             middleware=point.config.middleware,
@@ -133,6 +153,7 @@ class RunOptions:
             trace=trace,
             span_tracer=span_tracer,
             shared_compute=shared_compute,
+            strategy=getattr(point, "strategy", "replicated"),
         )
 
     def replace(self, **changes) -> "RunOptions":
@@ -199,6 +220,12 @@ def run_parallel_md(
         from ..analysis.sanitizer import SanitizedMiddleware
 
         mw = SanitizedMiddleware(mw, world.sanitizer)
+
+    if opts.strategy == "spatial":
+        return _run_spatial(
+            system, positions, velocities, cluster, opts, config, mw, sim, world
+        )
+
     shared = SharedComputeCache() if opts.shared_compute else None
 
     procs = []
@@ -229,6 +256,88 @@ def run_parallel_md(
         timelines=[ep.timeline for ep in world.endpoints],
         transfers=world.state.transfers,
         final_positions=outcomes[0].final_positions,
+        middleware=mw.name,
+    )
+    if opts.trace is not None:
+        result.extra["comm_trace"] = opts.trace
+    return result
+
+
+def _run_spatial(
+    system: MDSystem,
+    positions: np.ndarray,
+    velocities: np.ndarray,
+    cluster: ClusterSpec,
+    opts: RunOptions,
+    config: MDRunConfig,
+    mw: Middleware,
+    sim: Simulator,
+    world: MPIWorld,
+) -> ParallelRunResult:
+    """The spatial-decomposition leg of :func:`run_parallel_md`.
+
+    Same simulator/world/sanitizer plumbing as the replicated leg; what
+    differs is the decomposition (cells of the box instead of atom
+    blocks), the rank program (halo exchange + migration instead of
+    allreduce + allgather) and the energy path (driver-side ledger
+    assembly instead of an in-band collective).
+    """
+    from .spatial import SpatialDecomposition, SpatialEngine, SpatialLedger
+    from .spatial import spatial_rank_program
+    from .spatial.engine import SpatialOutcome
+
+    if system.uses_pme:
+        raise ValueError(
+            "strategy='spatial' covers the classic (cutoff) path only; "
+            "PME's slab FFT needs the replicated strategy"
+        )
+    decomp = SpatialDecomposition.for_cluster(
+        system.box, cluster.n_ranks, system.scheme.r_cut, grid=opts.spatial_grid
+    )
+    vdecomp = AtomDecomposition(system.n_atoms, cluster.n_ranks)
+    ledger = SpatialLedger(system, vdecomp)
+
+    procs = []
+    for rank in range(cluster.n_ranks):
+        engine = SpatialEngine(
+            system=system,
+            decomp=decomp,
+            vdecomp=vdecomp,
+            rank=rank,
+            cost=opts.cost,
+            middleware=mw.name,
+            ledger=ledger,
+            positions0=positions,
+            velocities0=velocities,
+        )
+        gen = spatial_rank_program(
+            ep=world.endpoints[rank],
+            mw=mw,
+            decomp=decomp,
+            engine=engine,
+            config=config,
+        )
+        procs.append(sim.spawn(gen, name=f"rank{rank}"))
+
+    sim.run()
+    world.assert_drained()
+    if world.sanitizer is not None:
+        world.sanitizer.check_final(world)
+
+    outcomes: list[SpatialOutcome] = [p.result for p in procs]
+    final_positions = np.full((system.n_atoms, 3), np.nan)
+    for out in outcomes:
+        final_positions[out.owned] = out.positions
+    if not np.isfinite(final_positions).all():
+        raise RuntimeError("spatial run lost atoms: final ownership is not a partition")
+
+    result = ParallelRunResult(
+        spec=cluster,
+        config=config,
+        energies=ledger.assemble(mw.name),
+        timelines=[ep.timeline for ep in world.endpoints],
+        transfers=world.state.transfers,
+        final_positions=final_positions,
         middleware=mw.name,
     )
     if opts.trace is not None:

@@ -1,0 +1,44 @@
+# repro-analyze: skip-file
+"""Golden good/bad pair: the spatial halo-exchange ring.
+
+``rank_program`` is the distilled communication skeleton of one spatial
+domain-decomposition step (:mod:`repro.parallel.spatial.program`): per
+halo pulse, a fresh collective tag per direction and a receive-first
+paired exchange with the two ring neighbours, followed by the two
+migration exchanges.  Neighbour-only and deadlock-free at every p —
+the static verifier must prove it clean for the whole bound.
+
+``bad_rank_program`` is the seeded broken variant: the same ring, but
+every rank blocking-sends its halo before posting the matching receive.
+Under rendezvous semantics (all MPI guarantees you) no send can
+complete, so every p >= 2 deadlocks in a wait-for cycle (REP401).
+"""
+
+
+def rank_program(ep, mw):
+    if ep.size == 1:
+        return
+    minus = (ep.rank - 1) % ep.size
+    plus = (ep.rank + 1) % ep.size
+    # multi-depth halo: two pulses once the ring is wide enough for the
+    # cutoff to span more than one neighbour region
+    pulses = 2 if ep.size > 2 else 1
+    for _pulse in range(pulses):
+        tag_down = ep.next_collective_tag("halo")
+        yield from ep.sendrecv(minus, b"halo-down", plus, tag=tag_down)
+        tag_up = ep.next_collective_tag("halo")
+        yield from ep.sendrecv(plus, b"halo-up", minus, tag=tag_up)
+    tag_down = ep.next_collective_tag("migrate")
+    yield from ep.sendrecv(minus, b"migrate-down", plus, tag=tag_down)
+    tag_up = ep.next_collective_tag("migrate")
+    yield from ep.sendrecv(plus, b"migrate-up", minus, tag=tag_up)
+
+
+def bad_rank_program(ep, mw):
+    if ep.size == 1:
+        return
+    minus = (ep.rank - 1) % ep.size
+    plus = (ep.rank + 1) % ep.size
+    tag = ep.next_collective_tag("halo")
+    yield from ep.send(minus, b"halo-down", tag=tag)
+    yield from ep.recv(plus, tag=tag)

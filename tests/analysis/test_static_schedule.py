@@ -53,6 +53,20 @@ class TestGoldenFixtures:
         assert diags[0].p_condition == "odd p in [3, 9]"
         assert "never posted" in diags[0].message
 
+    def test_halo_exchange_ring_proves_clean(self):
+        """The distilled spatial halo/migrate ring is deadlock-free."""
+        assert _verify_fixture("halo_exchange", bound=9) == []
+
+    def test_halo_exchange_seeded_bad_variant(self):
+        """Send-before-recv in the same ring deadlocks at every p >= 2."""
+        path = FIXTURES / "halo_exchange.py"
+        diags = verify_rank_program_source(
+            path.read_text(), str(path), bound=8, entry="bad_rank_program"
+        )
+        assert [d.rule for d in diags] == ["REP401"]
+        assert diags[0].p_condition == "all p in [2, 8]"
+        assert "wait-for cycle" in diags[0].message
+
 
 class TestInlinePrograms:
     def test_size_disagreement_rep405(self):
@@ -110,7 +124,7 @@ class TestInlinePrograms:
 class TestShippedStrategiesProveClean:
     """The acceptance bar: both strategies, both middlewares, symbolically."""
 
-    @pytest.mark.parametrize("strategy", ["pclassic", "ppme"])
+    @pytest.mark.parametrize("strategy", ["pclassic", "ppme", "spatial"])
     @pytest.mark.parametrize("middleware", ["mpi", "cmpi"])
     def test_strategy_clean(self, strategy, middleware):
         diags = verify_strategy(strategy, middleware, bound=6)
@@ -140,7 +154,15 @@ class TestContractConformance:
         for rank_ops in ops:
             assert rank_ops == ["barrier", "allreduce", "allgatherv"]
 
-    @pytest.mark.parametrize("strategy", ["pclassic", "ppme"])
+    def test_extracted_spatial_schedule_is_neighbour_only(self):
+        """p=8 water box splits (2,2,2): one halo pulse per dim and one
+        migration round-trip per dim — no collective reductions at all."""
+        ops = extract_strategy_collective_ops("spatial", p=8, profile="water-box")
+        for rank_ops in ops:
+            assert rank_ops == ["barrier"] + ["exchange"] * 12
+            assert "allreduce" not in rank_ops
+
+    @pytest.mark.parametrize("strategy", ["pclassic", "ppme", "spatial"])
     def test_conformance(self, strategy):
         diags = verify_contract_conformance(strategy, ps=(1, 2, 3, 4, 5, 8))
         formatted = "\n".join(d.format() for d in diags)
@@ -188,5 +210,30 @@ class TestCrosscheckAgainstExecution:
         )
         problems = crosscheck_against_trace(
             trace, strategy="ppme", middleware=middleware, p=8, n_steps=1
+        )
+        assert problems == [], "\n".join(problems)
+
+    @pytest.mark.parametrize("middleware", ["mpi", "cmpi"])
+    def test_p8_spatial_step(self, middleware):
+        from repro.campaign.workloads import build_workload
+        from repro.cluster import ClusterSpec, tcp_gigabit_ethernet
+        from repro.instrument.commstats import CommTrace
+        from repro.parallel import MDRunConfig, RunOptions, run_parallel_md
+
+        system, pos = build_workload("water-box")
+        trace = CommTrace()
+        run_parallel_md(
+            system, pos,
+            ClusterSpec(n_ranks=8, network=tcp_gigabit_ethernet(), seed=7),
+            RunOptions(
+                middleware=middleware,
+                config=MDRunConfig(n_steps=1, dt=0.0004),
+                trace=trace,
+                strategy="spatial",
+            ),
+        )
+        problems = crosscheck_against_trace(
+            trace, strategy="spatial", middleware=middleware, p=8,
+            n_steps=1, profile="water-box",
         )
         assert problems == [], "\n".join(problems)

@@ -1,0 +1,297 @@
+"""Spatial domain decomposition: bit-identity with replicated + halo edge cases.
+
+The acceptance bar of the spatial engine: identical physics (energies
+and trajectories bitwise equal to the replicated-data strategy at the
+same rank count), neighbour-only communication (per-rank message counts
+independent of p), and hard failures on anything the single-hop halo
+schedule cannot represent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.campaign.workloads import build_workload
+from repro.cluster import ClusterSpec, tcp_gigabit_ethernet
+from repro.instrument.commstats import CommTrace
+from repro.md.box import PeriodicBox
+from repro.parallel import MDRunConfig, RunOptions, run_parallel_md
+from repro.parallel.decomposition import AtomDecomposition
+from repro.parallel.spatial import (
+    SpatialDecomposition,
+    SpatialEngine,
+    SpatialLedger,
+    grid_for,
+    halo_pulses,
+)
+
+CFG = MDRunConfig(n_steps=3, dt=0.0004)
+
+
+@pytest.fixture(scope="module")
+def water():
+    return build_workload("water-box")
+
+
+@pytest.fixture(scope="module")
+def myoglobin():
+    return build_workload("myoglobin-shift")
+
+
+def _run(system, pos, p, strategy, config=CFG, **kw):
+    return run_parallel_md(
+        system,
+        pos,
+        ClusterSpec(n_ranks=p, network=tcp_gigabit_ethernet()),
+        RunOptions(config=config, strategy=strategy, **kw),
+    )
+
+
+def _assert_bit_identical(res_a, res_b):
+    """Energies and trajectories bitwise equal — not approx, equal."""
+    assert len(res_a.energies) == len(res_b.energies)
+    for ea, eb in zip(res_a.energies, res_b.energies):
+        assert ea == eb
+    assert res_a.final_positions.tobytes() == res_b.final_positions.tobytes()
+
+
+class TestBitIdenticalToReplicated:
+    """Same rank count, same middleware fold — same bits out."""
+
+    @pytest.mark.parametrize("p", [1, 2, 4, 8])
+    def test_water_box_mpi(self, water, p):
+        system, pos = water
+        _assert_bit_identical(
+            _run(system, pos, p, "spatial"), _run(system, pos, p, "replicated")
+        )
+
+    @pytest.mark.parametrize("p", [1, 2, 4, 8])
+    def test_myoglobin_shift_mpi(self, myoglobin, p):
+        system, pos = myoglobin
+        _assert_bit_identical(
+            _run(system, pos, p, "spatial"), _run(system, pos, p, "replicated")
+        )
+
+    @pytest.mark.parametrize("p", [2, 8])
+    def test_water_box_cmpi(self, water, p):
+        """CMPI folds in arrival-chain order; the ledger must match it too."""
+        system, pos = water
+        _assert_bit_identical(
+            _run(system, pos, p, "spatial", middleware="cmpi"),
+            _run(system, pos, p, "replicated", middleware="cmpi"),
+        )
+
+
+class TestBoundaryAtom:
+    """An atom exactly on a cell face belongs to the upper cell."""
+
+    def test_owner_is_upper_cell(self, water):
+        system, _ = water
+        decomp = SpatialDecomposition.for_cluster(system.box, 2, system.scheme.r_cut)
+        assert decomp.grid == (2, 1, 1)
+        # 24.8 / 2 == 12.4 exactly in binary FP, so the scaled coordinate
+        # is exactly 0.5 and floor(0.5 * 2) == 1: the upper cell, rank 1
+        boundary = np.array([[12.4, 1.0, 1.0]])
+        assert decomp.owners(boundary)[0] == 1
+        assert decomp.cell_coords(boundary)[0, 0] == 1
+
+    def test_run_with_atom_on_the_face(self, water):
+        """Ownership of a face atom is consistent across ranks: the run
+        neither loses nor double-counts it, and stays bit-identical."""
+        system, pos = water
+        shifted = pos.copy()
+        shifted[:, 0] += 12.4 - shifted[0, 0]
+        shifted[0, 0] = 12.4  # exact, whatever the shift rounding did
+        _assert_bit_identical(
+            _run(system, shifted, 2, "spatial"),
+            _run(system, shifted, 2, "replicated"),
+        )
+
+
+class TestMultiPulseHalo:
+    """Cutoff wider than a cell: ghosts arrive over several pulses."""
+
+    def test_pulse_count(self, water):
+        system, _ = water
+        # four slabs of 6.2 A against an 8 A cutoff: two pulses in x
+        assert halo_pulses(system.box, (4, 1, 1), system.scheme.r_cut) == (2, 0, 0)
+
+    def test_forced_slab_grid_runs_bit_identical(self, water):
+        system, pos = water
+        _assert_bit_identical(
+            _run(system, pos, 4, "spatial", spatial_grid=(4, 1, 1)),
+            _run(system, pos, 4, "replicated"),
+        )
+
+
+class TestUnitGridDimensions:
+    """A grid dimension of 1 wraps to self — it must simply not talk."""
+
+    def test_degenerate_dims_do_not_communicate(self, water):
+        system, pos = water
+        trace = CommTrace()
+        # barrier off: its point-to-point rounds would show in the trace
+        cfg = MDRunConfig(n_steps=2, dt=0.0004, barrier_per_step=False)
+        res = _run(
+            system, pos, 2, "spatial",
+            config=cfg, spatial_grid=(1, 1, 2), trace=trace,
+        )
+        assert len(res.energies) == cfg.n_steps
+        # only z is split: one halo pulse (2 exchanges) + migration
+        # (2 exchanges) per step -> 4 sends per rank per step
+        for rank in range(2):
+            sends = [e for e in trace.events if e.kind == "send" and e.rank == rank]
+            assert len(sends) == 4 * cfg.n_steps
+
+    def test_forced_unit_grid_bit_identical(self, water):
+        system, pos = water
+        _assert_bit_identical(
+            _run(system, pos, 2, "spatial", spatial_grid=(1, 1, 2)),
+            _run(system, pos, 2, "replicated"),
+        )
+
+
+class TestNeighbourOnlyScaling:
+    """The paper's question, answered structurally: per-rank message
+    counts do not grow with p (unlike the replicated allreduce)."""
+
+    @staticmethod
+    def _per_rank_sends(system, pos, p):
+        trace = CommTrace()
+        cfg = MDRunConfig(n_steps=2, dt=0.0004, barrier_per_step=False)
+        run_parallel_md(
+            system, pos,
+            ClusterSpec(n_ranks=p, network=tcp_gigabit_ethernet(), max_nodes=p),
+            RunOptions(config=cfg, strategy="spatial", trace=trace),
+        )
+        counts = {
+            rank: sum(1 for e in trace.events if e.kind == "send" and e.rank == rank)
+            for rank in range(p)
+        }
+        return counts, cfg.n_steps
+
+    @pytest.mark.parametrize("p,grid", [(8, (2, 2, 2)), (27, (3, 3, 3))])
+    def test_message_count_independent_of_p(self, water, p, grid):
+        system, pos = water
+        decomp = SpatialDecomposition.for_cluster(system.box, p, system.scheme.r_cut)
+        assert decomp.grid == grid
+        assert decomp.pulses == (1, 1, 1)
+        counts, n_steps = self._per_rank_sends(system, pos, p)
+        # 3 dims x (2 halo sends + 2 migrate sends) per step, at EVERY p
+        assert set(counts.values()) == {12 * n_steps}
+
+
+class TestPassiveInstrumentation:
+    """Sanitizer and tracing observe a spatial run without changing it."""
+
+    def test_toggles_are_bitwise_invisible(self, water):
+        system, pos = water
+        plain = _run(system, pos, 4, "spatial")
+        watched = _run(
+            system, pos, 4, "spatial", sanitize=True, trace=CommTrace()
+        )
+        _assert_bit_identical(plain, watched)
+        assert plain.wall_time() == watched.wall_time()
+
+
+class TestGeometryUnits:
+    def test_grid_for_prefers_wide_dimensions(self, water, myoglobin):
+        assert grid_for(water[0].box, 8) == (2, 2, 2)
+        assert grid_for(myoglobin[0].box, 8) == (4, 1, 2)
+        assert grid_for(water[0].box, 1) == (1, 1, 1)
+
+    def test_pulse_cap_at_grid_minus_one(self):
+        # a cutoff spanning the whole ring saturates at G - 1: beyond
+        # that a pulse would re-import the rank's own atoms
+        box = PeriodicBox(40.0, 40.0, 40.0)
+        assert halo_pulses(box, (4, 1, 1), 35.0) == (3, 0, 0)
+        # legal cutoffs never hit the cap, only multi-pulse counts
+        assert halo_pulses(box, (4, 1, 1), 19.0) == (2, 0, 0)
+
+    def test_grid_validation(self, water):
+        system, _ = water
+        with pytest.raises(ValueError, match="cells for"):
+            SpatialDecomposition.for_cluster(
+                system.box, 4, system.scheme.r_cut, grid=(2, 1, 1)
+            )
+        with pytest.raises(ValueError, match=">= 1"):
+            SpatialDecomposition.for_cluster(
+                system.box, 2, system.scheme.r_cut, grid=(-2, 1, -1)
+            )
+
+
+class TestHardFailures:
+    def test_spatial_rejects_pme(self):
+        system, pos = build_workload("myoglobin-pme")
+        with pytest.raises(ValueError, match="classic"):
+            _run(system, pos, 2, "spatial")
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="strategy"):
+            RunOptions(strategy="scattered")
+
+    def test_migration_rejects_multi_cell_hop(self, water):
+        """An atom teleporting two cells in one step is a hard error,
+        matching the single-hop schedule the contract declares."""
+        system, pos = water
+        decomp = SpatialDecomposition.for_cluster(
+            system.box, 4, system.scheme.r_cut, grid=(4, 1, 1)
+        )
+        vdecomp = AtomDecomposition(system.n_atoms, 4)
+        ledger = SpatialLedger(system, vdecomp)
+        engine = SpatialEngine(
+            system=system,
+            decomp=decomp,
+            vdecomp=vdecomp,
+            rank=0,
+            cost=RunOptions().cost,
+            middleware="mpi",
+            ledger=ledger,
+            positions0=pos,
+            velocities0=np.zeros_like(pos),
+        )
+        engine.begin_step()
+        moved = np.nonzero(engine.owned_mask)[0][0]
+        engine.positions[moved, 0] = 15.5  # cell 2 of 4: two hops from cell 0
+        with pytest.raises(RuntimeError, match="more than one cell"):
+            engine.migrate_payload(0, 0)
+
+
+class TestLedger:
+    @staticmethod
+    def _post_full_bonded(ledger, system, step=0):
+        t = system.bonded_tables
+        for term, idx in (
+            ("bond", t.bond_idx),
+            ("angle", t.angle_idx),
+            ("dihedral", t.dihedral_idx),
+            ("improper", t.improper_idx),
+        ):
+            rows = np.arange(len(idx))
+            ledger.post_bonded(term, step, rows, np.zeros(len(idx)))
+
+    def test_duplicate_pair_is_rejected(self, water):
+        system, _ = water
+        ledger = SpatialLedger(system, AtomDecomposition(system.n_atoms, 1))
+        self._post_full_bonded(ledger, system)
+        pair = (np.array([0]), np.array([1]), np.zeros(1), np.zeros(1))
+        ledger.post_pairs(0, *pair)
+        ledger.post_pairs(0, *pair)
+        with pytest.raises(RuntimeError, match="posted twice"):
+            ledger.assemble("mpi")
+
+    def test_missing_bonded_row_is_rejected(self, water):
+        """Exactly-once coverage: a row nobody claimed fails assembly
+        instead of silently summing as zero."""
+        system, _ = water
+        ledger = SpatialLedger(system, AtomDecomposition(system.n_atoms, 1))
+        t = system.bonded_tables
+        rows = np.arange(len(t.bond_idx) - 1)  # drop one bond row
+        ledger.post_bonded("bond", 0, rows, np.zeros(len(rows)))
+        for term, idx in (
+            ("angle", t.angle_idx),
+            ("dihedral", t.dihedral_idx),
+            ("improper", t.improper_idx),
+        ):
+            ledger.post_bonded(term, 0, np.arange(len(idx)), np.zeros(len(idx)))
+        with pytest.raises(RuntimeError, match="never posted"):
+            ledger.assemble("mpi")
