@@ -9,8 +9,15 @@ seeds and then guards the repo's performance trajectory:
       measure and (re)write ``BENCH_wallclock.json`` at the repo root —
       the committed baseline future PRs regress against;
 * ``python benchmarks/bench_wallclock.py --check BENCH_wallclock.json``
-      measure and exit non-zero if the p = 8 run is more than ``--factor``
-      (default 1.25x) slower than the committed baseline (the CI gate).
+      measure and exit non-zero if any gated key — the p = 8 run, the
+      spatial/replicated pair, or an exec A/B leg present in the
+      baseline — is more than ``--factor`` (default 1.25x) slower than
+      the committed baseline (the CI gate).
+
+Every measurement also runs the ``--exec-workers`` / ``--kernel`` A/B
+on the p = 8 point (``exec_ab`` key): pool sizes 2 and 4 and the numba
+backend when installed, each asserted bit-identical to the default
+serial-numpy leg before its wall time is recorded.
 
 Every measurement also records the p = 8 decomposition-strategy pair on
 the classic myoglobin workload — replicated vs spatial on identical
@@ -90,6 +97,75 @@ def measure_spatial(repeats: int) -> dict[str, float]:
             best = min(best, time.perf_counter() - t0)
         seconds[f"{strategy}_p8"] = round(best, 4)
     return seconds
+
+
+def exec_ab(repeats: int) -> tuple[dict, int]:
+    """``--exec-workers`` / ``--kernel`` A/B on the p = 8 point.
+
+    The within-point execution knobs are wall-clock-only: every leg must
+    produce bit-identical energies, virtual timelines and final
+    positions to the default serial-numpy leg.  Legs the interpreter
+    cannot run (numba not installed) are skipped, mirroring the
+    install-or-skip CI guard.  Returns the per-leg seconds and a
+    non-zero status if any leg's results diverge.
+    """
+    from repro import MDRunConfig, RunOptions, build_workload, run_parallel_md
+    from repro.cluster import ClusterSpec, tcp_gigabit_ethernet
+    from repro.parallel.exec.kernels import numba_available
+
+    system, positions = build_workload(WORKLOAD)
+    config = MDRunConfig(n_steps=N_STEPS)
+    spec = ClusterSpec(n_ranks=8, network=tcp_gigabit_ethernet())
+
+    legs: list[tuple[str, dict]] = [
+        ("serial-numpy", {}),
+        ("pool2-numpy", {"exec_workers": 2}),
+        ("pool4-numpy", {"exec_workers": 4}),
+    ]
+    skipped: list[str] = []
+    if numba_available():
+        legs.append(("serial-numba", {"kernel": "numba"}))
+        legs.append(("pool4-numba", {"exec_workers": 4, "kernel": "numba"}))
+    else:
+        skipped = ["serial-numba", "pool4-numba"]
+
+    seconds: dict[str, float] = {}
+    results: dict[str, object] = {}
+    for name, knobs in legs:
+        options = RunOptions(config=config, **knobs)
+        run_parallel_md(system, positions, spec, options)  # warm-up
+        best, result = float("inf"), None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            result = run_parallel_md(system, positions, spec, options)
+            best = min(best, time.perf_counter() - t0)
+        seconds[name] = round(best, 4)
+        results[name] = result
+
+    problems: list[str] = []
+    base = results["serial-numpy"]
+    base_energy = [e.total for e in base.energies]
+    for name, _ in legs[1:]:
+        other = results[name]
+        if [e.total for e in other.energies] != base_energy:
+            problems.append(f"{name}: energies differ from serial-numpy")
+        if other.timelines != base.timelines:
+            problems.append(f"{name}: virtual timelines differ from serial-numpy")
+        if other.final_positions.tobytes() != base.final_positions.tobytes():
+            problems.append(f"{name}: final positions differ from serial-numpy")
+
+    print(f"  exec A/B (p=8, best of {repeats}):")
+    for name, value in seconds.items():
+        print(f"    {name}: {value:.3f} s wall")
+    for name in skipped:
+        print(f"    {name}: skipped (numba not installed)")
+    for p in problems:
+        print(f"    PROBLEM: {p}")
+    if not problems:
+        print("    all legs bit-identical to serial-numpy: ok")
+
+    doc = {"seconds": seconds, "skipped": skipped, "problems": problems}
+    return doc, 0 if not problems else 1
 
 
 def trace_ab(repeats: int, overhead_factor: float) -> tuple[dict, int]:
@@ -209,6 +285,7 @@ def main(argv: list[str] | None = None) -> int:
         return ab_status
 
     seconds = measure(args.repeats)
+    ab_doc, ab_status = exec_ab(args.repeats)
     doc = {
         "schema": SCHEMA,
         "workload": WORKLOAD,
@@ -222,6 +299,7 @@ def main(argv: list[str] | None = None) -> int:
     }
     if args.with_shared_off:
         doc["seconds_shared_off"] = measure(args.repeats, shared_compute=False)
+    doc["exec_ab"] = {"seconds": ab_doc["seconds"], "skipped": ab_doc["skipped"]}
     doc["spatial"] = {
         "workload": SPATIAL_WORKLOAD,
         "seconds": measure_spatial(args.repeats),
@@ -239,19 +317,38 @@ def main(argv: list[str] | None = None) -> int:
             args.output.write_text(json.dumps(doc, indent=2) + "\n")
             print(f"wrote {args.output}")
         baseline = json.loads(args.check.read_text())
-        base_p8 = float(baseline["seconds"]["p8"])
-        limit = base_p8 * args.factor
-        status = "ok" if seconds["p8"] <= limit else "REGRESSION"
-        print(
-            f"check: p8 {seconds['p8']:.3f} s vs baseline {base_p8:.3f} s "
-            f"(limit {limit:.3f} s at {args.factor:.2f}x): {status}"
-        )
-        return 0 if status == "ok" else 1
+        regressions: list[str] = []
+
+        def gate(label: str, fresh: float, base: float) -> None:
+            limit = base * args.factor
+            status = "ok" if fresh <= limit else "REGRESSION"
+            print(
+                f"check: {label} {fresh:.3f} s vs baseline {base:.3f} s "
+                f"(limit {limit:.3f} s at {args.factor:.2f}x): {status}"
+            )
+            if status != "ok":
+                regressions.append(label)
+
+        # every timing key the baseline carries is gated; keys absent
+        # from an older baseline are simply not compared
+        gate("p8", seconds["p8"], float(baseline["seconds"]["p8"]))
+        spatial_base = baseline.get("spatial", {}).get("seconds", {})
+        for key in ("replicated_p8", "spatial_p8"):
+            if key in spatial_base:
+                gate(
+                    f"spatial.{key}",
+                    doc["spatial"]["seconds"][key],
+                    float(spatial_base[key]),
+                )
+        for leg, base_s in baseline.get("exec_ab", {}).get("seconds", {}).items():
+            if leg in ab_doc["seconds"]:
+                gate(f"exec_ab.{leg}", ab_doc["seconds"][leg], float(base_s))
+        return 0 if not regressions and ab_status == 0 else 1
 
     output = args.output if args.output is not None else DEFAULT_OUTPUT
     output.write_text(json.dumps(doc, indent=2) + "\n")
     print(f"wrote {output}")
-    return 0
+    return ab_status
 
 
 if __name__ == "__main__":

@@ -58,6 +58,20 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cpus-per-node", type=int, default=1, choices=(1, 2))
         p.add_argument("--steps", type=int, default=10)
         p.add_argument("--seed", type=int, default=2002)
+        p.add_argument(
+            "--kernel", default="numpy", choices=("numpy", "numba"),
+            help=(
+                "force-kernel backend (numba is opt-in and bit-identical to "
+                "the numpy reference; requires numba installed)"
+            ),
+        )
+        p.add_argument(
+            "--exec-workers", type=int, default=0,
+            help=(
+                "thread-pool size for the within-point rank fanout "
+                "(0 = serial; wall-clock only, results are bit-identical)"
+            ),
+        )
 
     run = sub.add_parser("run", help="run one platform point")
     _point_flags(run)
@@ -289,6 +303,19 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _check_kernel_flag(kernel: str) -> str | None:
+    """Error string when the requested kernel backend cannot run here."""
+    if kernel == "numba":
+        from .parallel.exec.kernels import numba_available
+
+        if not numba_available():
+            return (
+                "kernel backend 'numba' requested but numba is not installed; "
+                "install numba or use --kernel numpy (the reference backend)"
+            )
+    return None
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     from .experiments import ALL_FIGURES, default_runner
 
@@ -335,6 +362,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    kernel_error = _check_kernel_flag(args.kernel)
+    if kernel_error is not None:
+        print(f"error: {kernel_error}", file=sys.stderr)
+        return 2
 
     strategy = getattr(args, "strategy", "replicated")
     print(f"Simulating {spec.describe()}, {args.steps} MD steps...")
@@ -347,7 +378,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         myoglobin_system(electrostatics),
         mg.positions,
         spec,
-        RunOptions.for_point(point, config=MDRunConfig(n_steps=args.steps)),
+        RunOptions.for_point(
+            point,
+            config=MDRunConfig(n_steps=args.steps),
+            exec_workers=args.exec_workers,
+            kernel=args.kernel,
+        ),
     )
     record = ResponseRecord.from_run(point, result)
     print(time_series_table([record]))
@@ -388,6 +424,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    kernel_error = _check_kernel_flag(args.kernel)
+    if kernel_error is not None:
+        print(f"error: {kernel_error}", file=sys.stderr)
+        return 2
 
     print(f"Tracing {spec.describe()}, {args.steps} MD steps...")
     mg = myoglobin_workload()
@@ -398,7 +438,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         mg.positions,
         spec,
         RunOptions.for_point(
-            point, config=MDRunConfig(n_steps=args.steps), span_tracer=tracer
+            point,
+            config=MDRunConfig(n_steps=args.steps),
+            span_tracer=tracer,
+            exec_workers=args.exec_workers,
+            kernel=args.kernel,
         ),
     )
     path = tracer.write(args.output)

@@ -17,6 +17,7 @@ wire timing is decided.  It models:
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -77,17 +78,23 @@ class _ActiveTransfers:
     load even though the NIC serializes the actual wire occupancy.
     """
 
-    intervals: list[tuple[float, float]] = field(default_factory=list)
+    ends: list[float] = field(default_factory=list)
     grace: float = 1.0  # seconds of history kept for late queries
 
     def count_pending(self, t: float) -> int:
-        if len(self.intervals) > 4096:
-            cutoff = t - self.grace
-            self.intervals = [(s, e) for (s, e) in self.intervals if e > cutoff]
-        return sum(1 for (_s, e) in self.intervals if e > t)
+        # ``ends`` is kept sorted, so "how many transfers are still pending
+        # at t" is a suffix length.  Pruning drops only entries with
+        # e <= t - grace, which can never satisfy e > t for this or any
+        # later (grace-bounded) query — counts are unaffected.
+        ends = self.ends
+        if len(ends) > 4096:
+            keep_from = bisect.bisect_right(ends, t - self.grace)
+            if keep_from:
+                del ends[:keep_from]
+        return len(ends) - bisect.bisect_right(ends, t)
 
     def add(self, start: float, end: float) -> None:
-        self.intervals.append((start, end))
+        bisect.insort(self.ends, end)
 
 
 class ClusterState:
@@ -125,9 +132,11 @@ class ClusterState:
         mean = net.base_efficiency * float(np.exp(-net.congestion_sensitivity * k))
         sigma = min(net.variability + net.congestion_variability * k, 1.0)
         if sigma <= 0:
-            return float(np.clip(mean, _EFFICIENCY_FLOOR, 1.0))
+            # scalar clamp; min/max give the same value as np.clip without
+            # the array round-trip (this runs once per transfer)
+            return min(max(mean, _EFFICIENCY_FLOOR), 1.0)
         draw = mean * float(self.rng.lognormal(mean=-0.5 * sigma * sigma, sigma=sigma))
-        return float(np.clip(draw, _EFFICIENCY_FLOOR, 1.0))
+        return min(max(draw, _EFFICIENCY_FLOOR), 1.0)
 
     # ------------------------------------------------------------------
     def plan_transfer(

@@ -28,6 +28,8 @@ campaign-wide view in the merge manifest.
 
 from __future__ import annotations
 
+import threading
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -41,6 +43,12 @@ __all__ = [
 def _label_key(labels: dict) -> str:
     """Canonical string form of one label set (sorted ``k=v`` pairs)."""
     return ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+
+
+#: The exec-layer rank fanout increments counters from pool threads; a
+#: single shared lock keeps ``count += n`` from losing updates.  One
+#: uncontended acquire per increment is noise next to the work counted.
+_COUNTER_LOCK = threading.Lock()
 
 
 class Counter:
@@ -59,10 +67,11 @@ class Counter:
         self.labels: dict[str, int] = {}
 
     def increment(self, n: int = 1, **labels) -> None:
-        self.count += n
-        if labels:
-            key = _label_key(labels)
-            self.labels[key] = self.labels.get(key, 0) + n
+        with _COUNTER_LOCK:
+            self.count += n
+            if labels:
+                key = _label_key(labels)
+                self.labels[key] = self.labels.get(key, 0) + n
 
     def reset(self) -> None:
         self.count = 0

@@ -145,7 +145,10 @@ class Timeline:
                 "(register_phase() to extend)"
             )
         effective = self._forced if self._forced is not None else category
-        self.phases.setdefault(self._current, PhaseTotals()).add(effective, dt)
+        totals = self.phases.get(self._current)
+        if totals is None:  # avoid a fresh PhaseTotals per call (hot path)
+            totals = self.phases[self._current] = PhaseTotals()
+        totals.add(effective, dt)
         if self._sink is not None:
             self._sink(self._current, effective, dt)
 

@@ -184,6 +184,21 @@ def angle_energy_forces(
     return energy, forces
 
 
+def _cross3(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise cross product for ``(n, 3)`` arrays.
+
+    Same component expressions (multiplies and subtractions) as
+    ``np.cross``, so results are bit-identical — this just skips its
+    general-shape broadcasting machinery, which dominates at the small
+    row counts of bonded tables.
+    """
+    out = np.empty_like(a)
+    out[:, 0] = a[:, 1] * b[:, 2] - a[:, 2] * b[:, 1]
+    out[:, 1] = a[:, 2] * b[:, 0] - a[:, 0] * b[:, 2]
+    out[:, 2] = a[:, 0] * b[:, 1] - a[:, 1] * b[:, 0]
+    return out
+
+
 def _torsion_geometry(
     positions: np.ndarray, box: PeriodicBox, idx: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
@@ -196,12 +211,12 @@ def _torsion_geometry(
     b2 = box.min_image(positions[idx[:, 2]] - positions[idx[:, 1]])
     b3 = box.min_image(positions[idx[:, 3]] - positions[idx[:, 2]])
 
-    c1 = np.cross(b1, b2)
-    c2 = np.cross(b2, b3)
+    c1 = _cross3(b1, b2)
+    c2 = _cross3(b2, b3)
     nb2 = np.sqrt(np.einsum("ij,ij->i", b2, b2))
 
     x = np.einsum("ij,ij->i", c1, c2)
-    y = np.einsum("ij,ij->i", np.cross(c1, c2), b2) / nb2
+    y = np.einsum("ij,ij->i", _cross3(c1, c2), b2) / nb2
     phi = np.arctan2(y, x)
 
     c1_sq = np.maximum(np.einsum("ij,ij->i", c1, c1), _SIN_FLOOR)

@@ -1,10 +1,20 @@
 """Cell-list based Verlet neighbour list.
 
 Builds the pair list that both the classic cutoff kernel and the PME
-direct-space kernel iterate over.  The build is fully vectorized: atoms are
-binned into cells at least ``list_cutoff`` wide, candidate pairs are drawn
-from each cell and its half-shell of neighbouring cells, and a single
-minimum-image distance filter produces the final list.
+direct-space kernel iterate over.  Candidate pairs come from a periodic
+``cKDTree`` query (with the cell-enumeration path kept as the fallback
+for boxes too small for a toroidal tree query); the *final* pair set is
+decided by the same exact minimum-image distance filter in both cases,
+so the candidate source is unobservable in the results:
+
+* the tree query radius is padded by a relative ``1e-9`` so pairs the
+  tree metric and ``min_image`` disagree about at the ulp level are
+  still proposed (and then settled by the exact filter);
+* ``last_candidates`` — the cost-model's neighbour-search workload — is
+  still *defined* as the cell-enumeration candidate count, computed
+  arithmetically from the cell populations (identical to the length of
+  the enumerated candidate list, without materializing it), so virtual
+  timings are bit-identical to the enumerating build.
 
 The list carries a ``skin`` margin so it stays valid while no atom has moved
 more than ``skin / 2`` since the build (:meth:`NeighborList.needs_rebuild`).
@@ -16,6 +26,7 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 
 import numpy as np
+from scipy.spatial import cKDTree
 
 from ..instrument.counters import NEIGHBOR_BUILDS
 from .box import PeriodicBox
@@ -179,6 +190,13 @@ class NeighborList:
     last_candidates: int = field(init=False, default=0)
     #: True when the most recent ``ensure`` call rebuilt the list
     last_ensure_rebuilt: bool = field(init=False, default=False)
+    #: build-time pair distances aligned with ``pairs`` rows; together
+    #: with :attr:`last_max_disp` they certify :meth:`step_prefilter`
+    pair_ref_d: np.ndarray | None = field(init=False, default=None, repr=False)
+    #: largest atom displacement since the build, as measured by the most
+    #: recent rebuild check (inf until a check validates the list)
+    last_max_disp: float = field(init=False, default=float("inf"))
+    _checked_positions: np.ndarray | None = field(init=False, default=None, repr=False)
 
     def __post_init__(self) -> None:
         self.box.check_cutoff(self.scheme.r_cut)
@@ -192,6 +210,7 @@ class NeighborList:
         Returns the new ``pairs`` array of shape (n_pairs, 2), ``i < j``.
         """
         NEIGHBOR_BUILDS.increment()
+        checked = positions  # the caller's object, for prefilter identity
         positions = np.asarray(positions, dtype=np.float64)
         n = len(positions)
         if self._excl_codes is None:
@@ -209,49 +228,93 @@ class NeighborList:
             (wrapped / cell_len).astype(np.int64), n_cells - 1
         )
         cell_of_atom = cell_xyz[:, 0] * ny * nz + cell_xyz[:, 1] * nz + cell_xyz[:, 2]
-
-        order = np.argsort(cell_of_atom, kind="stable")
-        sorted_cells = cell_of_atom[order]
         total_cells = int(np.prod(n_cells))
-        # start offset of each cell in the sorted atom order
-        starts = np.searchsorted(sorted_cells, np.arange(total_cells + 1))
 
-        cand_i, cand_j = _gather_candidates(order, starts, _neighbour_cell_pairs(n_cells))
+        # The cost model's neighbour-search workload is the cell
+        # enumeration's candidate count.  It only depends on the cell
+        # populations — self cells contribute m*(m-1)/2, cross cells
+        # la*lb — so it is computed arithmetically (identically to the
+        # length of the enumerated list) even when the tree proposes the
+        # actual candidates.
+        cell_pairs = _neighbour_cell_pairs(n_cells)
+        sizes = np.bincount(cell_of_atom, minlength=total_cells).astype(np.int64)
+        ca, cb = cell_pairs[:, 0], cell_pairs[:, 1]
+        sa, sb = sizes[ca], sizes[cb]
+        self_pair = ca == cb
+        self.last_candidates = int(
+            (sa[self_pair] * (sa[self_pair] - 1) // 2).sum()
+            + (sa[~self_pair] * sb[~self_pair]).sum()
+        )
 
-        if not cand_i:
-            self.last_candidates = 0
-            self.pairs = np.empty((0, 2), dtype=np.int64)
+        padded = cutoff * (1.0 + 1e-9)
+        if n and padded < 0.5 * float(np.min(self.box.lengths)):
+            # tree proposes a padded superset; the exact filter below
+            # decides (``wrap`` guarantees coordinates in [0, L))
+            cand = cKDTree(wrapped, boxsize=self.box.lengths).query_pairs(
+                padded, output_type="ndarray"
+            )
+            lo = cand[:, 0].astype(np.int64, copy=False)
+            hi = cand[:, 1].astype(np.int64, copy=False)
         else:
-            ii = np.concatenate(cand_i)
-            jj = np.concatenate(cand_j)
-            self.last_candidates = len(ii)
-            lo = np.minimum(ii, jj)
-            hi = np.maximum(ii, jj)
-            dr = self.box.min_image(positions[lo] - positions[hi])
+            order = np.argsort(cell_of_atom, kind="stable")
+            sorted_cells = cell_of_atom[order]
+            # start offset of each cell in the sorted atom order
+            starts = np.searchsorted(sorted_cells, np.arange(total_cells + 1))
+            cand_i, cand_j = _gather_candidates(order, starts, cell_pairs)
+            if cand_i:
+                ii = np.concatenate(cand_i)
+                jj = np.concatenate(cand_j)
+                lo = np.minimum(ii, jj)
+                hi = np.maximum(ii, jj)
+            else:
+                lo = np.empty(0, dtype=np.int64)
+                hi = np.empty(0, dtype=np.int64)
+
+        if len(lo):
+            # the exact accept test — identical arithmetic for both
+            # candidate sources, so the final pair set is too
+            plo = positions.take(lo, axis=0)
+            dr = self.box.min_image(np.subtract(plo, positions.take(hi, axis=0), out=plo))
             d2 = np.einsum("ij,ij->i", dr, dr)
-            keep = d2 <= cutoff * cutoff
-            lo, hi = lo[keep], hi[keep]
-            if self._excl_codes.size:
-                codes = lo * np.int64(n) + hi
-                keep2 = ~np.isin(codes, self._excl_codes, assume_unique=False)
-                lo, hi = lo[keep2], hi[keep2]
-            pair_order = np.lexsort((hi, lo))
-            self.pairs = np.stack([lo[pair_order], hi[pair_order]], axis=1)
+            sel = np.flatnonzero(d2 <= cutoff * cutoff)
+            lo, hi, d2 = lo.take(sel), hi.take(sel), d2.take(sel)
+        else:
+            d2 = np.empty(0, dtype=np.float64)
+        if self._excl_codes.size and len(lo):
+            codes = lo * np.int64(n) + hi
+            # sorted-membership test; same booleans as np.isin
+            at = np.searchsorted(self._excl_codes, codes)
+            at[at == len(self._excl_codes)] = 0
+            keep2 = self._excl_codes[at] != codes
+            lo, hi, d2 = lo[keep2], hi[keep2], d2[keep2]
+        # single-key argsort of the (unique) packed codes gives exactly
+        # the lexsort((hi, lo)) permutation, in about half the time
+        pair_order = np.argsort(lo * np.int64(n) + hi)
+        self.pairs = np.stack([lo[pair_order], hi[pair_order]], axis=1)
+        self.pair_ref_d = np.sqrt(d2.take(pair_order))
 
         self._ref_positions = positions.copy()
+        self.last_max_disp = 0.0
+        self._checked_positions = checked
         self.n_builds += 1
         return self.pairs
 
     # ------------------------------------------------------------------
     def needs_rebuild(self, positions: np.ndarray) -> bool:
         """True if any atom moved more than ``skin / 2`` since the build."""
-        if self._ref_positions is None:
-            return True
-        if self.scheme.skin == 0.0:
+        if self._ref_positions is None or self.scheme.skin == 0.0:
+            self.last_max_disp = float("inf")
+            self._checked_positions = None
             return True
         dr = self.box.min_image(np.asarray(positions) - self._ref_positions)
         max_disp2 = float(np.max(np.einsum("ij,ij->i", dr, dr))) if len(dr) else 0.0
-        return max_disp2 > (0.5 * self.scheme.skin) ** 2
+        if max_disp2 > (0.5 * self.scheme.skin) ** 2:
+            self.last_max_disp = float("inf")
+            self._checked_positions = None
+            return True
+        self.last_max_disp = float(np.sqrt(max_disp2))
+        self._checked_positions = positions
+        return False
 
     def ensure(self, positions: np.ndarray) -> np.ndarray:
         """Rebuild if required; return the current pair list."""
@@ -266,6 +329,9 @@ class NeighborList:
         ref_positions: np.ndarray | None,
         last_candidates: int,
         rebuilt: bool,
+        ref_d: np.ndarray | None = None,
+        max_disp: float = float("inf"),
+        checked_positions: np.ndarray | None = None,
     ) -> None:
         """Take over the outcome of an identical build performed elsewhere.
 
@@ -274,11 +340,53 @@ class NeighborList:
         mirror ranks adopt the building rank's pair list and reference
         positions instead of recomputing them.  ``n_builds`` counts *real*
         builds only and is deliberately not touched.
+
+        ``ref_d``/``max_disp`` replay the builder's prefilter state —
+        valid for this rank because its coordinates are bit-identical to
+        the builder's — and ``checked_positions`` is *this rank's own*
+        positions object, re-binding the identity certificate of
+        :meth:`step_prefilter` to the array this rank will evaluate.
         """
         self.pairs = pairs
         self._ref_positions = ref_positions
         self.last_candidates = last_candidates
         self.last_ensure_rebuilt = rebuilt
+        self.pair_ref_d = ref_d
+        self.last_max_disp = max_disp
+        self._checked_positions = checked_positions
+
+    def step_prefilter(
+        self, positions: np.ndarray, base: np.ndarray
+    ) -> tuple[np.ndarray, float] | None:
+        """Certified candidate pre-drop for this step's exact cutoff test.
+
+        Returns ``(ref_d, bound)`` — the build-time pair distances aligned
+        with ``base`` rows, and the largest build-time distance a pair can
+        have while still reaching ``r_cut`` at the checked coordinates —
+        or ``None`` when no bound can be certified.  The minimum-image
+        distance is a metric on the torus, so a pair's separation changes
+        by at most the sum of its two atoms' displacements since the
+        build: rows with ``ref_d > r_cut + 2 * max_disp`` cannot pass the
+        exact ``r2 <= r_cut**2`` test, and dropping them before the
+        minimum-image chain leaves every surviving row — and therefore
+        the accepted pair set, bit for bit — unchanged.  The ``1e-6`` A
+        margin swallows the rounding of the stored ``sqrt`` and of the
+        displacement measurement.
+
+        Certification is by object identity: ``positions`` must be the
+        exact array the last rebuild decision was taken for.  (Mutating
+        coordinates in place after that check already voids the Verlet
+        list's own skin guarantee, so this adds no new contract.)
+        """
+        if (
+            base is not self.pairs
+            or self.pair_ref_d is None
+            or len(self.pair_ref_d) != len(base)
+            or positions is not self._checked_positions
+            or not np.isfinite(self.last_max_disp)
+        ):
+            return None
+        return self.pair_ref_d, self.scheme.r_cut + 2.0 * self.last_max_disp + 1e-6
 
     @property
     def n_pairs(self) -> int:

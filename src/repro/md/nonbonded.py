@@ -10,24 +10,30 @@ characterizes:
 
 The Lennard-Jones term uses the CHARMM switching function over
 ``[r_on, r_cut]`` in both modes.
+
+The per-pair arithmetic itself lives in
+:mod:`repro.parallel.exec.kernels`: this class performs the cutoff
+filter and the force scatter, then hands the surviving rows to the
+selected backend (``"numpy"`` reference or the opt-in compiled
+``"numba"`` mirror).  Backend choice never changes a single bit of the
+results — only how fast they arrive.
 """
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
-from scipy.special import erfc
 
 from ..instrument.counters import FORCE_EVALUATIONS
 from .box import PeriodicBox
-from .cutoff import CutoffScheme, shift_function, switch_function
+from .cutoff import CutoffScheme
 from .forcefield import ForceField
 from .units import COULOMB_CONSTANT
 
 __all__ = ["NonbondedKernel", "PairEnergies"]
-
-_TWO_OVER_SQRT_PI = 2.0 / np.sqrt(np.pi)
 
 
 @dataclass(frozen=True)
@@ -78,6 +84,9 @@ class NonbondedKernel:
         Optional precomputed ``(eps, rmin_half)`` per-atom tables — the
         tables are identical on every replicated-data rank, so the shared
         compute layer builds them once and hands them to each kernel.
+    backend:
+        Force-kernel backend name (``"numpy"`` or ``"numba"``); see
+        :mod:`repro.parallel.exec.kernels`.  Bit-identical by contract.
     """
 
     def __init__(
@@ -90,6 +99,8 @@ class NonbondedKernel:
         elec_mode: str = "shift",
         ewald_alpha: float | None = None,
         lj_tables: tuple[np.ndarray, np.ndarray] | None = None,
+        backend: str = "numpy",
+        shared_statics: Callable | None = None,
     ) -> None:
         if elec_mode not in ("shift", "ewald"):
             raise ValueError(f"unknown elec_mode {elec_mode!r}")
@@ -105,8 +116,106 @@ class NonbondedKernel:
         self.eps, self.rmin_half = lj_tables
         if len(self.charges) != len(self.eps):
             raise ValueError("charges and type_names disagree on atom count")
+        # local import: md must not depend on the parallel package at
+        # module-import time (parallel imports md)
+        from ..parallel.exec.kernels import get_backend
+
+        self.backend = backend
+        self._physics = get_backend(backend)
+        # per-pair statics (eps_ij, rmin_ij, qq) cached for the lifetime
+        # of one pair-list base array; see _statics_rows.  shared_statics,
+        # when given, deduplicates that computation across rank kernels
+        # (every replicated rank sees the same base array and identical
+        # parameter tables, so one evaluation serves all)
+        self._shared_statics = shared_statics
+        self._statics_base: weakref.ref | None = None
+        self._statics: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        # optional certified candidate pre-drop; see attach_prefilter
+        self._prefilter: Callable | None = None
         #: number of pair interactions evaluated in the last call (cost model)
         self.last_pair_count: int = 0
+
+    # ------------------------------------------------------------------
+    def attach_prefilter(self, fn: Callable | None) -> None:
+        """Install a certified candidate pre-drop hook.
+
+        ``fn(positions, base)`` returns ``(ref_d, bound)`` or ``None``;
+        see :meth:`repro.md.neighborlist.NeighborList.step_prefilter`.
+        Rows of ``base`` whose ``ref_d`` exceeds ``bound`` are dropped
+        *before* the minimum-image chain in :meth:`pair_terms` — by the
+        hook's contract they cannot pass the exact cutoff test, so the
+        accepted pair rows (and every downstream bit) are unchanged.
+        """
+        self._prefilter = fn
+
+    @staticmethod
+    def _row_slice(pairs: np.ndarray) -> tuple[np.ndarray, int] | None:
+        """``(base, offset)`` when ``pairs`` is a plain row-slice view.
+
+        Returns ``None`` for views that are not contiguous row slices of
+        their base (callers fall back to per-call computation, bitwise
+        identical either way).
+        """
+        base = pairs.base if isinstance(pairs.base, np.ndarray) else pairs
+        if (
+            pairs.ndim != 2
+            or base.ndim != 2
+            or base.shape[1:] != pairs.shape[1:]
+            or base.strides != pairs.strides
+        ):
+            return None
+        span = base.strides[0]
+        if span <= 0:
+            return None
+        delta = pairs.__array_interface__["data"][0] - base.__array_interface__["data"][0]
+        if delta < 0 or delta % span:
+            return None
+        off = delta // span
+        if off + len(pairs) > len(base):
+            return None
+        return base, int(off)
+
+    def _statics_rows(
+        self, pairs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+        """Combined LJ/charge parameters for every row of ``pairs``.
+
+        A pair list is reused across many steps (a neighbour list keeps
+        one array alive between rebuilds, and each rank's block is a
+        row-slice view of it), while the gathered parameters depend only
+        on the pair *indices*.  So compute them once per base array and
+        serve row-slices from the cache.  Identity of the base array is
+        the cache key (held by weakref): any rebuild allocates a new
+        array and naturally invalidates.  Views that are not plain
+        row-slices fall back to ``None`` (caller recomputes exactly as
+        before), so this is bitwise invisible either way.
+        """
+        sliced = self._row_slice(pairs)
+        if sliced is None:
+            return None
+        base, off = sliced
+        cached = self._statics_base() if self._statics_base is not None else None
+        if cached is not base:
+            if self._shared_statics is not None:
+                self._statics = self._shared_statics(base, self._compute_statics)
+            else:
+                self._statics = self._compute_statics(base)
+            self._statics_base = weakref.ref(base)
+        eps_ij, rmin_ij, qq = self._statics
+        stop = off + len(pairs)
+        return eps_ij[off:stop], rmin_ij[off:stop], qq[off:stop]
+
+    def _compute_statics(
+        self, base: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-pair (eps_ij, rmin_ij, qq) for every row of ``base``."""
+        bi = base[:, 0]
+        bj = base[:, 1]
+        return (
+            np.sqrt(self.eps.take(bi) * self.eps.take(bj)),
+            self.rmin_half.take(bi) + self.rmin_half.take(bj),
+            COULOMB_CONSTANT * self.charges.take(bi) * self.charges.take(bj),
+        )
 
     # ------------------------------------------------------------------
     def pair_terms(
@@ -122,46 +231,53 @@ class NonbondedKernel:
         property the spatial-decomposition engine relies on to reproduce
         the replicated-data forces exactly.
         """
+        # index-based gathers and compression (``take``/``flatnonzero``)
+        # produce the same values as fancy/boolean indexing several times
+        # faster; the arithmetic on the gathered rows is untouched
         i = pairs[:, 0]
         j = pairs[:, 1]
-        dr = self.box.min_image(positions[i] - positions[j])
+        pre = None
+        if self._prefilter is not None:
+            sliced = self._row_slice(pairs)
+            if sliced is not None:
+                hit = self._prefilter(positions, sliced[0])
+                if hit is not None:
+                    # rows beyond the certified bound cannot pass the
+                    # exact test below; dropping them up front skips
+                    # their share of the minimum-image chain
+                    ref_d, bound = hit
+                    off = sliced[1]
+                    pre = np.flatnonzero(ref_d[off : off + len(pairs)] <= bound)
+                    if len(pre) == len(pairs):
+                        pre = None
+                    else:
+                        i, j = i.take(pre), j.take(pre)
+        pi = positions.take(i, axis=0)
+        dr = self.box.min_image(np.subtract(pi, positions.take(j, axis=0), out=pi))
         r2 = np.einsum("ij,ij->i", dr, dr)
         within = r2 <= self.scheme.r_cut**2
-        i, j, dr, r2 = i[within], j[within], dr[within], r2[within]
+        statics = self._statics_rows(pairs)
+        sel = np.flatnonzero(within)
+        i, j, dr, r2 = i.take(sel), j.take(sel), dr.take(sel, axis=0), r2.take(sel)
         self.last_pair_count = len(i)
         if len(i) == 0:
             empty = np.empty(0, dtype=np.float64)
             return i, j, empty, empty, np.empty((0, 3), dtype=np.float64)
-        r = np.sqrt(r2)
-        inv_r = 1.0 / r
 
-        # --- Lennard-Jones with switching ------------------------------
-        eps_ij = np.sqrt(self.eps[i] * self.eps[j])
-        rmin_ij = self.rmin_half[i] + self.rmin_half[j]
-        x6 = (rmin_ij * inv_r) ** 6
-        x12 = x6 * x6
-        e_lj_raw = eps_ij * (x12 - 2.0 * x6)
-        de_lj_raw = -12.0 * eps_ij * inv_r * (x12 - x6)
-        s, ds = switch_function(r, self.scheme.switch_on, self.scheme.r_cut)
-        e_lj_pair = e_lj_raw * s
-        de_lj = de_lj_raw * s + e_lj_raw * ds
-
-        # --- electrostatics ---------------------------------------------
-        qq = COULOMB_CONSTANT * self.charges[i] * self.charges[j]
-        if self.elec_mode == "shift":
-            sh, dsh = shift_function(r, self.scheme.r_cut)
-            e_el_pair = qq * inv_r * sh
-            de_el = qq * (-inv_r * inv_r * sh + inv_r * dsh)
+        if statics is not None:
+            eps_rows, rmin_rows, qq_rows = statics
+            rows = sel if pre is None else pre.take(sel)
+            eps_ij = eps_rows.take(rows)
+            rmin_ij = rmin_rows.take(rows)
+            qq = qq_rows.take(rows)
         else:
-            alpha = float(self.ewald_alpha)  # validated in __init__
-            erfc_ar = erfc(alpha * r)
-            e_el_pair = qq * inv_r * erfc_ar
-            de_el = -qq * inv_r * (
-                erfc_ar * inv_r + _TWO_OVER_SQRT_PI * alpha * np.exp(-(alpha * r) ** 2)
-            )
+            eps_ij = np.sqrt(self.eps[i] * self.eps[j])
+            rmin_ij = self.rmin_half[i] + self.rmin_half[j]
+            qq = COULOMB_CONSTANT * self.charges[i] * self.charges[j]
 
-        de_total = de_lj + de_el
-        fvec = (-de_total * inv_r)[:, None] * dr  # force on atom i
+        e_lj_pair, e_el_pair, fvec = self._physics(
+            r2, dr, eps_ij, rmin_ij, qq, self.scheme, self.elec_mode, self.ewald_alpha
+        )
         return i, j, e_lj_pair, e_el_pair, fvec
 
     # ------------------------------------------------------------------

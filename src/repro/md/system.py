@@ -120,6 +120,9 @@ class MDSystem:
             elec_mode=elec_mode,
             ewald_alpha=ewald_alpha,
         )
+        # let the kernel drop neighbour-list rows the list itself can
+        # certify as out of reach this step (bitwise invisible)
+        self.nonbonded.attach_prefilter(self.neighbor_list.step_prefilter)
 
     # ------------------------------------------------------------------
     @property

@@ -84,6 +84,10 @@ class RankEndpoint:
         self.rank = rank
         self.timeline = Timeline()
         self._tag_seq = COLLECTIVE_TAG_BASE
+        # sim and network are fixed for the world's lifetime; direct
+        # references keep the hot-path properties to one attribute hop
+        self._sim = world.sim
+        self._net = world.spec.network
 
     # ------------------------------------------------------------------
     @property
@@ -92,11 +96,11 @@ class RankEndpoint:
 
     @property
     def now(self) -> float:
-        return self.world.sim.now
+        return self._sim.now
 
     @property
     def net(self):
-        return self.world.spec.network
+        return self._net
 
     @property
     def node(self) -> int:

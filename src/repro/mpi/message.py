@@ -37,7 +37,7 @@ def copy_payload(payload):
     return bytes(payload)
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """An in-flight message."""
 
@@ -57,7 +57,7 @@ class Message:
         return (self.src, self.dst, self.tag)
 
 
-@dataclass
+@dataclass(slots=True)
 class RecvPost:
     """A posted receive waiting for its matching message.
 

@@ -1,0 +1,22 @@
+"""Within-point execution engine: rank fanout, kernels, plan cache.
+
+This package owns *how* one design point's arithmetic executes — on how
+many threads (:class:`.pool.RankFanout`), with which force-kernel
+backend (:mod:`.kernels`), and with which reusable FFT work arrays
+(:class:`.plancache.PlanCache`).  None of it may change *what* is
+computed: every knob here is required to leave energies, trajectories,
+virtual timelines and campaign store content addresses bit-identical,
+and the test suite asserts exactly that.
+"""
+
+from .kernels import available_backends, get_backend, numba_available
+from .plancache import PlanCache
+from .pool import RankFanout
+
+__all__ = [
+    "available_backends",
+    "get_backend",
+    "numba_available",
+    "PlanCache",
+    "RankFanout",
+]

@@ -1,0 +1,268 @@
+"""Force-kernel backends: the numpy reference and an optional numba JIT.
+
+The non-bonded pair physics — everything :meth:`NonbondedKernel.pair_terms`
+does *after* the cutoff filter — is a pure elementwise function of one
+pair row.  This module owns that function in two interchangeable forms:
+
+* :func:`pair_physics_numpy` — the reference, vectorized numpy.  This is
+  the single source of truth for the arithmetic; every other path
+  (serial, replicated, spatial, compiled) produces its exact bits.
+* :func:`pair_physics_numba` — an opt-in compiled backend
+  (``--kernel numba``).  numba is **not** a dependency: the import is
+  guarded, :func:`available_backends` reports what this interpreter can
+  actually run, and requesting an unavailable backend raises with an
+  install hint instead of crashing mid-run.
+
+**Bitwise parity contract.**  The compiled loop replays the reference
+expression tree operation for operation using only IEEE-754 basic
+operations (add/sub/mul/div/sqrt), which are exactly rounded and
+therefore identical between numpy's ufunc loops and scalar machine code.
+Transcendentals (``erfc``, ``exp``) carry no such guarantee — libm, SIMD
+and scipy implementations legitimately differ by ulps — so the numba
+wrapper precomputes them with the *same numpy/scipy calls* as the
+reference and passes the arrays into the jitted loop.  Parity to the ulp
+is asserted by ``tests/parallel/test_exec.py`` whenever numba is
+installed; nothing about the choice of backend may leak into energies,
+trajectories, virtual timelines or store cache keys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import erfc
+
+from ...instrument.metrics import REGISTRY
+from ...md.cutoff import CutoffScheme, shift_function, switch_function
+
+__all__ = [
+    "KERNEL_BACKENDS",
+    "available_backends",
+    "get_backend",
+    "numba_available",
+    "pair_physics_numpy",
+    "pair_physics_numba",
+]
+
+_TWO_OVER_SQRT_PI = 2.0 / np.sqrt(np.pi)
+
+#: per-backend call counter (label ``backend=...``)
+KERNEL_CALLS = REGISTRY.counter("md.kernel_calls")
+
+try:  # pragma: no cover - exercised only on numba-equipped CI legs
+    import numba as _numba
+except ImportError:  # the common case: numba is optional
+    _numba = None
+
+
+def numba_available() -> bool:
+    """True when the numba backend can actually compile and run."""
+    return _numba is not None
+
+
+def pair_physics_numpy(
+    r2: np.ndarray,
+    dr: np.ndarray,
+    eps_ij: np.ndarray,
+    rmin_ij: np.ndarray,
+    qq: np.ndarray,
+    scheme: CutoffScheme,
+    elec_mode: str,
+    ewald_alpha: float | None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Reference pair physics on cutoff-filtered rows.
+
+    Parameters are per-pair arrays: squared separation ``r2``, the
+    minimum-image displacement ``dr`` (force direction), the combined LJ
+    parameters ``eps_ij``/``rmin_ij`` and the charge product ``qq``
+    (Coulomb constant included).  Returns ``(e_lj, e_el, fvec)``.
+    """
+    r = np.sqrt(r2)
+    inv_r = 1.0 / r
+
+    # --- Lennard-Jones with switching ------------------------------
+    u = rmin_ij * inv_r
+    u2 = u * u
+    x6 = u2 * u2 * u2
+    x12 = x6 * x6
+    e_lj_raw = eps_ij * (x12 - 2.0 * x6)
+    de_lj_raw = -12.0 * eps_ij * inv_r * (x12 - x6)
+    # Below the switch-on radius S = 1 and dS/dr = 0, so the raw values
+    # pass through untouched; evaluate the switching polynomial only on
+    # the rows inside the [r_on, r_cut] window (elementwise, so the
+    # windowed rows carry the exact bits switch_function would give on
+    # the full array).  The raw arrays are fresh temporaries, so the
+    # windowed rows are patched in place after their raw values are
+    # captured — no copies of the full arrays.
+    e_lj_pair = e_lj_raw
+    de_lj = de_lj_raw
+    window = np.flatnonzero(r >= scheme.switch_on)
+    if len(window):
+        s, ds = switch_function(r.take(window), scheme.switch_on, scheme.r_cut)
+        e_w = e_lj_raw.take(window)
+        d_w = de_lj_raw.take(window)
+        e_lj_pair[window] = e_w * s
+        de_lj[window] = d_w * s + e_w * ds
+
+    # --- electrostatics ---------------------------------------------
+    if elec_mode == "shift":
+        sh, dsh = shift_function(r, scheme.r_cut)
+        e_el_pair = qq * inv_r * sh
+        de_el = qq * (-inv_r * inv_r * sh + inv_r * dsh)
+    else:
+        alpha = float(ewald_alpha)  # validated by the kernel constructor
+        erfc_ar = erfc(alpha * r)
+        e_el_pair = qq * inv_r * erfc_ar
+        de_el = -qq * inv_r * (
+            erfc_ar * inv_r + _TWO_OVER_SQRT_PI * alpha * np.exp(-(alpha * r) ** 2)
+        )
+
+    de_total = de_lj + de_el
+    fvec = (-de_total * inv_r)[:, None] * dr  # force on atom i
+    return e_lj_pair, e_el_pair, fvec
+
+
+def _numpy_backend(r2, dr, eps_ij, rmin_ij, qq, scheme, elec_mode, ewald_alpha):
+    KERNEL_CALLS.increment(backend="numpy")
+    return pair_physics_numpy(r2, dr, eps_ij, rmin_ij, qq, scheme, elec_mode, ewald_alpha)
+
+
+_JIT_LOOP = None
+
+
+def _build_jit_loop():  # pragma: no cover - needs numba installed
+    """Compile the elementwise replay of :func:`pair_physics_numpy`.
+
+    Only IEEE basic operations appear here; ``erfc_ar`` and ``gauss``
+    arrive precomputed (see the module docstring).  ``fastmath`` stays
+    OFF — reassociation would break the parity contract.
+    """
+
+    @_numba.njit(cache=True)
+    def loop(
+        r2, dr, eps_ij, rmin_ij, qq,
+        r_on, r_cut, sw_denom, mode_shift, alpha_c, erfc_ar, gauss,
+        e_lj_out, e_el_out, fvec_out,
+    ):
+        ron2 = r_on * r_on
+        roff2 = r_cut * r_cut
+        for k in range(r2.shape[0]):
+            r = np.sqrt(r2[k])
+            inv_r = 1.0 / r
+
+            u = rmin_ij[k] * inv_r
+            u2 = u * u
+            x6 = u2 * u2 * u2
+            x12 = x6 * x6
+            e_lj_raw = eps_ij[k] * (x12 - 2.0 * x6)
+            de_lj_raw = -12.0 * eps_ij[k] * inv_r * (x12 - x6)
+
+            # switch region, mirroring the reference: raw values pass
+            # through untouched below r_on, the polynomial applies on
+            # the [r_on, r_cut] window
+            if r < r_on:
+                e_lj = e_lj_raw
+                de_lj = de_lj_raw
+            else:
+                rr = r * r
+                a = roff2 - rr
+                if r > r_cut:
+                    s = 0.0
+                    ds = 0.0
+                else:
+                    s = a * a * (roff2 + 2.0 * rr - 3.0 * ron2) / sw_denom
+                    ds = 12.0 * r * a * (ron2 - rr) / sw_denom
+                e_lj = e_lj_raw * s
+                de_lj = de_lj_raw * s + e_lj_raw * ds
+
+            if mode_shift:
+                # shift_function, element for element
+                x = r / r_cut
+                if x <= 1.0:
+                    v = 1.0 - x * x
+                    sh = v * v
+                    dsh = -4.0 * x * v / r_cut
+                else:
+                    sh = 0.0
+                    dsh = 0.0
+                e_el = qq[k] * inv_r * sh
+                de_el = qq[k] * (-inv_r * inv_r * sh + inv_r * dsh)
+            else:
+                e_el = qq[k] * inv_r * erfc_ar[k]
+                de_el = -qq[k] * inv_r * (erfc_ar[k] * inv_r + alpha_c * gauss[k])
+
+            de_total = de_lj + de_el
+            f = -de_total * inv_r
+            e_lj_out[k] = e_lj
+            e_el_out[k] = e_el
+            fvec_out[k, 0] = f * dr[k, 0]
+            fvec_out[k, 1] = f * dr[k, 1]
+            fvec_out[k, 2] = f * dr[k, 2]
+
+    return loop
+
+
+def pair_physics_numba(
+    r2, dr, eps_ij, rmin_ij, qq, scheme, elec_mode, ewald_alpha
+):  # pragma: no cover - needs numba installed
+    """Compiled pair physics; bitwise identical to the numpy reference."""
+    global _JIT_LOOP
+    if _JIT_LOOP is None:
+        _JIT_LOOP = _build_jit_loop()
+    n = len(r2)
+    r = np.sqrt(r2)
+    if elec_mode == "shift":
+        mode_shift = True
+        alpha_c = 0.0
+        erfc_ar = gauss = np.empty(0, dtype=np.float64)
+    else:
+        mode_shift = False
+        alpha = float(ewald_alpha)
+        # transcendentals with the reference's own numpy/scipy calls
+        erfc_ar = erfc(alpha * r)
+        gauss = np.exp(-(alpha * r) ** 2)
+        alpha_c = _TWO_OVER_SQRT_PI * alpha
+    r_on = scheme.switch_on
+    r_cut = scheme.r_cut
+    sw_denom = (r_cut * r_cut - r_on * r_on) ** 3
+    e_lj = np.empty(n, dtype=np.float64)
+    e_el = np.empty(n, dtype=np.float64)
+    fvec = np.empty((n, 3), dtype=np.float64)
+    _JIT_LOOP(
+        np.ascontiguousarray(r2), np.ascontiguousarray(dr),
+        np.ascontiguousarray(eps_ij), np.ascontiguousarray(rmin_ij),
+        np.ascontiguousarray(qq),
+        r_on, r_cut, sw_denom, mode_shift, alpha_c, erfc_ar, gauss,
+        e_lj, e_el, fvec,
+    )
+    return e_lj, e_el, fvec
+
+
+def _numba_backend(r2, dr, eps_ij, rmin_ij, qq, scheme, elec_mode, ewald_alpha):
+    KERNEL_CALLS.increment(backend="numba")
+    return pair_physics_numba(r2, dr, eps_ij, rmin_ij, qq, scheme, elec_mode, ewald_alpha)
+
+
+KERNEL_BACKENDS = {"numpy": _numpy_backend, "numba": _numba_backend}
+
+
+def available_backends() -> tuple[str, ...]:
+    """Backend names this interpreter can actually execute."""
+    names = ["numpy"]
+    if numba_available():
+        names.append("numba")
+    return tuple(names)
+
+
+def get_backend(name: str):
+    """Resolve a backend name to its physics callable (or raise clearly)."""
+    if name not in KERNEL_BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; expected one of "
+            f"{sorted(KERNEL_BACKENDS)}"
+        )
+    if name == "numba" and not numba_available():
+        raise RuntimeError(
+            "kernel backend 'numba' requested but numba is not installed; "
+            "install numba or use --kernel numpy (the reference backend)"
+        )
+    return KERNEL_BACKENDS[name]

@@ -1,0 +1,11 @@
+"""FFT plan / work-array cache (exec-layer surface).
+
+The implementation lives in :mod:`repro.pme.plans` so the mesh code in
+``pme/`` can use it without importing the ``parallel`` package (which
+would be circular); this module is the execution subsystem's canonical
+import point for it.
+"""
+
+from ...pme.plans import PLAN_CACHE_HITS, PLAN_CACHE_MISSES, PlanCache
+
+__all__ = ["PlanCache", "PLAN_CACHE_HITS", "PLAN_CACHE_MISSES"]

@@ -1,0 +1,143 @@
+"""Rank fanout: evaluate every rank's private arithmetic in one round.
+
+The shared-computation layer (:mod:`..shared`) removed *redundant* work:
+quantities every rank computes identically are computed once.  What is
+left is the genuinely per-rank work — each rank's nonbonded/bonded force
+block, each rank's PME charge-spread slab — which the replicated rank
+programs still evaluate one rank after another on the driving thread.
+:class:`RankFanout` lifts exactly that work onto a
+:class:`~concurrent.futures.ThreadPoolExecutor`:
+
+* The driver registers a **task family**: one callable per rank (bound
+  to that rank's private engine, e.g. ``ParallelClassic.compute``).
+* The **first rank** to reach a step calls :meth:`round`; the fanout
+  submits all ranks' tasks (in rank order) and collects results with
+  ``future.result()`` **in rank order** — never ``as_completed``, which
+  the REP506 determinism lint forbids in this package.  Later ranks
+  consume their precomputed slot, exactly like the first-rank-builds /
+  mirrors-adopt protocol of ``SharedComputeCache``.
+* The first arrival's arguments are used for every rank's task.  This is
+  sound for the same reason the shared cache is: under replicated data
+  the per-rank copies of positions/pairs are bit-identical, so whose
+  array object evaluates is unobservable in the results.
+
+Determinism: task *scheduling* may interleave arbitrarily, but each task
+touches only its own rank's engine, the arithmetic per task is the
+unchanged kernel, and consumption order is the rank program order — so
+energies, trajectories and virtual timelines are bit-identical to the
+serial path for every pool size (``workers=0`` runs tasks inline with no
+executor at all).  Virtual time is never charged here: the fanout is
+wall-clock machinery, reported only through wall spans and counters.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Hashable, Sequence
+
+from ...instrument.metrics import REGISTRY
+
+__all__ = ["RankFanout"]
+
+FANOUT_ROUNDS = REGISTRY.counter("exec.fanout_rounds")
+FANOUT_TASKS = REGISTRY.counter("exec.fanout_tasks")
+POOL_WORKERS = REGISTRY.gauge("exec.pool_workers")
+
+
+class RankFanout:
+    """Evaluates registered per-rank task families round by round.
+
+    ``workers=0`` (the default everywhere) keeps a pure inline path:
+    no executor is created and ``round`` simply calls the tasks in rank
+    order on the caller's thread.
+    """
+
+    def __init__(self, n_ranks: int, workers: int = 0, span_tracer=None) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.n_ranks = n_ranks
+        self.workers = workers
+        self._tracer = span_tracer
+        self._families: dict[str, Sequence[Callable[..., Any]]] = {}
+        # (family, key) -> [per-rank results, ranks still to consume]
+        self._pending: dict[tuple[str, Hashable], list] = {}
+        self._executor = (
+            ThreadPoolExecutor(
+                max_workers=min(workers, n_ranks),
+                thread_name_prefix="rank-fanout",
+            )
+            if workers > 0
+            else None
+        )
+        POOL_WORKERS.set(workers)
+
+    # ------------------------------------------------------------------
+    def register(self, family: str, tasks: Sequence[Callable[..., Any]]) -> None:
+        """Install one callable per rank under ``family``.
+
+        Registration happens on the driver before any rank program runs,
+        so there is no race between a program reaching a round and its
+        family existing.
+        """
+        if len(tasks) != self.n_ranks:
+            raise ValueError(
+                f"family {family!r}: got {len(tasks)} tasks for "
+                f"{self.n_ranks} ranks"
+            )
+        self._families[family] = list(tasks)
+
+    def has_family(self, family: str) -> bool:
+        return family in self._families
+
+    # ------------------------------------------------------------------
+    def round(self, family: str, key: Hashable, rank: int, *args) -> Any:
+        """Return rank ``rank``'s result for round ``key`` of ``family``.
+
+        The first caller for a given ``key`` evaluates *all* ranks' tasks
+        (with its own ``args``); every rank consumes exactly once and the
+        round's slot is dropped after the last consumer.
+        """
+        tasks = self._families[family]
+        slot = (family, key)
+        entry = self._pending.get(slot)
+        if entry is None:
+            FANOUT_ROUNDS.increment(family=family)
+            FANOUT_TASKS.increment(self.n_ranks, family=family)
+            if self._executor is None:
+                results = [tasks[r](*args) for r in range(self.n_ranks)]
+            elif self._tracer is not None:
+                with self._tracer.span(f"exec.fanout:{family}", workers=self.workers):
+                    results = self._run_pooled(tasks, args)
+            else:
+                results = self._run_pooled(tasks, args)
+            entry = [results, self.n_ranks]
+            self._pending[slot] = entry
+        value = entry[0][rank]
+        entry[1] -= 1
+        if entry[1] == 0:
+            del self._pending[slot]
+        return value
+
+    def _run_pooled(self, tasks, args) -> list:
+        futures = [self._executor.submit(tasks[r], *args) for r in range(self.n_ranks)]
+        # rank order, never as_completed: the reduction order downstream
+        # must not depend on thread scheduling
+        return [f.result() for f in futures]
+
+    # ------------------------------------------------------------------
+    def assert_drained(self) -> None:
+        """Every started round was consumed by all ranks (end-of-run check)."""
+        if self._pending:
+            leftovers = sorted(str(k) for k in self._pending)
+            raise AssertionError(f"fanout rounds never fully consumed: {leftovers}")
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "RankFanout":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -29,6 +29,7 @@ from ..mpi.endpoint import RankEndpoint
 from ..mpi.middleware import Middleware
 from ..pme.ewald import exclusion_correction, self_energy
 from ..pme.grid import ChargeMesh
+from ..pme.plans import PlanCache
 from ..pme.pme import PME
 from .costmodel import MachineCostModel
 from .decomposition import AtomDecomposition
@@ -82,6 +83,14 @@ class ParallelPME:
         Optional run-wide :class:`SharedComputeCache`; when given, the
         B-spline stencil and the once-per-run setup (total self energy)
         are computed by the first rank and reused by every other.
+    fanout:
+        Optional :class:`repro.parallel.exec.RankFanout` with a
+        ``"pme-spread"`` family registered (one :meth:`_spread_slab` per
+        rank); when given, the charge spread of every rank's slab for a
+        step is evaluated in one pooled round triggered by the first
+        rank to reach it.  Force interpolation is deliberately *not*
+        fanned out: it consumes the rank-specific inverse-FFT slab, so
+        no other rank's arrival can supply its inputs.
     """
 
     def __init__(
@@ -95,6 +104,7 @@ class ParallelPME:
         rank: int,
         cost: MachineCostModel,
         shared: SharedComputeCache | None = None,
+        fanout=None,
     ) -> None:
         self.pme = pme
         self.box = box
@@ -103,6 +113,9 @@ class ParallelPME:
         self.cost = cost
         self.charges = charges
         self.shared = shared
+        self.fanout = fanout
+        # private work-array cache (never shared across ranks/threads)
+        self.plans = PlanCache()
         self.fft = DistributedFFT(pme.grid_shape, n_ranks, rank, cost)
         # private mesh so per-rank workload counters do not interleave
         self.mesh = ChargeMesh(box, pme.grid_shape, pme.order)
@@ -126,6 +139,20 @@ class ParallelPME:
             return self.shared.pme_stencil(self.mesh, positions, generation)
         return self.mesh.stencil(positions)
 
+    def _spread_slab(self, positions: np.ndarray, stencil) -> np.ndarray:
+        """Spread all charges onto this rank's x-planes.
+
+        This is the per-rank task registered under the fanout's
+        ``"pme-spread"`` family: it touches only this rank's private
+        mesh (whose ``last_workload`` feeds this rank's virtual cost),
+        so concurrent evaluation across ranks is race-free.  The shared
+        stencil is computed *before* the round and passed in, keeping
+        ``SharedComputeCache`` access single-threaded.
+        """
+        return self.mesh.spread(
+            positions, self.charges, x_range=self.fft.my_x_range, stencil=stencil
+        )
+
     def reciprocal(
         self,
         ep: RankEndpoint,
@@ -143,21 +170,32 @@ class ParallelPME:
         x_range = self.fft.my_x_range
         stencil = self._stencil_for(positions, generation)
 
-        # 1. spread all charges onto owned planes
-        q_slab = self.mesh.spread(
-            positions, self.charges, x_range=x_range, stencil=stencil
-        )
+        # 1. spread all charges onto owned planes (pooled across ranks
+        # when a fanout with the "pme-spread" family is attached)
+        if self.fanout is not None and generation is not None:
+            q_slab = self.fanout.round(
+                "pme-spread", generation, self.rank, positions, stencil
+            )
+        else:
+            q_slab = self._spread_slab(positions, stencil)
         assert self.mesh.last_workload is not None
         yield from ep.compute(self.cost.spread(self.mesh.last_workload.scattered_points))
 
-        # 2. forward distributed FFT
-        spectrum = yield from self.fft.forward(ep, mw, q_slab.astype(np.complex128))
+        # 2. forward distributed FFT; the complex cast reuses a plan-cache
+        # buffer (whole-array assignment == astype, bit for bit)
+        cplx = self.plans.complex_buffer("fft-in", q_slab.shape)
+        cplx[...] = q_slab
+        spectrum = yield from self.fft.forward(ep, mw, cplx)
 
         # 3. influence multiply and partial energy on the owned y-slab
         n_slab_points = spectrum.size
         yield from ep.compute(self.cost.grid_pass(2 * n_slab_points))
         energy = 0.5 * float(np.sum(self.psi_slab * np.abs(spectrum) ** 2))
-        conv = self.psi_slab * spectrum
+        conv = np.multiply(
+            self.psi_slab,
+            spectrum,
+            out=self.plans.complex_buffer("conv", spectrum.shape),
+        )
 
         # 4. inverse distributed FFT
         phi_slab = yield from self.fft.inverse(ep, mw, conv)

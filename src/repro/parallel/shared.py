@@ -37,6 +37,8 @@ the cache on or off.
 
 from __future__ import annotations
 
+import threading
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -56,6 +58,9 @@ class _NeighborOutcome:
     pairs: np.ndarray
     ref_positions: np.ndarray | None
     candidates: int
+    #: prefilter replay state (see NeighborList.step_prefilter)
+    ref_d: np.ndarray | None
+    max_disp: float
 
 
 @dataclass
@@ -81,6 +86,12 @@ class SharedComputeCache:
     _stencil_key: tuple | None = field(default=None, repr=False)
     _stencil: tuple | None = field(default=None, repr=False)
     _once: dict[Any, Any] = field(default_factory=dict, repr=False)
+    _statics_ref: weakref.ref | None = field(default=None, repr=False)
+    _statics: tuple | None = field(default=None, repr=False)
+    # pair_statics is reached from inside ParallelClassic.compute, which
+    # the exec layer's rank fanout may run in pool threads concurrently —
+    # unlike the yield-point-serialized methods above, it needs a lock
+    _statics_lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     # ------------------------------------------------------------------
     def neighbor_pairs(
@@ -98,7 +109,18 @@ class SharedComputeCache:
         cached = self._neighbors
         if cached is not None and cached.generation == generation:
             self.n_mirrored += 1
-            nl.adopt(cached.pairs, cached.ref_positions, cached.candidates, cached.rebuilt)
+            # checked_positions is this rank's own array: its coordinates
+            # are bit-identical to the builder's, so the builder's
+            # ref_d/max_disp bound holds for it verbatim
+            nl.adopt(
+                cached.pairs,
+                cached.ref_positions,
+                cached.candidates,
+                cached.rebuilt,
+                ref_d=cached.ref_d,
+                max_disp=cached.max_disp,
+                checked_positions=positions,
+            )
             return cached.pairs
 
         rebuilt = nl.needs_rebuild(positions)
@@ -112,6 +134,8 @@ class SharedComputeCache:
             pairs=nl.pairs,
             ref_positions=nl._ref_positions,
             candidates=nl.last_candidates,
+            ref_d=nl.pair_ref_d,
+            max_disp=nl.last_max_disp,
         )
         return nl.pairs
 
@@ -127,6 +151,26 @@ class SharedComputeCache:
         self._stencil_key = key
         self.n_stencils += 1
         return self._stencil
+
+    # ------------------------------------------------------------------
+    def pair_statics(
+        self, base: np.ndarray, factory: Callable[[np.ndarray], tuple]
+    ) -> tuple:
+        """Per-pair static coefficients for one pair-list base array.
+
+        Every replicated rank holds the same base array (via
+        :meth:`neighbor_pairs`) and identical parameter tables, so
+        ``factory(base)`` is computed once per rebuild and replayed to
+        every rank kernel — bit-identical to a private evaluation.
+        Identity of ``base`` is the key (held by weakref): a rebuild
+        allocates a new array and naturally invalidates.
+        """
+        with self._statics_lock:
+            cached = self._statics_ref() if self._statics_ref is not None else None
+            if cached is not base:
+                self._statics = factory(base)
+                self._statics_ref = weakref.ref(base)
+            return self._statics
 
     # ------------------------------------------------------------------
     def once(self, key: Any, factory: Callable[[], Any]) -> Any:

@@ -36,6 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from scipy.spatial import cKDTree
 
 from ...instrument.counters import FORCE_EVALUATIONS
 from ...md.bonded import (
@@ -216,6 +217,7 @@ class SpatialEngine:
         ledger: SpatialLedger,
         positions0: np.ndarray,
         velocities0: np.ndarray,
+        kernel_backend: str = "numpy",
     ) -> None:
         if middleware not in ("mpi", "cmpi"):
             raise ValueError(f"unknown middleware {middleware!r} for spatial replay")
@@ -247,6 +249,7 @@ class SpatialEngine:
             system.scheme,
             elec_mode=system.nonbonded.elec_mode,
             ewald_alpha=system.nonbonded.ewald_alpha,
+            backend=kernel_backend,
         )
         excl = system.exclusions
         if excl.size:
@@ -384,36 +387,49 @@ class SpatialEngine:
     def _candidate_pairs(self, owned: np.ndarray, known: np.ndarray) -> np.ndarray:
         """All ``i < j`` pairs within ``r_cut`` touching an owned atom.
 
-        The distance mask is orientation-independent bitwise (squares kill
-        the half-box sign asymmetry of ``min_image``), so this set equals
-        the restriction of the replicated filtered pair list to pairs
-        touching this rank — sorted, deduplicated, exclusions removed.
+        Two phases, and only the first changed when this went from a dense
+        ``owned x known`` distance matrix to a periodic k-d tree: the tree
+        merely *proposes* a candidate superset (its radius is padded so an
+        ulp-level disagreement between its internal metric and ours can
+        never drop a pair the exact test would accept); the accept test is
+        still the replicated path's exact arithmetic — ``min_image``
+        displacement, squared-distance compare against ``r_cut**2`` — so
+        the surviving set is bitwise the same restriction of the
+        replicated filtered pair list to pairs touching this rank:
+        sorted, deduplicated, exclusions removed.  Since ``owned`` is a
+        subset of ``known``, every such pair appears in the known-known
+        tree enumeration; ghost-ghost proposals are discarded by the
+        owned-mask filter.  Only non-NaN (known) coordinates enter the
+        tree, preserving the NaN-poisoning guarantee.
         """
         n = self.n_atoms
         cut2 = self.scheme.r_cut**2
-        pos_known = self.positions[known]
-        code_chunks: list[np.ndarray] = []
-        chunk = max(1, 2_000_000 // max(len(known), 1))
-        for s in range(0, len(owned), chunk):
-            blk = owned[s : s + chunk]
-            dr = self.box.min_image(
-                self.positions[blk][:, None, :] - pos_known[None, :, :]
+        if len(owned) and len(known):
+            tree = cKDTree(
+                self.box.wrap(self.positions[known]), boxsize=self.box.lengths
             )
-            d2 = np.einsum("ijk,ijk->ij", dr, dr)
-            a, b = np.nonzero(d2 <= cut2)
-            gi = blk[a]
-            gj = known[b]
-            neq = gi != gj
-            gi, gj = gi[neq], gj[neq]
+            cand = tree.query_pairs(
+                self.r_cut * (1.0 + 1e-9), output_type="ndarray"
+            )
+            gi = known[cand[:, 0]]
+            gj = known[cand[:, 1]]
+            touch = self.owned_mask[gi] | self.owned_mask[gj]
+            gi, gj = gi[touch], gj[touch]
+            dr = self.box.min_image(self.positions[gi] - self.positions[gj])
+            d2 = np.einsum("ij,ij->i", dr, dr)
+            keep = d2 <= cut2
+            gi, gj = gi[keep], gj[keep]
             lo = np.minimum(gi, gj)
             hi = np.maximum(gi, gj)
-            code_chunks.append(lo * np.int64(n) + hi)
-        if code_chunks:
-            codes = np.unique(np.concatenate(code_chunks))
+            # each unordered pair is enumerated once by the tree, so the
+            # codes are already unique — a plain sort replaces np.unique
+            codes = np.sort(lo * np.int64(n) + hi)
         else:
             codes = np.empty(0, dtype=np.int64)
-        if self._excl_codes.size:
-            codes = codes[~np.isin(codes, self._excl_codes)]
+        if self._excl_codes.size and codes.size:
+            at = np.searchsorted(self._excl_codes, codes)
+            at[at == len(self._excl_codes)] = 0
+            codes = codes[self._excl_codes[at] != codes]
         return np.stack([codes // n, codes % n], axis=1)
 
     def compute_forces(self) -> float:

@@ -28,6 +28,7 @@ from ..md.box import PeriodicBox
 from ..md.units import COULOMB_CONSTANT
 from .bspline import bspline_moduli
 from .grid import ChargeMesh
+from .plans import PlanCache
 
 __all__ = ["PME", "ReciprocalResult", "influence_function"]
 
@@ -117,6 +118,8 @@ class PME:
         self.mesh = ChargeMesh(box, self.grid_shape, order)
         self.psi = influence_function(box, self.grid_shape, order, alpha)
         self.total_points = int(np.prod(self.grid_shape))
+        # private work-array cache (never shared across ranks/threads)
+        self.plans = PlanCache()
 
     # ------------------------------------------------------------------
     def reciprocal(self, positions: np.ndarray, charges: np.ndarray) -> ReciprocalResult:
@@ -126,7 +129,10 @@ class PME:
         q_grid = self.mesh.spread(positions, charges, stencil=stencil)
         s = np.fft.fftn(q_grid)
         energy = 0.5 * float(np.sum(self.psi * np.abs(s) ** 2))
-        phi = self.total_points * np.fft.ifftn(self.psi * s).real
+        conv = np.multiply(
+            self.psi, s, out=self.plans.complex_buffer("conv", self.grid_shape)
+        )
+        phi = self.total_points * np.fft.ifftn(conv).real
         forces = self.mesh.interpolate_forces(positions, charges, phi, stencil=stencil)
         return ReciprocalResult(energy=energy, forces=forces)
 

@@ -107,11 +107,10 @@ class Process:
             )
 
 
-@dataclass(order=True)
-class _Event:
-    time: float
-    seq: int
-    fn: Callable[[], None] = field(compare=False)
+# heap entries are plain (time, seq, fn) tuples: the unique seq breaks
+# time ties before fn is ever compared, and tuple comparison runs in C —
+# the event loop's hottest operation
+_Event = tuple[float, int, Callable[[], None]]
 
 
 class Simulator:
@@ -137,7 +136,7 @@ class Simulator:
         """Run ``fn`` after ``delay`` sim-seconds."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay {delay})")
-        heapq.heappush(self._heap, _Event(self.now + delay, self._seq, fn))
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn))
         self._seq += 1
 
     def spawn(self, gen: ProcessGen, name: str = "proc") -> Process:
@@ -161,14 +160,15 @@ class Simulator:
         """
         while self._heap:
             ev = heapq.heappop(self._heap)
-            if until is not None and ev.time > until:
+            ev_time = ev[0]
+            if until is not None and ev_time > until:
                 heapq.heappush(self._heap, ev)
                 self.now = until
                 return self.now
-            if ev.time < self.now - 1e-15:
+            if ev_time < self.now - 1e-15:
                 raise SimulationError("event queue went backwards")
-            self.now = ev.time
-            ev.fn()
+            self.now = ev_time
+            ev[2]()
         if self._live > 0:
             stuck = [p.name for p in self._processes if not p.done]
             raise SimulationError(f"deadlock: processes never finished: {stuck}")

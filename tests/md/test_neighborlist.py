@@ -165,3 +165,62 @@ def test_cell_list_equals_brute_force_property(seed, n):
     scheme = CutoffScheme(r_cut=5.0, skin=1.0)
     nl = NeighborList(box, scheme)
     assert nl.build(pos).tolist() == brute_force_pairs(pos, box, scheme.list_cutoff).tolist()
+
+
+class TestStepPrefilter:
+    """The certified candidate prefilter: sound, and void without proof."""
+
+    def _setup(self, n=80, seed=3):
+        rng = np.random.default_rng(seed)
+        box = PeriodicBox(15, 15, 15)
+        pos = _random_positions(rng, n, box)
+        nl = NeighborList(box, CutoffScheme(r_cut=4.0, skin=1.0))
+        nl.build(pos)
+        return rng, nl, pos
+
+    def test_hit_right_after_build(self):
+        _, nl, pos = self._setup()
+        hit = nl.step_prefilter(pos, nl.pairs)
+        assert hit is not None
+        ref_d, bound = hit
+        assert len(ref_d) == len(nl.pairs)
+        # zero displacement since build: the bound is r_cut + epsilon
+        assert bound == pytest.approx(nl.scheme.r_cut, abs=1e-5)
+
+    def test_certified_after_needs_rebuild_check(self):
+        rng, nl, pos = self._setup()
+        moved = pos + rng.normal(scale=0.05, size=pos.shape)
+        assert not nl.needs_rebuild(moved)
+        hit = nl.step_prefilter(moved, nl.pairs)
+        assert hit is not None
+        _, bound = hit
+        assert bound > nl.scheme.r_cut  # displacement widened the bound
+
+    def test_unseen_positions_object_voids_the_certificate(self):
+        _, nl, pos = self._setup()
+        assert nl.step_prefilter(pos.copy(), nl.pairs) is None
+
+    def test_foreign_pair_array_voids_the_certificate(self):
+        _, nl, pos = self._setup()
+        assert nl.step_prefilter(pos, nl.pairs.copy()) is None
+        assert nl.step_prefilter(pos, nl.pairs[:-1]) is None
+
+    def test_prefilter_keeps_every_true_pair(self):
+        """Dropped rows provably fail the exact r <= r_cut test."""
+        rng, nl, pos = self._setup(n=120)
+        for _ in range(5):
+            moved = pos + rng.normal(scale=0.08, size=pos.shape)
+            if nl.needs_rebuild(moved):
+                nl.build(moved)
+            hit = nl.step_prefilter(moved, nl.pairs)
+            assert hit is not None
+            ref_d, bound = hit
+            pairs = nl.pairs
+            lo, hi = pairs[:, 0], pairs[:, 1]
+            dr = nl.box.min_image(moved[lo] - moved[hi])
+            d2 = np.einsum("ij,ij->i", dr, dr)
+            within = d2 <= nl.scheme.r_cut**2
+            # every within-cutoff pair survives the prefilter
+            assert np.all(ref_d[within] <= bound)
+            pos = moved
+

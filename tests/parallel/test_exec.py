@@ -1,0 +1,234 @@
+"""The within-point execution engine: fanout pool, kernel backends, plan cache.
+
+The whole subsystem is wall-clock machinery: every pool size and every
+kernel backend must produce byte-identical results, and none of the
+knobs may appear anywhere near a store cache key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import fields
+
+import numpy as np
+import pytest
+
+from repro.campaign.keys import cache_key, workload_fingerprint
+from repro.campaign.store import ResultStore, record_to_dict
+from repro.cluster import ClusterSpec, tcp_gigabit_ethernet
+from repro.core.design import DesignPoint
+from repro.core.factors import FOCAL_POINT
+from repro.core.responses import ResponseRecord
+from repro.md.cutoff import CutoffScheme
+from repro.parallel import MDRunConfig, RunOptions, run_parallel_md
+from repro.parallel.costmodel import PIII_1GHZ
+from repro.parallel.exec.kernels import (
+    available_backends,
+    get_backend,
+    numba_available,
+    pair_physics_numpy,
+)
+from repro.parallel.exec.plancache import PlanCache
+from repro.parallel.exec.pool import FANOUT_ROUNDS, RankFanout
+from repro.pme.plans import PLAN_CACHE_HITS
+
+CFG = MDRunConfig(n_steps=2, dt=0.0004)
+
+POOL_SIZES = (1, 2, 4)
+KERNELS = ("numpy", "numba") if numba_available() else ("numpy",)
+
+
+def _spec(p=2):
+    return ClusterSpec(n_ranks=p, network=tcp_gigabit_ethernet(), seed=11)
+
+
+def _record_hash(record: ResponseRecord) -> str:
+    doc = json.dumps(record_to_dict(record), sort_keys=True)
+    return hashlib.sha256(doc.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+class TestBackendRegistry:
+    def test_numpy_always_available(self):
+        assert "numpy" in available_backends()
+        assert callable(get_backend("numpy"))
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            get_backend("fortran")
+
+    @pytest.mark.skipif(numba_available(), reason="numba is installed here")
+    def test_missing_numba_raises_with_install_hint(self):
+        assert available_backends() == ("numpy",)
+        with pytest.raises(RuntimeError, match="not installed"):
+            get_backend("numba")
+
+    def test_run_options_validate_kernel_name(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            RunOptions(kernel="fortran")
+        with pytest.raises(ValueError, match="exec_workers"):
+            RunOptions(exec_workers=-1)
+
+
+@pytest.mark.skipif(not numba_available(), reason="numba not installed")
+class TestNumbaParity:
+    """The compiled loop replays the reference bits exactly (to the ulp)."""
+
+    @pytest.mark.parametrize("elec_mode", ["shift", "ewald"])
+    def test_bitwise_parity(self, rng, elec_mode):
+        n = 512
+        scheme = CutoffScheme(r_cut=10.0, skin=2.0)
+        r = rng.uniform(0.8, scheme.r_cut * 1.01, n)  # spans the switch window
+        dr = rng.normal(size=(n, 3))
+        dr *= (r / np.linalg.norm(dr, axis=1))[:, None]
+        r2 = np.einsum("ij,ij->i", dr, dr)
+        eps = rng.uniform(0.01, 0.3, n)
+        rmin = rng.uniform(2.5, 4.5, n)
+        qq = rng.normal(size=n)
+        alpha = 0.32 if elec_mode == "ewald" else None
+
+        ref = pair_physics_numpy(r2, dr, eps, rmin, qq, scheme, elec_mode, alpha)
+        jit = get_backend("numba")(r2, dr, eps, rmin, qq, scheme, elec_mode, alpha)
+        for a, b in zip(ref, jit):
+            assert a.tobytes() == b.tobytes()
+
+
+# ----------------------------------------------------------------------
+class TestRankFanout:
+    def test_inline_path_runs_in_rank_order(self):
+        seen = []
+        fan = RankFanout(n_ranks=3, workers=0)
+        fan.register("f", [lambda r=r: seen.append(r) or r * 10 for r in range(3)])
+        for rank in range(3):
+            assert fan.round("f", key=0, rank=rank) == rank * 10
+        assert seen == [0, 1, 2]
+        fan.assert_drained()
+
+    def test_first_arrival_evaluates_all_then_others_consume(self):
+        calls = []
+        fan = RankFanout(n_ranks=4, workers=0)
+        fan.register("f", [lambda r=r: calls.append(r) or r for r in range(4)])
+        # rank 2 arrives first; the whole round evaluates exactly once
+        assert fan.round("f", key="step0", rank=2) == 2
+        assert calls == [0, 1, 2, 3]
+        for rank in (0, 1, 3):
+            assert fan.round("f", key="step0", rank=rank) == rank
+        assert calls == [0, 1, 2, 3]  # no re-evaluation
+        fan.assert_drained()
+
+    @pytest.mark.parametrize("workers", POOL_SIZES)
+    def test_pooled_results_match_inline(self, workers):
+        tasks = [lambda r=r: (r, r * r) for r in range(4)]
+        inline = RankFanout(4, workers=0)
+        inline.register("f", tasks)
+        with RankFanout(4, workers=workers) as pooled:
+            pooled.register("f", tasks)
+            for rank in range(4):
+                assert pooled.round("f", 0, rank) == inline.round("f", 0, rank)
+            pooled.assert_drained()
+
+    def test_unconsumed_round_is_detected(self):
+        fan = RankFanout(2, workers=0)
+        fan.register("f", [lambda: 1, lambda: 2])
+        fan.round("f", 0, 0)  # rank 1 never consumes
+        with pytest.raises(AssertionError, match="never fully consumed"):
+            fan.assert_drained()
+
+    def test_registration_validates_task_count(self):
+        fan = RankFanout(3, workers=0)
+        with pytest.raises(ValueError, match="3 ranks"):
+            fan.register("f", [lambda: 1])
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            RankFanout(2, workers=-1)
+
+
+# ----------------------------------------------------------------------
+class TestPlanCache:
+    def test_same_shape_reuses_the_buffer(self):
+        cache = PlanCache()
+        a = cache.buffer("t", (8, 3))
+        b = cache.buffer("t", (8, 3))
+        assert a is b
+        assert len(cache) == 1
+
+    def test_shape_change_replaces_not_accumulates(self):
+        cache = PlanCache()
+        a = cache.buffer("t", (8, 3))
+        b = cache.buffer("t", (9, 3))
+        assert a is not b and len(cache) == 1
+
+    def test_dtype_is_part_of_the_key(self):
+        cache = PlanCache()
+        a = cache.buffer("t", (4,))
+        c = cache.complex_buffer("t", (4,))
+        assert a.dtype == np.float64 and c.dtype == np.complex128
+        assert len(cache) == 2
+
+    def test_pme_run_hits_the_cache_after_step_one(self, peptide_system):
+        system, pos = peptide_system
+        before = PLAN_CACHE_HITS.snapshot()
+        run_parallel_md(system, pos, _spec(2), RunOptions(config=CFG))
+        assert PLAN_CACHE_HITS.delta(before) > 0
+
+
+# ----------------------------------------------------------------------
+class TestExecKnobBitIdentity:
+    """Pool sizes x kernels: one point, byte-identical response records."""
+
+    @pytest.fixture(scope="class")
+    def baseline(self, peptide_system):
+        system, pos = peptide_system
+        point = DesignPoint(config=FOCAL_POINT, n_ranks=2)
+        result = run_parallel_md(system, pos, _spec(2), RunOptions(config=CFG))
+        return point, result, _record_hash(ResponseRecord.from_run(point, result))
+
+    @pytest.mark.parametrize("workers", POOL_SIZES)
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_pool_and_kernel_legs_match_serial(
+        self, peptide_system, baseline, workers, kernel
+    ):
+        system, pos = peptide_system
+        point, base_result, base_hash = baseline
+        before = FANOUT_ROUNDS.snapshot()
+        result = run_parallel_md(
+            system, pos, _spec(2),
+            RunOptions(config=CFG, exec_workers=workers, kernel=kernel),
+        )
+        assert FANOUT_ROUNDS.delta(before) > 0  # the pool actually engaged
+        assert result.final_positions.tobytes() == base_result.final_positions.tobytes()
+        assert result.timelines == base_result.timelines
+        assert _record_hash(ResponseRecord.from_run(point, result)) == base_hash
+
+
+# ----------------------------------------------------------------------
+class TestKnobsAbsentFromCacheKeys:
+    """Execution knobs must be invisible to the result store."""
+
+    def test_no_exec_field_feeds_the_key(self):
+        # the key is a pure function of workload/point/config/cost/seed;
+        # none of those carriers has an execution-knob field
+        for carrier in (MDRunConfig, DesignPoint):
+            names = {f.name for f in fields(carrier)}
+            assert not names & {"kernel", "exec_workers", "backend", "pool"}
+
+    def test_store_hit_across_exec_legs(self, peptide_system, tmp_path):
+        system, pos = peptide_system
+        fp = workload_fingerprint(system, pos)
+        point = DesignPoint(config=FOCAL_POINT, n_ranks=2)
+        key = cache_key(fp, point, CFG, PIII_1GHZ, 2002)
+
+        pooled = run_parallel_md(
+            system, pos, _spec(2), RunOptions(config=CFG, exec_workers=4)
+        )
+        store = ResultStore(tmp_path)
+        store.put(key, ResponseRecord.from_run(point, pooled))
+
+        # a serial-numpy evaluation of the same point addresses the same
+        # entry and finds the pooled leg's record, byte for byte
+        serial = run_parallel_md(system, pos, _spec(2), RunOptions(config=CFG))
+        hit = store.get(cache_key(fp, point, CFG, PIII_1GHZ, 2002))
+        assert hit is not None
+        assert _record_hash(hit) == _record_hash(ResponseRecord.from_run(point, serial))
