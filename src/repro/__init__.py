@@ -44,13 +44,17 @@ _PUBLIC_API = {
     "ResponseRecord": "repro.core.responses",
     "full_factorial": "repro.core.design",
     "one_factor_at_a_time": "repro.core.design",
-    # campaigns: store, engine, federation, leases
+    # campaigns: store, engine, federation, boards
     "CampaignEngine": "repro.campaign.engine",
     "ResultStore": "repro.campaign.store",
     "CampaignManifest": "repro.campaign.manifest",
     "merge_into_store": "repro.campaign.federation",
     "work_campaign": "repro.campaign.federation",
     "publish_campaign": "repro.campaign.federation",
+    "Board": "repro.campaign.board",
+    "board_from_url": "repro.campaign.board",
+    "HttpBoardClient": "repro.campaign.coordinator",
+    "CoordinatorServer": "repro.campaign.coordinator",
     # observability: spans, metrics, structured logs, dashboard
     "SpanTracer": "repro.instrument.tracing",
     "validate_chrome_trace": "repro.instrument.tracing",

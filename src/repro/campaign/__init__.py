@@ -18,15 +18,25 @@ owns the execution of such sweeps end to end:
   status, as a machine-readable JSON manifest and a live progress line;
 * :mod:`repro.campaign.workloads` — named, rebuild-anywhere workload
   registry so worker processes receive names, not pickled systems;
-* :mod:`repro.campaign.leases` — the worker-pull lease board one
+* :mod:`repro.campaign.board` — the abstract :class:`Board` protocol
+  every coordination backend implements, plus the ``--board`` URL
+  factory :func:`board_from_url`;
+* :mod:`repro.campaign.leases` — the worker-pull file lease board one
   ``serve`` host publishes and any number of hosts claim from, with
   expiry-based reclamation of crashed workers' points;
+* :mod:`repro.campaign.coordinator` — the same lease semantics served
+  by an asyncio HTTP coordinator (``repro campaign coordinator``) for
+  workers that share no filesystem, with live ``status`` / ``metrics``
+  / ``leases`` / ``runlog`` endpoints;
 * :mod:`repro.campaign.federation` — publish / work / merge across
   hosts, ending in one store bit-identical to a single-host run.
 
-CLI: ``python -m repro campaign run|status|gc|verify|serve|work|merge``.
+CLI: ``python -m repro campaign
+run|status|gc|verify|serve|work|merge|coordinator``.
 """
 
+from .board import Board, board_from_url
+from .coordinator import CoordinatorServer, CoordinatorThread, HttpBoardClient
 from .dashboard import dashboard, dashboard_data
 from .engine import CampaignEngine, CampaignResult, execute_point, point_trace_path
 from .federation import (
@@ -55,16 +65,21 @@ from .store import (
 from .workloads import build_workload, register_workload, workload_names
 
 __all__ = [
+    "Board",
+    "board_from_url",
     "build_workload",
     "cache_key",
     "CampaignEngine",
     "CampaignManifest",
     "CampaignResult",
     "config_fingerprint",
+    "CoordinatorServer",
+    "CoordinatorThread",
     "cost_fingerprint",
     "dashboard",
     "dashboard_data",
     "execute_point",
+    "HttpBoardClient",
     "point_trace_path",
     "Lease",
     "LeaseBoard",

@@ -1,0 +1,36 @@
+"""HTTP campaign coordinator: the lease board as a served system.
+
+The file board (:mod:`repro.campaign.leases`) coordinates workers
+through one JSON file on a shared filesystem; this package serves the
+same lease semantics — publish / claim / heartbeat / complete /
+release / TTL reclamation — over plain HTTP instead, for campaigns
+whose workers share nothing but a network:
+
+* :mod:`~repro.campaign.coordinator.wire` — the JSON-over-HTTP
+  contract both ends import (routes, limits, error envelope);
+* :mod:`~repro.campaign.coordinator.server` — the stdlib-only asyncio
+  coordinator (``repro campaign coordinator`` runs one), backed by any
+  :class:`~repro.campaign.board.Board` and serving read-only
+  ``status`` / ``metrics`` / ``leases`` / ``runlog`` views live;
+* :mod:`~repro.campaign.coordinator.client` — the blocking
+  :class:`HttpBoardClient` workers use; a drop-in
+  :class:`~repro.campaign.board.Board`, selected with
+  ``--board http://HOST:PORT``.
+
+Determinism is untouched: the coordinator moves lease bookkeeping, not
+results, so a campaign run through it merges bit-identically to the
+same campaign run off a file board (asserted in tests and nightly CI).
+"""
+
+from .client import HttpBoardClient, HttpBoardError
+from .server import CoordinatorServer, CoordinatorThread
+from .wire import WIRE_SCHEMA, WireError
+
+__all__ = [
+    "CoordinatorServer",
+    "CoordinatorThread",
+    "HttpBoardClient",
+    "HttpBoardError",
+    "WIRE_SCHEMA",
+    "WireError",
+]

@@ -24,7 +24,7 @@ import time
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # annotation-only: avoids the store -> core import cycle
-    from .leases import LeaseBoard
+    from .board import Board
     from .store import ResultStore
 
 __all__ = ["dashboard", "dashboard_data"]
@@ -32,7 +32,7 @@ __all__ = ["dashboard", "dashboard_data"]
 
 def dashboard_data(
     store: ResultStore | None,
-    board: LeaseBoard | None = None,
+    board: Board | None = None,
     now: float | None = None,
 ) -> dict:
     """The dashboard's numbers as one plain dict (rendering-free)."""
@@ -88,7 +88,7 @@ def dashboard_data(
 
 def dashboard(
     store: ResultStore | None,
-    board: LeaseBoard | None = None,
+    board: Board | None = None,
     now: float | None = None,
 ) -> str:
     """Render the live campaign view as a fixed-width text panel."""

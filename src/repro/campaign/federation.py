@@ -34,9 +34,10 @@ from ..instrument.runlog import RunLog
 from ..parallel.costmodel import PIII_1GHZ, MachineCostModel
 from ..parallel.pmd import MDRunConfig
 from . import manifest as mf
+from .board import Board, board_from_url
 from .engine import CampaignEngine, execute_point
 from .keys import SCHEMA_VERSION, cost_fingerprint
-from .leases import Lease, LeaseBoard
+from .leases import Lease
 from .store import ResultStore, record_digest
 
 __all__ = [
@@ -51,10 +52,15 @@ __all__ = [
 def publish_campaign(
     engine: CampaignEngine,
     points: Iterable[DesignPoint],
-    leases_path: str | Path,
+    board: Board | str | Path,
     now: Callable[[], float] | None = None,
 ) -> dict:
-    """Write the lease board for one campaign; returns a summary dict.
+    """Publish one campaign to a lease board; returns a summary dict.
+
+    ``board`` is any :class:`~repro.campaign.board.Board`, or a board
+    URL / file path resolved through
+    :func:`~repro.campaign.board.board_from_url` (the historical
+    path-only call form keeps working).
 
     The board carries everything a worker needs to reconstruct the
     engine *exactly* — workload name, every run-config field, base seed,
@@ -64,7 +70,7 @@ def publish_campaign(
     published as ``done`` (workers skip them).
     """
     points = list(points)
-    board = LeaseBoard(leases_path, now=now)
+    board = board_from_url(board, now=now)
     campaign = {
         "schema": SCHEMA_VERSION,
         "workload": engine.workload,
@@ -103,7 +109,7 @@ def campaign_id_for(keys: Iterable[str]) -> str:
 
 
 def engine_for_board(
-    board: LeaseBoard,
+    board: Board,
     store: ResultStore,
     cost: MachineCostModel = PIII_1GHZ,
 ) -> CampaignEngine:
@@ -136,7 +142,7 @@ def engine_for_board(
 
 # ---------------------------------------------------------------------------
 def work_campaign(
-    leases_path: str | Path,
+    board: Board | str | Path,
     store: ResultStore,
     worker: str,
     ttl: float = 300.0,
@@ -146,6 +152,12 @@ def work_campaign(
     progress: Callable[[str], None] | None = None,
 ) -> dict:
     """Pull leases and execute them until the board runs dry.
+
+    ``board`` is any :class:`~repro.campaign.board.Board`, or a board
+    URL / file path resolved through
+    :func:`~repro.campaign.board.board_from_url` — ``file:PATH`` (or a
+    bare path, the historical call form) for the shared-filesystem
+    board, ``http://HOST:PORT`` for a running coordinator.
 
     Each claimed point runs through :func:`execute_point` — the same
     code path as every single-host mode — and lands in this worker's
@@ -158,7 +170,7 @@ def work_campaign(
     disagree about what a point *is*, and executing would store a record
     under an address other hosts cannot reproduce.
     """
-    board = LeaseBoard(leases_path, now=now)
+    board = board_from_url(board, now=now)
     engine = engine_for_board(board, store, cost=cost)
     campaign_id = campaign_id_for(lease.key for lease in board.leases())
     log_path = None

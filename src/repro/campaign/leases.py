@@ -43,13 +43,12 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..instrument.metrics import REGISTRY
+from .board import STATES, Board
 
-__all__ = ["Lease", "LeaseBoard", "LeaseBoardError"]
+__all__ = ["Lease", "LeaseBoard", "LeaseBoardError", "STATES"]
 
 #: Lease-board wire-format version.
 BOARD_SCHEMA = 1
-
-STATES = ("pending", "leased", "done")
 
 
 class LeaseBoardError(Exception):
@@ -88,7 +87,7 @@ class Lease:
                    attempts=doc.get("attempts", 0))
 
 
-class LeaseBoard:
+class LeaseBoard(Board):
     """The lease file plus its mutation discipline.
 
     Parameters
@@ -184,9 +183,13 @@ class LeaseBoard:
         deadline (the previous worker is presumed dead; ``attempts`` is
         incremented so the reclaim is visible in the audit trail).
         """
-        now = self._now()
 
         def fn(doc: dict):
+            # One clock read per mutation pass, taken *after* the lock is
+            # held: every candidate's TTL-expiry decision in this claim
+            # uses the same instant, and a long lock wait cannot make a
+            # stale reading resurrect (or miss) an expiring lease.
+            now = self._now()
             for entry in doc["leases"]:
                 expired = entry["state"] == "leased" and entry["expires"] <= now
                 if entry["state"] == "pending" or expired:
@@ -204,9 +207,9 @@ class LeaseBoard:
 
     def heartbeat(self, key: str, worker: str, ttl: float = 300.0) -> bool:
         """Extend a held lease's deadline; False if no longer ours."""
-        now = self._now()
 
         def fn(doc: dict) -> bool:
+            now = self._now()  # one read per mutation, under the lock
             for entry in doc["leases"]:
                 if entry["key"] == key:
                     if entry["state"] != "leased" or entry["worker"] != worker:
@@ -252,12 +255,5 @@ class LeaseBoard:
     def leases(self) -> list[Lease]:
         return [Lease.from_doc(entry) for entry in self._read()["leases"]]
 
-    def counts(self) -> dict[str, int]:
-        out = {state: 0 for state in STATES}
-        for lease in self.leases():
-            out[lease.state] = out.get(lease.state, 0) + 1
-        return out
-
-    def done(self) -> bool:
-        counts = self.counts()
-        return counts["pending"] == 0 and counts["leased"] == 0
+    def describe(self) -> str:
+        return f"file board {self.path}"

@@ -19,6 +19,9 @@ Usage::
     python -m repro campaign serve --design full --leases leases.json  # publish leases
     python -m repro campaign work --store host-a --leases leases.json  # pull + execute
     python -m repro campaign merge --store merged host-a host-b        # fold back
+    python -m repro campaign coordinator --port 8765             # HTTP lease coordinator
+    python -m repro campaign serve --design full --board http://localhost:8765
+    python -m repro campaign work --store host-a --board http://localhost:8765
 """
 
 from __future__ import annotations
@@ -231,6 +234,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="lease-board file for the live view (default: <store>/leases.json if present)",
     )
     cstatus.add_argument(
+        "--board", default=None,
+        help=(
+            "board URL for the live view — file:PATH or http://HOST:PORT "
+            "(a running coordinator); overrides --leases"
+        ),
+    )
+    cstatus.add_argument(
         "--watch", action="store_true",
         help="repaint a live dashboard (in-flight points, throughput, lease health, ETA)",
     )
@@ -264,6 +274,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--leases", default=None,
         help="lease-board file to publish (default: <store>/leases.json)",
     )
+    cserve.add_argument(
+        "--board", default=None,
+        help=(
+            "board to publish to — file:PATH or http://HOST:PORT "
+            "(a running coordinator); overrides --leases"
+        ),
+    )
 
     cwork = csub.add_parser(
         "work", help="claim leases from a board and execute them into a local store"
@@ -271,7 +288,14 @@ def build_parser() -> argparse.ArgumentParser:
     cwork.add_argument(
         "--store", default=".repro-cache", help="this worker's result-store directory"
     )
-    cwork.add_argument("--leases", required=True, help="published lease-board file")
+    cwork.add_argument("--leases", default=None, help="published lease-board file")
+    cwork.add_argument(
+        "--board", default=None,
+        help=(
+            "board to pull leases from — file:PATH or http://HOST:PORT "
+            "(a running coordinator); overrides --leases"
+        ),
+    )
     cwork.add_argument(
         "--worker", default=None, help="worker id (default: <hostname>-<pid>)"
     )
@@ -297,6 +321,25 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "reference store directory; after merging, assert the destination "
             "matches it key-for-key with bit-identical records (exit 1 otherwise)"
+        ),
+    )
+
+    ccoord = csub.add_parser(
+        "coordinator",
+        help=(
+            "run the asyncio HTTP campaign coordinator: the lease board as "
+            "a service, for workers that share no filesystem"
+        ),
+    )
+    ccoord.add_argument("--host", default="127.0.0.1", help="bind address")
+    ccoord.add_argument(
+        "--port", type=int, default=8765, help="bind port (0 picks a free port)"
+    )
+    ccoord.add_argument(
+        "--state", default="coordinator-board.json",
+        help=(
+            "board state file; campaigns survive coordinator restarts "
+            "because this file is the persistence"
         ),
     )
 
@@ -796,21 +839,28 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from . import CampaignManifest, ResultStore
+    from .campaign.board import board_from_url
     from .campaign.dashboard import dashboard
-    from .campaign.leases import LeaseBoard
+    from .campaign.leases import LeaseBoardError
 
     store = ResultStore(args.store)
 
     if args.watch:
-        leases = args.leases or str(Path(args.store) / "leases.json")
-        board = LeaseBoard(leases) if Path(leases).exists() else None
+        if args.board:
+            board = board_from_url(args.board)
+        else:
+            leases = args.leases or str(Path(args.store) / "leases.json")
+            board = board_from_url(leases) if Path(leases).exists() else None
         i = 0
         try:
             while args.iterations is None or i < args.iterations:
                 if i:
                     time_mod.sleep(args.interval)  # noqa: REP104 — dashboard cadence
                     store = ResultStore(args.store)  # reload: see new results
-                print(dashboard(store, board))
+                try:
+                    print(dashboard(store, board))
+                except LeaseBoardError as exc:
+                    print(f"board unavailable: {exc}")
                 print()
                 i += 1
         except KeyboardInterrupt:
@@ -823,6 +873,12 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
         f"{stats['shards']} shard(s), {stats['bytes']} bytes, "
         f"schema v{stats['schema']}"
     )
+    if args.board or args.leases:
+        board = board_from_url(args.board or args.leases)
+        try:
+            print(dashboard(store, board))
+        except LeaseBoardError as exc:
+            print(f"board unavailable: {exc}")
     manifest_dir = Path(args.store) / "manifests"
     for path in sorted(manifest_dir.glob("*.json")):
         try:
@@ -887,16 +943,17 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     if args.campaign_command == "serve":
         from .campaign import publish_campaign
+        from .campaign.leases import LeaseBoardError
 
-        leases = args.leases or str(Path(args.store) / "leases.json")
+        board = args.board or args.leases or str(Path(args.store) / "leases.json")
         try:
             points = _design_points(args)
-            summary = publish_campaign(_campaign_engine(args), points, leases)
-        except ValueError as exc:
+            summary = publish_campaign(_campaign_engine(args), points, board)
+        except (ValueError, LeaseBoardError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         print(
-            f"serve: published {summary['leases']} leases to {leases} "
+            f"serve: published {summary['leases']} leases to {board} "
             f"({summary['pending']} pending, {summary['done']} already done, "
             f"campaign {summary['campaign_id']})"
         )
@@ -909,10 +966,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         from . import ResultStore, work_campaign
         from .campaign.leases import LeaseBoardError
 
+        board = args.board or args.leases
+        if board is None:
+            print("error: campaign work needs --board URL (or --leases PATH)",
+                  file=sys.stderr)
+            return 2
         worker = args.worker or f"{platform.node()}-{os.getpid()}"
         try:
             stats = work_campaign(
-                args.leases,
+                board,
                 ResultStore(args.store),
                 worker,
                 ttl=args.ttl,
@@ -952,6 +1014,38 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             verdict = "ok" if not problems else "FAILED"
             print(f"merge: destination matches {args.expect} key-for-key: {verdict}")
             return 0 if not problems else 1
+        return 0
+
+    if args.campaign_command == "coordinator":
+        import asyncio
+
+        from .campaign.coordinator import CoordinatorServer
+        from .instrument.runlog import RunLog
+
+        state = Path(args.state)
+        runlog = RunLog(state.with_suffix(state.suffix + ".runlog.jsonl"))
+        server = CoordinatorServer(
+            state, host=args.host, port=args.port, runlog=runlog
+        )
+
+        async def _serve() -> None:
+            await server.start()
+            print(
+                f"coordinator: serving {server.url} (state {state}) — "
+                "publish with `campaign serve --board`, pull with "
+                "`campaign work --board`",
+                flush=True,
+            )
+            await server.serve_forever()
+
+        try:
+            asyncio.run(_serve())
+        except KeyboardInterrupt:
+            print("coordinator: stopped")
+        except OSError as exc:
+            print(f"error: cannot serve on {args.host}:{args.port}: {exc}",
+                  file=sys.stderr)
+            return 2
         return 0
 
     raise AssertionError("unreachable")

@@ -1,0 +1,167 @@
+"""The ``Board`` protocol: ABC contract, URL factory, clock discipline.
+
+These tests pin the API-redesign seams: any coordination backend is a
+:class:`~repro.campaign.board.Board`, one ``--board`` URL selects it,
+and the historical path-only call forms of the federation verbs keep
+working through the factory.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import (
+    Board,
+    HttpBoardClient,
+    LeaseBoard,
+    ResultStore,
+    board_from_url,
+    publish_campaign,
+    work_campaign,
+)
+from repro.campaign.leases import Lease
+
+from .conftest import tiny_engine, tiny_points
+
+
+class CountingClock:
+    """A fake clock that counts how often the board consults it."""
+
+    def __init__(self, t: float = 1000.0) -> None:
+        self.t = t
+        self.calls = 0
+
+    def __call__(self) -> float:
+        self.calls += 1
+        return self.t
+
+
+def _board_with_leases(tmp_path, clock, n=3) -> LeaseBoard:
+    board = LeaseBoard(tmp_path / "board.json", now=clock)
+    board.publish(
+        {"schema": 1},
+        [Lease(key=f"k{i}", label=f"p{i}", point={}) for i in range(n)],
+    )
+    return board
+
+
+class TestBoardABC:
+    def test_board_cannot_be_instantiated(self):
+        with pytest.raises(TypeError, match="abstract"):
+            Board()
+
+    def test_both_backends_implement_the_protocol(self):
+        assert issubclass(LeaseBoard, Board)
+        assert issubclass(HttpBoardClient, Board)
+
+    def test_counts_and_done_are_shared_derivations(self, tmp_path):
+        clock = CountingClock()
+        board = _board_with_leases(tmp_path, clock, n=2)
+        assert board.counts() == {"pending": 2, "leased": 0, "done": 0}
+        assert not board.done()
+        for _ in range(2):
+            lease = board.claim("w", ttl=60)
+            board.complete(lease.key, "w")
+        assert board.counts() == {"pending": 0, "leased": 0, "done": 2}
+        assert board.done()
+
+    def test_describe_names_the_backend(self, tmp_path):
+        assert "file board" in LeaseBoard(tmp_path / "b.json").describe()
+        assert "http board" in HttpBoardClient("http://localhost:1").describe()
+
+
+class TestBoardFromUrl:
+    def test_bare_path_is_a_file_board(self, tmp_path):
+        board = board_from_url(tmp_path / "leases.json")
+        assert isinstance(board, LeaseBoard)
+        assert board.path == tmp_path / "leases.json"
+
+    def test_file_scheme_strips_the_prefix(self, tmp_path):
+        board = board_from_url(f"file:{tmp_path / 'leases.json'}")
+        assert isinstance(board, LeaseBoard)
+        assert board.path == tmp_path / "leases.json"
+
+    def test_http_url_is_a_client(self):
+        board = board_from_url("http://coordinator.example:8765")
+        assert isinstance(board, HttpBoardClient)
+        assert board.host == "coordinator.example"
+        assert board.port == 8765
+
+    def test_https_url_is_a_client(self):
+        assert isinstance(board_from_url("https://host:1"), HttpBoardClient)
+
+    def test_an_existing_board_passes_through_unchanged(self, tmp_path):
+        board = LeaseBoard(tmp_path / "b.json")
+        assert board_from_url(board) is board
+
+    def test_now_is_injected_into_file_boards(self, tmp_path):
+        clock = CountingClock()
+        board = board_from_url(tmp_path / "b.json", now=clock)
+        assert board._now is clock
+
+    def test_empty_file_url_rejected(self):
+        with pytest.raises(ValueError, match="empty path"):
+            board_from_url("file:")
+
+    def test_client_rejects_non_http_schemes(self):
+        with pytest.raises(ValueError, match="scheme"):
+            HttpBoardClient("ftp://host:1")
+
+
+class TestClockDiscipline:
+    """One ``now()`` read per mutation pass, taken under the board lock."""
+
+    def test_claim_reads_the_clock_exactly_once(self, tmp_path):
+        clock = CountingClock()
+        board = _board_with_leases(tmp_path, clock)
+        clock.calls = 0
+        board.claim("w1", ttl=60)
+        assert clock.calls == 1
+
+    def test_heartbeat_reads_the_clock_exactly_once(self, tmp_path):
+        clock = CountingClock()
+        board = _board_with_leases(tmp_path, clock)
+        lease = board.claim("w1", ttl=60)
+        clock.calls = 0
+        board.heartbeat(lease.key, "w1", ttl=60)
+        assert clock.calls == 1
+
+    def test_expiry_decisions_in_one_claim_share_one_instant(self, tmp_path):
+        """Every candidate in a claim pass is judged at the same ``now``:
+        with many leases expiring at the same deadline, one claim pass
+        still reads the clock once, so no candidate can straddle it."""
+        clock = CountingClock()
+        board = _board_with_leases(tmp_path, clock, n=5)
+        for _ in range(5):
+            board.claim("doomed", ttl=60)
+        clock.t += 61  # every lease expires
+        clock.calls = 0
+        reclaimed = board.claim("w2", ttl=60)
+        assert reclaimed is not None and reclaimed.attempts == 1
+        assert clock.calls == 1
+
+
+class TestPathCallFormsStillWork:
+    """Deprecation pin: the pre-``Board`` path-only signatures of the
+    federation verbs must keep working (resolved through the factory),
+    so existing scripts and the file-board fallback never break."""
+
+    def test_publish_and_work_accept_a_bare_path(self, tmp_path):
+        engine = tiny_engine()
+        points = tiny_points(ranks=(1,))
+        leases_path = tmp_path / "leases.json"
+
+        summary = publish_campaign(engine, points, leases_path)  # Path form
+        assert summary["pending"] == 1
+        assert leases_path.exists()
+
+        stats = work_campaign(str(leases_path), ResultStore(None), "w1")  # str form
+        assert stats["executed"] == 1
+        assert LeaseBoard(leases_path).done()
+
+    def test_publish_accepts_a_board_instance(self, tmp_path):
+        engine = tiny_engine()
+        board = LeaseBoard(tmp_path / "leases.json")
+        summary = publish_campaign(engine, tiny_points(ranks=(1,)), board)
+        assert summary["pending"] == 1
+        assert board.counts()["pending"] == 1

@@ -1,0 +1,385 @@
+"""HTTP campaign coordinator: wire hygiene, lease semantics, parity.
+
+The coordinator must be indistinguishable from the file board to
+everything above it: same claim/heartbeat/complete/release/TTL
+semantics (driven here by an injected fake clock shared with the
+server), same failure story (worker crash costs one TTL, restart
+reloads state), and — the acceptance criterion — a campaign run
+through it merges bit-identically to the same campaign run off a file
+board, with the read-only endpoints serving live JSON mid-run.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from urllib.parse import urlsplit
+
+import pytest
+
+from repro.campaign import (
+    HttpBoardClient,
+    LeaseBoard,
+    LeaseBoardError,
+    ResultStore,
+    merge_into_store,
+    publish_campaign,
+    verify_stores_match,
+    work_campaign,
+)
+from repro.campaign.coordinator import CoordinatorThread, HttpBoardError
+from repro.campaign.leases import Lease
+
+from .conftest import tiny_engine, tiny_points
+
+
+class FakeClock:
+    def __init__(self, t: float = 1000.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def coordinator(tmp_path, clock):
+    with CoordinatorThread(tmp_path / "coordinator-board.json", now=clock) as coord:
+        yield coord
+
+
+@pytest.fixture()
+def client(coordinator):
+    with HttpBoardClient(coordinator.url) as cli:
+        yield cli
+
+
+def _tiny_leases(n=2):
+    return [Lease(key=f"k{i}", label=f"p{i}", point={"i": i}) for i in range(n)]
+
+
+def _raw_request(url: str, payload: bytes) -> bytes:
+    """One raw exchange for protocol-hygiene tests (server closes after)."""
+    split = urlsplit(url)
+    with socket.create_connection((split.hostname, split.port), timeout=10) as sock:
+        sock.sendall(payload)
+        sock.shutdown(socket.SHUT_WR)
+        chunks = b""
+        while True:
+            data = sock.recv(65536)
+            if not data:
+                return chunks
+            chunks += data
+
+
+class TestLeaseSemanticsOverHttp:
+    def test_publish_claim_complete_round_trip(self, client):
+        client.publish({"schema": 1}, _tiny_leases())
+        first = client.claim("w1", ttl=60)
+        second = client.claim("w2", ttl=60)
+        assert {first.key, second.key} == {"k0", "k1"}
+        assert client.claim("w3", ttl=60) is None
+        assert client.complete(first.key, "w1")
+        assert client.complete(second.key, "w2")
+        assert client.done()
+
+    def test_ttl_reclaim_over_http(self, client, clock):
+        """Worker crash mid-lease: the claim dies silently, the server's
+        clock passes the deadline, and another worker reclaims with the
+        attempt recorded — the file board's story, over HTTP."""
+        client.publish({"schema": 1}, _tiny_leases(1))
+        doomed = client.claim("worker-a", ttl=60)
+        assert client.claim("worker-b", ttl=60) is None  # not stealable yet
+        clock.advance(61)
+        reclaimed = client.claim("worker-b", ttl=60)
+        assert reclaimed.key == doomed.key
+        assert reclaimed.worker == "worker-b"
+        assert reclaimed.attempts == doomed.attempts + 1
+
+    def test_heartbeat_keeps_a_lease_alive(self, client, clock):
+        client.publish({"schema": 1}, _tiny_leases(1))
+        lease = client.claim("w1", ttl=60)
+        clock.advance(50)
+        assert client.heartbeat(lease.key, "w1", ttl=60)
+        clock.advance(50)  # would have expired without the heartbeat
+        assert client.claim("w2", ttl=60) is None
+        assert not client.heartbeat(lease.key, "w2", ttl=60)  # not w2's lease
+
+    def test_late_completion_after_reclaim_is_rejected(self, client, clock):
+        client.publish({"schema": 1}, _tiny_leases(1))
+        lease = client.claim("w1", ttl=60)
+        clock.advance(61)
+        client.claim("w2", ttl=60)
+        assert not client.complete(lease.key, "w1")  # w1 back from the dead
+
+    def test_release_returns_the_point(self, client):
+        client.publish({"schema": 1}, _tiny_leases(1))
+        lease = client.claim("w1", ttl=60)
+        client.release(lease.key, "w1")
+        assert client.counts() == {"pending": 1, "leased": 0, "done": 0}
+        assert client.claim("w2", ttl=60).key == lease.key
+
+    def test_claim_before_any_publish_is_a_board_error(self, client):
+        with pytest.raises(LeaseBoardError, match="no lease board"):
+            client.claim("w1")
+
+    def test_concurrent_claims_never_double_assign(self, coordinator):
+        """Eight threads hammer ``claim`` concurrently; every key must be
+        assigned exactly once (the event loop serializes mutations)."""
+        with HttpBoardClient(coordinator.url) as seed:
+            seed.publish({"schema": 1}, _tiny_leases(24))
+        grabbed: list[tuple[str, str]] = []
+        lock = threading.Lock()
+
+        def grab(worker: str) -> None:
+            with HttpBoardClient(coordinator.url) as cli:  # one conn per thread
+                while (lease := cli.claim(worker, ttl=300)) is not None:
+                    with lock:
+                        grabbed.append((lease.key, worker))
+
+        threads = [
+            threading.Thread(target=grab, args=(f"w{i}",)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        keys = [key for key, _ in grabbed]
+        assert sorted(keys) == sorted(f"k{i}" for i in range(24))
+        assert len(keys) == len(set(keys)), "a key was double-assigned"
+
+    def test_coordinator_restart_reloads_state(self, tmp_path, clock):
+        """Kill the coordinator mid-campaign and start a new one on the
+        same state file: held leases, done marks and attempt counts are
+        all where they were."""
+        state = tmp_path / "coordinator-board.json"
+        with CoordinatorThread(state, now=clock) as coord:
+            with HttpBoardClient(coord.url) as cli:
+                cli.publish({"schema": 1}, _tiny_leases(3))
+                held = cli.claim("worker-a", ttl=60)
+                done = cli.claim("worker-a", ttl=60)
+                cli.complete(done.key, "worker-a")
+        # coordinator is gone; worker-a's claim on `held` dies with it
+        clock.advance(61)
+        with CoordinatorThread(state, now=clock) as coord:
+            with HttpBoardClient(coord.url) as cli:
+                assert cli.counts() == {"pending": 1, "leased": 1, "done": 1}
+                reclaimed = cli.claim("worker-b", ttl=60)
+                fresh = cli.claim("worker-b", ttl=60)
+                assert {reclaimed.key, fresh.key} == {"k0", "k1", "k2"} - {done.key}
+                assert {reclaimed.attempts, fresh.attempts} == {0, 1}
+                reattempted = reclaimed if reclaimed.attempts else fresh
+                assert reattempted.key == held.key
+
+
+class TestReadOnlyEndpoints:
+    def test_status_leases_metrics_runlog_serve_live_json(self, client, clock):
+        """Mid-campaign (one lease held, one done, one pending) every
+        read-only endpoint answers live, coherent JSON."""
+        client.publish({"schema": 1}, _tiny_leases(3))
+        held = client.claim("w1", ttl=60)
+        done = client.claim("w1", ttl=60)
+        client.complete(done.key, "w1")
+
+        status = client.status()
+        assert status["counts"] == {"pending": 1, "leased": 1, "done": 1}
+        assert [f["key"] for f in status["in_flight"]] == [held.key]
+        assert status["in_flight"][0]["worker"] == "w1"
+        assert status["in_flight"][0]["seconds_left"] == pytest.approx(60.0)
+        assert status["now"] == clock.t
+
+        states = {lease.key: lease.state for lease in client.leases()}
+        assert states[held.key] == "leased" and states[done.key] == "done"
+
+        metrics = client.metrics()
+        assert metrics["counters"]["coordinator.requests"]["total"] >= 4
+        assert "route=claim" in metrics["counters"]["coordinator.requests"]["labels"]
+
+        events = client.runlog_tail()
+        assert [e["event"] for e in events if e["event"] != "coordinator_start"] \
+            == ["publish", "claim", "claim", "complete"]
+        claim_events = [e for e in events if e["event"] == "claim"]
+        assert all(e["correlation"] for e in claim_events)  # audit joinable
+        assert claim_events[0]["key"] == held.key
+
+    def test_campaign_and_health_views(self, client):
+        assert client.health()["ok"] is True
+        client.publish({"schema": 1, "workload": "x"}, _tiny_leases(1))
+        assert client.campaign() == {"schema": 1, "workload": "x"}
+
+    def test_status_before_publish_is_empty_not_an_error(self, client):
+        status = client.status()
+        assert "counts" not in status and status["entries"] == 0
+
+    def test_runlog_tail_limit(self, client):
+        client.publish({"schema": 1}, _tiny_leases(1))
+        client.claim("w1", ttl=60)
+        assert len(client.runlog_tail(1)) == 1
+        assert client.runlog_tail(1)[0]["event"] == "claim"
+
+
+class TestWireHygiene:
+    """Malformed traffic gets a clean 4xx JSON answer, never a hang or a
+    dropped connection without a status, and never corrupts the board."""
+
+    def _status_and_doc(self, response: bytes):
+        head, _, body = response.partition(b"\r\n\r\n")
+        status = int(head.split()[1])
+        return status, json.loads(body)
+
+    def test_torn_body_is_a_clean_400(self, coordinator, client):
+        client.publish({"schema": 1}, _tiny_leases(1))
+        payload = (
+            b"POST /v1/claim HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: 500\r\n\r\n" + b'{"worker": "w1"'
+        )
+        status, doc = self._status_and_doc(_raw_request(coordinator.url, payload))
+        assert status == 400
+        assert "torn request body" in doc["error"]
+        assert client.counts()["leased"] == 0  # the half request mutated nothing
+
+    def test_oversized_body_is_a_clean_413(self, coordinator):
+        payload = (
+            b"POST /v1/claim HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: 99999999\r\n\r\n"
+        )
+        status, doc = self._status_and_doc(_raw_request(coordinator.url, payload))
+        assert status == 413
+        assert "byte limit" in doc["error"]
+
+    def test_unparseable_json_is_a_400(self, coordinator):
+        body = b"{not json"
+        payload = (
+            b"POST /v1/claim HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: %d\r\n\r\n%s" % (len(body), body)
+        )
+        status, doc = self._status_and_doc(_raw_request(coordinator.url, payload))
+        assert status == 400
+        assert "unparseable JSON" in doc["error"]
+
+    def test_missing_fields_are_a_400(self, coordinator, client):
+        client.publish({"schema": 1}, _tiny_leases(1))
+        body = b'{"ttl": 60}'  # no worker
+        payload = (
+            b"POST /v1/claim HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: %d\r\n\r\n%s" % (len(body), body)
+        )
+        status, doc = self._status_and_doc(_raw_request(coordinator.url, payload))
+        assert status == 400
+        assert "'worker'" in doc["error"]
+
+    def test_unknown_route_is_a_404(self, coordinator):
+        payload = b"GET /v1/nonsense HTTP/1.1\r\nHost: x\r\n\r\n"
+        status, doc = self._status_and_doc(_raw_request(coordinator.url, payload))
+        assert status == 404
+        assert "unknown endpoint" in doc["error"]
+
+    def test_wrong_method_is_a_405(self, coordinator):
+        payload = b"GET /v1/claim HTTP/1.1\r\nHost: x\r\n\r\n"
+        status, doc = self._status_and_doc(_raw_request(coordinator.url, payload))
+        assert status == 405
+
+    def test_chunked_transfer_is_a_411(self, coordinator):
+        payload = (
+            b"POST /v1/claim HTTP/1.1\r\nHost: x\r\n"
+            b"Transfer-Encoding: chunked\r\n\r\n"
+        )
+        status, doc = self._status_and_doc(_raw_request(coordinator.url, payload))
+        assert status == 411
+
+    def test_garbage_request_line_is_a_400(self, coordinator):
+        status, _ = self._status_and_doc(
+            _raw_request(coordinator.url, b"GARBAGE\r\n\r\n")
+        )
+        assert status == 400
+
+    def test_stalled_request_times_out_with_408(self, tmp_path):
+        with CoordinatorThread(tmp_path / "b.json", read_timeout=0.2) as coord:
+            payload = b"POST /v1/claim HTTP/1.1\r\nHost: x\r\nContent-Length: 10\r\n\r\n"
+            split = urlsplit(coord.url)
+            with socket.create_connection(
+                (split.hostname, split.port), timeout=10
+            ) as sock:
+                sock.sendall(payload)  # ...and then never send the body
+                response = b""
+                while b"\r\n\r\n" not in response:
+                    data = sock.recv(65536)
+                    if not data:
+                        break
+                    response += data
+            assert b"408" in response.split(b"\r\n", 1)[0]
+
+    def test_unreachable_coordinator_raises_a_lease_board_error(self):
+        with socket.socket() as probe:  # grab a port that is then closed
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        client = HttpBoardClient(f"http://127.0.0.1:{port}", retries=0, timeout=2)
+        with pytest.raises(HttpBoardError, match="unreachable"):
+            client.claim("w1")
+        assert issubclass(HttpBoardError, LeaseBoardError)  # old handlers catch it
+
+
+class TestEndToEndParity:
+    def test_http_campaign_merges_bit_identical_to_file_campaign(
+        self, tmp_path, clock
+    ):
+        """The acceptance criterion: the same two-worker campaign, once
+        through the coordinator and once through the file board, merges
+        into stores that match key-for-key with bit-identical records —
+        while the coordinator's live endpoints stay coherent."""
+        points = tiny_points(ranks=(1, 2))
+
+        # leg 1: HTTP coordinator
+        with CoordinatorThread(tmp_path / "coordinator-board.json", now=clock) as coord:
+            publish_campaign(tiny_engine(), points, coord.url)
+            with HttpBoardClient(coord.url) as cli:
+                assert cli.counts()["pending"] == 2  # live view before work
+            http_a = ResultStore(tmp_path / "http-a")
+            http_b = ResultStore(tmp_path / "http-b")
+            sa = work_campaign(coord.url, http_a, "http-wa", max_points=1)
+            sb = work_campaign(coord.url, http_b, "http-wb")
+            assert sa["executed"] == 1 and sb["executed"] == 1
+            with HttpBoardClient(coord.url) as cli:
+                assert cli.done()
+                status = cli.status()
+                assert status["counts"] == {"pending": 0, "leased": 0, "done": 2}
+                keys = {e["key"] for e in cli.runlog_tail() if e["event"] == "complete"}
+                assert len(keys) == 2
+        merged_http = ResultStore(tmp_path / "merged-http")
+        merge_into_store(merged_http, [http_a, http_b])
+
+        # leg 2: the same campaign over the file board
+        leases = tmp_path / "leases.json"
+        publish_campaign(tiny_engine(), points, leases, now=clock)
+        file_a = ResultStore(tmp_path / "file-a")
+        file_b = ResultStore(tmp_path / "file-b")
+        work_campaign(leases, file_a, "file-wa", max_points=1, now=clock)
+        work_campaign(leases, file_b, "file-wb", now=clock)
+        merged_file = ResultStore(tmp_path / "merged-file")
+        merge_into_store(merged_file, [file_a, file_b])
+
+        # key-for-key, bit-for-bit
+        assert verify_stores_match(merged_http, merged_file) == []
+
+    def test_worker_failure_over_http_releases_the_lease(
+        self, coordinator, monkeypatch
+    ):
+        publish_campaign(tiny_engine(), tiny_points(ranks=(1,)), coordinator.url)
+        from repro.campaign import federation
+
+        def boom(*a, **kw):
+            raise RuntimeError("synthetic point failure")
+
+        monkeypatch.setattr(federation, "execute_point", boom)
+        stats = work_campaign(coordinator.url, ResultStore(None), "w1", max_points=1)
+        assert stats["failed"] == 1
+        with HttpBoardClient(coordinator.url) as cli:
+            assert cli.counts()["pending"] == 1  # released, not lost

@@ -109,3 +109,66 @@ class TestCampaignCommand:
         args = ["campaign", "run", *self._args(tmp_path, "--ranks", "1,32", "--retries", "0")]
         assert main(args) == 1
         assert "1 failed" in capsys.readouterr().out
+
+
+class TestBoardCommands:
+    def test_coordinator_parser_defaults(self):
+        args = build_parser().parse_args(["campaign", "coordinator"])
+        assert args.campaign_command == "coordinator"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8765
+        assert args.state == "coordinator-board.json"
+
+    def test_work_without_any_board_errors(self, tmp_path, capsys):
+        code = main(["campaign", "work", "--store", str(tmp_path / "s")])
+        assert code == 2
+        assert "--board" in capsys.readouterr().err
+
+    def test_serve_and_work_through_a_board_url(self, tmp_path, capsys):
+        """The one-URL backend selection: ``--board file:PATH`` drives the
+        same serve/work/merge cycle the old ``--leases PATH`` form did."""
+        board = f"file:{tmp_path / 'leases.json'}"
+        common = ["--workload", "peptide-tiny", "--steps", "2"]
+        code = main([
+            "campaign", "serve", "--store", str(tmp_path / "serve"),
+            *common, "--ranks", "1", "--board", board,
+        ])
+        assert code == 0
+        assert "published 1 leases" in capsys.readouterr().out
+
+        code = main([
+            "campaign", "work", "--store", str(tmp_path / "worker"),
+            "--board", board, "--worker", "cli-w",
+        ])
+        assert code == 0
+        assert "claimed 1 (1 executed" in capsys.readouterr().out
+
+    def test_status_with_board_prints_board_view_without_watch(
+        self, tmp_path, capsys
+    ):
+        board = f"file:{tmp_path / 'leases.json'}"
+        code = main([
+            "campaign", "serve", "--store", str(tmp_path / "serve"),
+            "--workload", "peptide-tiny", "--steps", "2",
+            "--ranks", "1,2", "--board", board,
+        ])
+        assert code == 0
+        capsys.readouterr()
+
+        code = main([
+            "campaign", "status", "--store", str(tmp_path / "serve"),
+            "--board", board,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0/2 done" in out and "2 pending" in out
+
+    def test_work_against_an_unreachable_coordinator_errors_cleanly(
+        self, tmp_path, capsys
+    ):
+        code = main([
+            "campaign", "work", "--store", str(tmp_path / "s"),
+            "--board", "http://127.0.0.1:1",  # nothing listens on port 1
+        ])
+        assert code == 2
+        assert "unreachable" in capsys.readouterr().err

@@ -30,8 +30,21 @@ def test_star_import_exposes_the_documented_surface():
     exec("from repro import *", namespace)
     for name in ("run_parallel_md", "RunOptions", "CampaignEngine", "ResultStore",
                  "merge_into_store", "work_campaign", "publish_campaign",
-                 "analyze_trace", "build_workload"):
+                 "analyze_trace", "build_workload",
+                 "Board", "board_from_url", "HttpBoardClient", "CoordinatorServer"):
         assert name in namespace, name
+
+
+def test_board_surface_is_coherent():
+    """The coordinator API redesign's exports: one protocol, two
+    interchangeable backends, one URL factory."""
+    from repro import Board, HttpBoardClient, board_from_url
+    from repro.campaign import LeaseBoard
+
+    assert issubclass(LeaseBoard, Board)
+    assert issubclass(HttpBoardClient, Board)
+    assert isinstance(board_from_url("http://host:1"), HttpBoardClient)
+    assert isinstance(board_from_url("file:board.json"), LeaseBoard)
 
 
 def test_import_repro_stays_lazy():
