@@ -25,6 +25,12 @@ physics — under the ``spatial`` key, so the baseline tracks what the
 halo-exchange schedule costs in host seconds relative to the
 replicated allreduce.
 
+With ``--breakdown``, the document also records each gated point's
+per-phase **virtual** splits (classic/PME computation, communication,
+synchronization) so ``repro campaign analyze trend`` can attribute a
+wall-clock regression to a phase — or prove it host-side when the
+splits are unchanged.
+
 The workload build is excluded from the timing; each point is run
 ``--repeats`` times and the minimum is kept (the usual best-of-N guard
 against scheduler noise).
@@ -97,6 +103,40 @@ def measure_spatial(repeats: int) -> dict[str, float]:
             best = min(best, time.perf_counter() - t0)
         seconds[f"{strategy}_p8"] = round(best, 4)
     return seconds
+
+
+def measure_breakdown() -> dict[str, dict]:
+    """Per-phase *virtual* splits of the gated points, one run each.
+
+    Wall seconds say a point regressed; these deterministic virtual
+    splits say **where**.  ``campaign analyze trend`` compares the
+    splits of a baseline and a candidate bench document: a grown split
+    names the phase (classic / PME / comm+sync) responsible, unchanged
+    splits prove the slowdown is host-side.  One run suffices — the
+    virtual timeline is bit-reproducible, so repeats would measure the
+    same numbers.
+    """
+    from repro import MDRunConfig, RunOptions, build_workload, run_parallel_md
+    from repro.cluster import ClusterSpec, tcp_gigabit_ethernet
+
+    system, positions = build_workload(WORKLOAD)
+    options = RunOptions(config=MDRunConfig(n_steps=N_STEPS))
+    breakdown: dict[str, dict] = {}
+    for p in RANK_COUNTS:
+        spec = ClusterSpec(n_ranks=p, network=tcp_gigabit_ethernet())
+        result = run_parallel_md(system, positions, spec, options)
+        classic = result.component("classic")
+        pme = result.component("pme")
+        breakdown[f"p{p}"] = {
+            "classic_comp": classic.comp,
+            "classic_comm": classic.comm,
+            "classic_sync": classic.sync,
+            "pme_comp": pme.comp,
+            "pme_comm": pme.comm,
+            "pme_sync": pme.sync,
+            "virtual_total": classic.total + pme.total,
+        }
+    return breakdown
 
 
 def exec_ab(repeats: int) -> tuple[dict, int]:
@@ -263,6 +303,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
+        "--breakdown", action="store_true",
+        help="also record per-phase virtual-time splits (classic/PME/comm) "
+        "per gated point, so trend reports can attribute a wall regression "
+        "to a phase",
+    )
+    parser.add_argument(
         "--with-shared-off", action="store_true",
         help="also measure with the shared-compute cache disabled (A/B context)",
     )
@@ -299,6 +345,8 @@ def main(argv: list[str] | None = None) -> int:
     }
     if args.with_shared_off:
         doc["seconds_shared_off"] = measure(args.repeats, shared_compute=False)
+    if args.breakdown:
+        doc["breakdown"] = measure_breakdown()
     doc["exec_ab"] = {"seconds": ab_doc["seconds"], "skipped": ab_doc["skipped"]}
     doc["spatial"] = {
         "workload": SPATIAL_WORKLOAD,

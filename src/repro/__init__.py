@@ -66,6 +66,9 @@ _PUBLIC_API = {
     "reconstruct_history": "repro.instrument.runlog",
     "register_phase": "repro.instrument.timeline",
     "dashboard": "repro.campaign.dashboard",
+    # post-hoc analytics over a warm store
+    "run_analysis": "repro.campaign.analytics",
+    "AnalysisError": "repro.campaign.analytics",
     # analyzers
     "analyze_trace": "repro.analysis",
     "lint_paths": "repro.analysis",

@@ -29,15 +29,21 @@ owns the execution of such sweeps end to end:
   workers that share no filesystem, with live ``status`` / ``metrics``
   / ``leases`` / ``runlog`` endpoints;
 * :mod:`repro.campaign.federation` — publish / work / merge across
-  hosts, ending in one store bit-identical to a single-host run.
+  hosts, ending in one store bit-identical to a single-host run;
+* :mod:`repro.campaign.analytics` — post-hoc map-reduce over a warm
+  store: comm-breakdown reports (the paper's tables regenerated from
+  records alone), drift/conservation checks, cross-campaign trend
+  diffs, and coverage audits — byte-identical output regardless of
+  worker count, zero force evaluations.
 
 CLI: ``python -m repro campaign
-run|status|gc|verify|serve|work|merge|coordinator``.
+run|status|gc|analyze|verify|serve|work|merge|coordinator``.
 """
 
+from .analytics import AnalysisError, run_analysis
 from .board import Board, board_from_url
 from .coordinator import CoordinatorServer, CoordinatorThread, HttpBoardClient
-from .dashboard import dashboard, dashboard_data
+from .dashboard import dashboard, dashboard_data, report_link
 from .engine import CampaignEngine, CampaignResult, execute_point, point_trace_path
 from .federation import (
     merge_into_store,
@@ -65,6 +71,7 @@ from .store import (
 from .workloads import build_workload, register_workload, workload_names
 
 __all__ = [
+    "AnalysisError",
     "Board",
     "board_from_url",
     "build_workload",
@@ -91,7 +98,9 @@ __all__ = [
     "publish_campaign",
     "record_digest",
     "register_workload",
+    "report_link",
     "ResultStore",
+    "run_analysis",
     "SCHEMA_VERSION",
     "shared_memory_store",
     "StoreConflictError",

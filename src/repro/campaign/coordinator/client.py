@@ -207,3 +207,12 @@ class HttpBoardClient(Board):
         """The last ``n`` events of the coordinator's audit run log."""
         answer = self._request("GET", f"/v1/runlog?n={int(n)}")
         return list(answer.get("events", []))
+
+    def report(self, kind: str = "report") -> dict:
+        """The latest published analysis report of one kind.
+
+        Raises :class:`HttpBoardError` (404) until the coordinator was
+        started with ``--reports`` and a ``campaign analyze`` run has
+        saved that report.
+        """
+        return self._request("GET", f"/v1/report?kind={kind}")

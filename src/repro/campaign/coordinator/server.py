@@ -35,6 +35,7 @@ timestamps), hence the ``noqa: REP104`` markers; tests inject ``now``.
 from __future__ import annotations
 
 import asyncio
+import json
 import threading
 import time
 from pathlib import Path
@@ -74,6 +75,13 @@ class CoordinatorServer:
         Request hygiene: bodies over ``max_body`` bytes are rejected
         with 413; a connection idle or stalled past ``read_timeout``
         seconds mid-request is answered 408 and dropped.
+    report_dir:
+        Directory holding published analysis reports
+        (``<kind>-latest.json``, as written by
+        :func:`~repro.campaign.analytics.run_analysis` into
+        ``<store>/reports``).  When set, ``GET /v1/report?kind=K``
+        serves the latest document read-only; when unset the endpoint
+        answers 404.
     """
 
     def __init__(
@@ -86,6 +94,7 @@ class CoordinatorServer:
         runlog: RunLog | None = None,
         max_body: int = wire.MAX_BODY_BYTES,
         read_timeout: float = 30.0,
+        report_dir: str | Path | None = None,
     ) -> None:
         self._now = now if now is not None else time.time  # noqa: REP104 — lease deadlines
         if not isinstance(board, Board):
@@ -97,6 +106,7 @@ class CoordinatorServer:
         self.runlog.context.setdefault("role", "coordinator")
         self.max_body = max_body
         self.read_timeout = read_timeout
+        self.report_dir = Path(report_dir) if report_dir is not None else None
         self._server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.Task] = set()
 
@@ -252,6 +262,7 @@ class CoordinatorServer:
         ("GET", "/v1/status"): "_get_status",
         ("GET", "/v1/metrics"): "_get_metrics",
         ("GET", "/v1/runlog"): "_get_runlog",
+        ("GET", "/v1/report"): "_get_report",
     }
 
     def _dispatch(self, method, path, query, body, corr):
@@ -360,6 +371,27 @@ class CoordinatorServer:
             raise wire.WireError(400, "query parameter 'n' must be an integer") from None
         events = self.runlog.events[-max(n, 0):] if n else []
         return {"events": events}
+
+    def _get_report(self, doc, query, corr):
+        """Serve the latest published analysis report, read-only.
+
+        ``kind`` selects the analyzer (default ``report``); the bytes
+        come straight from the canonical JSON ``run_analysis`` saved, so
+        what the endpoint serves is exactly what the byte-identity
+        contract covers.
+        """
+        if self.report_dir is None:
+            raise wire.WireError(404, "coordinator started without --reports")
+        kind = query.get("kind", "report")
+        if not kind.isidentifier():  # path-traversal hygiene before building the name
+            raise wire.WireError(400, f"invalid report kind {kind!r}")
+        path = self.report_dir / f"{kind}-latest.json"
+        if not path.is_file():
+            raise wire.WireError(404, f"no {kind!r} report published yet")
+        try:
+            return json.loads(path.read_text())
+        except ValueError as exc:
+            raise wire.WireError(500, f"saved {kind!r} report is unreadable: {exc}") from None
 
 
 class CoordinatorThread:

@@ -22,6 +22,9 @@ are ``POST``; views are ``GET``::
     GET  /v1/status     dashboard_data() over the board (live JSON)
     GET  /v1/metrics    MetricsRegistry snapshot
     GET  /v1/runlog?n=K the coordinator run log's last K events
+    GET  /v1/report?kind=K  latest published analysis report (404 until
+                            ``campaign analyze`` saved one; kind defaults
+                            to ``report``)
 
 Lease documents are :meth:`repro.campaign.leases.Lease.to_doc` output,
 verbatim — the board file and the wire share one schema, which is what

@@ -41,7 +41,13 @@ from .keys import SCHEMA_VERSION, cache_key, point_seed, workload_fingerprint
 from .store import ResultStore, record_from_dict, record_to_dict
 from .workloads import build_workload
 
-__all__ = ["CampaignEngine", "CampaignResult", "execute_point", "point_trace_path"]
+__all__ = [
+    "CampaignEngine",
+    "CampaignResult",
+    "execute_point",
+    "point_trace_path",
+    "pool_map",
+]
 
 
 def point_trace_path(trace_dir, key: str) -> Path:
@@ -119,6 +125,96 @@ def _worker_main(task: dict, out_queue) -> None:
             (task["key"], "error", None, f"{type(exc).__name__}: {exc}",
              REGISTRY.delta(before))
         )
+
+
+class _InlineQueue:
+    """A list pretending to be a queue, for the ``n_workers <= 0`` path."""
+
+    def __init__(self) -> None:
+        self.items: list[tuple] = []
+
+    def put(self, item) -> None:
+        self.items.append(item)
+
+
+def pool_map(target, payloads, n_workers: int, mp_context=None):
+    """Fan independent payloads out over single-task worker processes.
+
+    The generic pool shape every fan-out in this package shares (the
+    engine's verify re-runs, the analytics map stage): ``target(payload,
+    out_queue)`` runs in its own process and must post exactly one
+    ``(key, status, doc, error, metrics_delta)`` tuple, where ``key`` is
+    ``payload["key"]`` and ``status`` is ``"ok"`` for a result.  No
+    timeout, no retries — callers that need those use
+    :class:`CampaignEngine` itself.
+
+    Returns ``(docs, errors, deltas)``: per-key result documents, per-key
+    error strings (including workers that died without posting), and the
+    workers' metrics deltas for the parent to fold back into its own
+    registry view.
+
+    ``n_workers <= 0`` runs every payload inline, in order, through the
+    same posting protocol (no subprocesses) — the reference path that
+    parallel output is asserted byte-identical against.
+    """
+    docs: dict[str, object] = {}
+    errors: dict[str, str] = {}
+    deltas: list[dict] = []
+
+    def fold(item) -> None:
+        key, status, doc, error, delta = item
+        if delta:
+            deltas.append(delta)
+        if status == "ok":
+            docs[key] = doc
+        else:
+            errors[key] = error
+
+    if n_workers <= 0:
+        out = _InlineQueue()
+        for payload in payloads:
+            target(payload, out)
+        for item in out.items:
+            fold(item)
+        return docs, errors, deltas
+
+    ctx = mp_context if mp_context is not None else CampaignEngine._mp_context()
+    out_queue = ctx.Queue()
+    todo = deque(payloads)
+    live: dict[str, object] = {}  # key -> process
+
+    def settle(item) -> None:
+        proc = live.pop(item[0], None)
+        if proc is not None:
+            proc.join(timeout=5)
+        fold(item)
+
+    while todo or live:
+        while todo and len(live) < n_workers:
+            payload = todo.popleft()
+            proc = ctx.Process(target=target, args=(payload, out_queue), daemon=True)
+            proc.start()
+            live[payload["key"]] = proc
+        try:
+            item = out_queue.get(timeout=0.05)
+        except queue_mod.Empty:
+            for key in list(live):
+                proc = live.get(key)
+                if proc is None or proc.is_alive():
+                    continue
+                # died without posting; give its message a moment to land
+                try:
+                    item2 = out_queue.get(timeout=0.5)
+                except queue_mod.Empty:
+                    settle(
+                        (key, "error", None,
+                         f"worker exited with code {proc.exitcode}", None)
+                    )
+                else:
+                    settle(item2)
+        else:
+            settle(item)
+    return docs, errors, deltas
 
 
 @dataclass
@@ -556,72 +652,34 @@ class CampaignEngine:
     ) -> tuple[dict[str, ResponseRecord], dict[str, str]]:
         """Re-execute (entry, point) pairs; return records and errors by key.
 
-        Reuses the engine's worker-process plumbing (:func:`_worker_main`
-        over a result queue); no timeout or retries — verification re-runs
-        points that already executed successfully once.
+        Reuses the package's generic worker pool (:func:`pool_map` over
+        :func:`_worker_main`); no timeout or retries — verification
+        re-runs points that already executed successfully once.
         """
-        fresh: dict[str, ResponseRecord] = {}
-        errors: dict[str, str] = {}
         if n_workers <= 0:
+            fresh = {}
             for entry, point in pairs:
                 fresh[entry.key] = execute_point(
                     self.workload, point, self.config, self.cost, self.base_seed,
                     shared_compute=self.shared_compute,
                 )
-            return fresh, errors
+            return fresh, {}
 
-        ctx = self._mp_context()
-        out_queue = ctx.Queue()
-        todo = deque(pairs)
-        live: dict[str, object] = {}  # key -> process
-
-        def settle(key: str, status: str, doc, err) -> None:
-            proc = live.pop(key, None)
-            if proc is not None:
-                proc.join(timeout=5)
-            if status == "ok":
-                fresh[key] = record_from_dict(doc)
-            else:
-                errors[key] = err
-
-        while todo or live:
-            while todo and len(live) < n_workers:
-                entry, point = todo.popleft()
-                payload = {
-                    "key": entry.key,
-                    "workload": self.workload,
-                    "point": point,
-                    "config": self.config,
-                    "cost": self.cost,
-                    "base_seed": self.base_seed,
-                    "sanitize": False,
-                    "shared_compute": self.shared_compute,
-                }
-                proc = ctx.Process(
-                    target=_worker_main, args=(payload, out_queue), daemon=True
-                )
-                proc.start()
-                live[entry.key] = proc
-            try:
-                key, status, doc, err, _ = out_queue.get(timeout=0.05)
-            except queue_mod.Empty:
-                for key in list(live):
-                    proc = live.get(key)
-                    if proc is None or proc.is_alive():
-                        continue
-                    # died without posting; give its message a moment to land
-                    try:
-                        k2, s2, d2, e2, _ = out_queue.get(timeout=0.5)
-                    except queue_mod.Empty:
-                        settle(
-                            key, "error", None,
-                            f"worker exited with code {proc.exitcode}",
-                        )
-                    else:
-                        settle(k2, s2, d2, e2)
-            else:
-                settle(key, status, doc, err)
-        return fresh, errors
+        payloads = [
+            {
+                "key": entry.key,
+                "workload": self.workload,
+                "point": point,
+                "config": self.config,
+                "cost": self.cost,
+                "base_seed": self.base_seed,
+                "sanitize": False,
+                "shared_compute": self.shared_compute,
+            }
+            for entry, point in pairs
+        ]
+        docs, errors, _ = pool_map(_worker_main, payloads, n_workers)
+        return {key: record_from_dict(doc) for key, doc in docs.items()}, errors
 
     @staticmethod
     def _point_from_record(record: ResponseRecord) -> DesignPoint:

@@ -16,6 +16,10 @@ Usage::
     python -m repro campaign status --watch      # live dashboard (leases, ETA)
     python -m repro campaign verify --sample 4 --workers 4   # re-run cached points, diff
     python -m repro campaign gc                  # compact the result store
+    python -m repro campaign analyze report --format md      # comp/comm/sync breakdown
+    python -m repro campaign analyze drift                   # energy/conservation audit
+    python -m repro campaign analyze trend --against BENCH_wallclock.json --candidate new.json
+    python -m repro campaign analyze coverage                # factorial holes, shard health
     python -m repro campaign serve --design full --leases leases.json  # publish leases
     python -m repro campaign work --store host-a --leases leases.json  # pull + execute
     python -m repro campaign merge --store merged host-a host-b        # fold back
@@ -242,7 +246,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cstatus.add_argument(
         "--watch", action="store_true",
-        help="repaint a live dashboard (in-flight points, throughput, lease health, ETA)",
+        help=(
+            "repaint a live dashboard (in-flight points, throughput, lease "
+            "health, ETA, latest analysis report link)"
+        ),
+    )
+    cstatus.add_argument(
+        "--runlog", default=None,
+        help="runlog file to show recent activity from (torn tails tolerated)",
     )
     cstatus.add_argument(
         "--interval", type=float, default=2.0, help="--watch repaint period (s)"
@@ -254,6 +265,61 @@ def build_parser() -> argparse.ArgumentParser:
 
     cgc = csub.add_parser("gc", help="compact shards, drop corrupt/stale entries")
     cgc.add_argument("--store", default=".repro-cache")
+
+    canalyze = csub.add_parser(
+        "analyze",
+        help=(
+            "post-hoc map-reduce analytics over a warm store: comm-breakdown "
+            "report, drift/conservation checks, cross-campaign trends, "
+            "coverage audit — zero force evaluations"
+        ),
+    )
+    canalyze.add_argument(
+        "kind", choices=("report", "drift", "trend", "coverage"),
+        help=(
+            "report: comp/comm/sync breakdown tables (the paper's tables); "
+            "drift: energy consensus + phase bookkeeping; trend: diff against "
+            "a baseline store/bench/manifest; coverage: factorial "
+            "completeness + shard health + REP203 verdict"
+        ),
+    )
+    canalyze.add_argument("--store", default=".repro-cache", help="store to analyze")
+    canalyze.add_argument(
+        "--workers", type=int, default=0,
+        help="fan the map stage over N processes (0 = inline; output identical)",
+    )
+    canalyze.add_argument(
+        "--series", default="p",
+        help="report: the axis tables vary along (p, network, middleware, ...)",
+    )
+    canalyze.add_argument(
+        "--against", default=None,
+        help="trend: baseline source — a store directory, BENCH_wallclock.json, or manifest",
+    )
+    canalyze.add_argument(
+        "--candidate", default=None,
+        help="trend: candidate source (default: --store)",
+    )
+    canalyze.add_argument(
+        "--factor", type=float, default=1.25,
+        help="trend: regression gate, candidate/baseline ratio (matches the bench gate)",
+    )
+    canalyze.add_argument(
+        "--rtol", type=float, default=1e-9,
+        help="drift: relative tolerance for the energy-consensus check",
+    )
+    canalyze.add_argument(
+        "--format", dest="fmt", default="json", choices=("json", "md", "html"),
+        help="output rendering (the saved report is always canonical JSON)",
+    )
+    canalyze.add_argument(
+        "-o", "--output", default=None,
+        help="write the rendering here instead of stdout",
+    )
+    canalyze.add_argument(
+        "--no-save", action="store_true",
+        help="do not publish <store>/reports/<kind>-latest.json",
+    )
 
     cverify = csub.add_parser(
         "verify", help="re-run a sample of cached points and diff bit-for-bit"
@@ -340,6 +406,13 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "board state file; campaigns survive coordinator restarts "
             "because this file is the persistence"
+        ),
+    )
+    ccoord.add_argument(
+        "--reports", default=None,
+        help=(
+            "directory of published analysis reports (a store's reports/ "
+            "dir); enables read-only GET /v1/report"
         ),
     )
 
@@ -858,7 +931,7 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
                     time_mod.sleep(args.interval)  # noqa: REP104 — dashboard cadence
                     store = ResultStore(args.store)  # reload: see new results
                 try:
-                    print(dashboard(store, board))
+                    print(dashboard(store, board, runlog=args.runlog))
                 except LeaseBoardError as exc:
                     print(f"board unavailable: {exc}")
                 print()
@@ -876,7 +949,7 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     if args.board or args.leases:
         board = board_from_url(args.board or args.leases)
         try:
-            print(dashboard(store, board))
+            print(dashboard(store, board, runlog=args.runlog))
         except LeaseBoardError as exc:
             print(f"board unavailable: {exc}")
     manifest_dir = Path(args.store) / "manifests"
@@ -924,6 +997,32 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         kept, dropped = ResultStore(args.store).gc()
         print(f"gc: kept {kept} entr{'y' if kept == 1 else 'ies'}, dropped {dropped}")
         return 0
+
+    if args.campaign_command == "analyze":
+        from .campaign.analytics import AnalysisError, render, run_analysis
+
+        try:
+            report = run_analysis(
+                args.kind,
+                args.store,
+                workers=args.workers,
+                series=args.series,
+                against=args.against,
+                candidate=args.candidate,
+                factor=args.factor,
+                rtol=args.rtol,
+                save=not args.no_save,
+            )
+        except AnalysisError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        text = render(report, args.fmt)
+        if args.output:
+            Path(args.output).write_text(text)
+            print(f"analyze {args.kind}: wrote {args.fmt} to {args.output}")
+        else:
+            sys.stdout.write(text)
+        return 0 if report.get("ok", True) else 1
 
     if args.campaign_command == "verify":
         try:
@@ -1025,7 +1124,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         state = Path(args.state)
         runlog = RunLog(state.with_suffix(state.suffix + ".runlog.jsonl"))
         server = CoordinatorServer(
-            state, host=args.host, port=args.port, runlog=runlog
+            state, host=args.host, port=args.port, runlog=runlog,
+            report_dir=args.reports,
         )
 
         async def _serve() -> None:

@@ -383,3 +383,33 @@ class TestEndToEndParity:
         assert stats["failed"] == 1
         with HttpBoardClient(coordinator.url) as cli:
             assert cli.counts()["pending"] == 1  # released, not lost
+
+
+class TestReportEndpoint:
+    """GET /v1/report: the coordinator serves post-hoc analytics live."""
+
+    def test_serves_the_latest_saved_report(self, tmp_path, clock):
+        from repro.campaign import run_analysis
+        from repro.campaign.analytics import to_json_bytes
+
+        root = tmp_path / "cache"
+        engine = tiny_engine(root)
+        assert engine.run(tiny_points(ranks=(1, 2))).ok
+        saved = run_analysis("report", root)  # publishes reports/report-latest.json
+
+        with CoordinatorThread(
+            tmp_path / "board.json", now=clock, report_dir=root / "reports"
+        ) as coord:
+            with HttpBoardClient(coord.url) as cli:
+                served = cli.report()
+                # exactly the canonical bytes run_analysis saved
+                assert to_json_bytes(served) == to_json_bytes(saved)
+                with pytest.raises(HttpBoardError, match="no 'drift' report"):
+                    cli.report("drift")
+                with pytest.raises(HttpBoardError, match="invalid report kind"):
+                    cli.report("../escape")
+
+    def test_404_without_reports_dir(self, coordinator):
+        with HttpBoardClient(coordinator.url) as cli:
+            with pytest.raises(HttpBoardError, match="without --reports"):
+                cli.report()

@@ -1,0 +1,122 @@
+"""Dashboard edge cases: zero-throughput workers, torn logs, report links.
+
+The dashboard is pure observation, so it must render *any* state the
+campaign can be in — including the awkward early ones: a worker that
+holds leases but has completed nothing yet (no rate, no mean, no
+ZeroDivisionError), a runlog holding only the torn tail of a crashed
+writer, a store with no published report.  Every such hole renders an
+explicit ``n/a``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.campaign import ResultStore
+from repro.campaign.dashboard import dashboard, dashboard_data, report_link
+from repro.campaign.leases import Lease
+
+
+class StubBoard:
+    """A Board-shaped object serving a fixed lease list."""
+
+    def __init__(self, leases, url=None):
+        self._leases = leases
+        if url is not None:
+            self.url = url
+
+    def leases(self):
+        return list(self._leases)
+
+
+def _leased(key, worker, expires):
+    return Lease(key=key, label=key, point={}, state="leased",
+                 worker=worker, expires=expires)
+
+
+def test_worker_with_zero_completed_points_renders_na():
+    """A freshly-claimed campaign: leases held, nothing finished.  The
+    old rendering divided by zero on the mean and silently dropped the
+    ETA line; now both are explicit n/a."""
+    board = StubBoard([
+        _leased("k1", "newcomer", expires=1500.0),
+        Lease(key="k2", label="k2", point={}),  # pending
+    ])
+    data = dashboard_data(ResultStore(None), board, now=1000.0)
+    assert data["workers"]["newcomer"] == {
+        "points": 0, "wall": 0.0, "mean_wall": None
+    }
+    assert data["eta_seconds"] is None
+
+    text = dashboard(ResultStore(None), board, now=1000.0)
+    assert "ETA n/a" in text
+    assert "newcomer" in text and "mean n/a" in text
+
+
+def test_zero_elapsed_entries_do_not_break_the_rate(tmp_path):
+    """Store entries whose meta carries no elapsed time (wall 0) must
+    not divide by zero in either the mean or the ETA rate."""
+    store = ResultStore(tmp_path / "cache")
+    from repro.core.responses import ResponseRecord
+
+    record = ResponseRecord(
+        network="tcp-gige", middleware="mpi", cpus_per_node=1, n_ranks=1,
+        replicate=0, wall_time=1.0, classic_time=0.5, pme_time=0.5,
+        classic_comp=0.5, classic_comm=0.0, classic_sync=0.0,
+        pme_comp=0.5, pme_comm=0.0, pme_sync=0.0,
+        comm_mean_mbs=0.0, comm_min_mbs=0.0, comm_max_mbs=0.0,
+        final_energy=-1.0,
+    )
+    store.put("k1", record, meta={"worker": "w0"})  # no "elapsed" key
+    board = StubBoard([_leased("k2", "w0", expires=1500.0)])
+    data = dashboard_data(store, board, now=1000.0)
+    assert data["workers"]["w0"]["mean_wall"] is None
+    assert data["eta_seconds"] is None
+    assert "mean n/a" in dashboard(store, board, now=1000.0)
+
+
+def test_runlog_with_only_a_torn_tail_renders_na(tmp_path):
+    log = tmp_path / "run.jsonl"
+    log.write_text('{"event": "start", "ts": 99')  # torn mid-write
+    data = dashboard_data(ResultStore(None), runlog=str(log))
+    assert data["activity"] == {"events": 0, "last_event": None, "last_age_s": None}
+    assert "activity: n/a" in dashboard(ResultStore(None), runlog=str(log))
+
+
+def test_runlog_activity_renders_the_freshest_event(tmp_path):
+    log = tmp_path / "run.jsonl"
+    lines = [
+        json.dumps({"event": "claim", "ts": 990.0}),
+        json.dumps({"event": "complete", "ts": 997.0}),
+        '{"torn":',
+    ]
+    log.write_text("\n".join(lines))
+    data = dashboard_data(ResultStore(None), now=1000.0, runlog=str(log))
+    assert data["activity"]["events"] == 2
+    assert data["activity"]["last_event"] == "complete"
+    assert data["activity"]["last_age_s"] == 3.0
+    assert "last 'complete' 3 s ago" in dashboard(
+        ResultStore(None), now=1000.0, runlog=str(log)
+    )
+
+
+def test_missing_runlog_renders_na(tmp_path):
+    data = dashboard_data(ResultStore(None), runlog=str(tmp_path / "absent.jsonl"))
+    assert data["activity"]["events"] == 0
+    assert "activity: n/a" in dashboard(
+        ResultStore(None), runlog=str(tmp_path / "absent.jsonl")
+    )
+
+
+def test_report_link_prefers_the_coordinator(tmp_path):
+    http_board = StubBoard([], url="http://coord:8765")
+    assert report_link(None, http_board) == "http://coord:8765/v1/report"
+
+    store = ResultStore(tmp_path / "cache")
+    assert report_link(store, None) is None  # nothing published yet
+    reports = tmp_path / "cache" / "reports"
+    reports.mkdir(parents=True)
+    saved = reports / "report-latest.json"
+    saved.write_text("{}")
+    assert report_link(store, None) == str(saved)
+    assert f"report: {saved}" in dashboard(store)
